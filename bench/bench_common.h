@@ -1,0 +1,66 @@
+// Shared helpers for the table-reproduction benchmarks.
+//
+// These binaries regenerate the paper's tables on the simulated Dorado
+// disk: each prints the measured rows next to the paper's numbers. Absolute
+// values depend on the calibration constants (see EXPERIMENTS.md); the
+// claim under test is the *shape* — who wins and by roughly what factor.
+
+#ifndef CEDAR_BENCH_BENCH_COMMON_H_
+#define CEDAR_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/check.h"
+
+namespace cedar::bench {
+
+// The simulated "Dorado with a Trident-class 300 MB drive".
+struct Rig {
+  sim::VirtualClock clock;
+  sim::SimDisk disk;
+
+  Rig() : disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock) {}
+};
+
+// Measures the virtual time consumed by `body` in milliseconds.
+inline double TimedMs(sim::VirtualClock& clock,
+                      const std::function<void()>& body) {
+  const sim::Micros before = clock.now();
+  body();
+  return static_cast<double>(clock.now() - before) / 1000.0;
+}
+
+// Measures the disk I/O requests issued by `body`.
+inline std::uint64_t CountedIos(sim::SimDisk& disk,
+                                const std::function<void()>& body) {
+  const std::uint64_t before = disk.stats().TotalIos();
+  body();
+  return disk.stats().TotalIos() - before;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// One table row: measured A vs B with the paper's numbers alongside.
+inline void PrintRow(const char* label, double a, double b,
+                     double paper_a, double paper_b) {
+  const double ratio = b != 0 ? a / b : 0;
+  const double paper_ratio = paper_b != 0 ? paper_a / paper_b : 0;
+  std::printf("%-22s %10.1f %10.1f  x%-6.2f | paper: %8.0f %8.0f  x%-6.2f\n",
+              label, a, b, ratio, paper_a, paper_b, paper_ratio);
+}
+
+inline void PrintRowHeader(const char* label, const char* a, const char* b) {
+  std::printf("%-22s %10s %10s  %-7s | %-6s %8s %8s  %-7s\n", label, a, b,
+              "ratio", "", a, b, "ratio");
+}
+
+}  // namespace cedar::bench
+
+#endif  // CEDAR_BENCH_BENCH_COMMON_H_

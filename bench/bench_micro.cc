@@ -1,0 +1,144 @@
+// Wall-clock microbenchmarks (google-benchmark) for the library's hot
+// paths: CRC, serialization, B-tree operations, the simulated disk, the
+// redo log, and FSD operation throughput. These measure this codebase, not
+// the paper's hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/btree/mem_page_store.h"
+#include "src/core/fsd.h"
+#include "src/core/log.h"
+#include "src/sim/disk.h"
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+
+namespace cedar {
+namespace {
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(state.range(0), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  btree::MemPageStore store(512);
+  btree::BTree tree(&store, 0);
+  CEDAR_CHECK_OK(tree.Create());
+  Rng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "file-" + std::to_string(i++ % 100000);
+    CEDAR_CHECK_OK(tree.Insert(
+        std::vector<std::uint8_t>(key.begin(), key.end()),
+        std::vector<std::uint8_t>(40, 0x11)));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  btree::MemPageStore store(512);
+  btree::BTree tree(&store, 0);
+  CEDAR_CHECK_OK(tree.Create());
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key = "file-" + std::to_string(i);
+    CEDAR_CHECK_OK(tree.Insert(
+        std::vector<std::uint8_t>(key.begin(), key.end()),
+        std::vector<std::uint8_t>(40, 0x11)));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    const std::string key = "file-" + std::to_string(rng.Below(10000));
+    benchmark::DoNotOptimize(
+        tree.Lookup(std::vector<std::uint8_t>(key.begin(), key.end())));
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_SimDiskWrite(benchmark::State& state) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+  std::vector<std::uint8_t> buf(state.range(0) * 512, 0x77);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto lba = static_cast<sim::Lba>(
+        rng.Below(disk.geometry().TotalSectors() - state.range(0)));
+    CEDAR_CHECK_OK(disk.Write(lba, buf));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 512);
+}
+BENCHMARK(BM_SimDiskWrite)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LogAppend(benchmark::State& state) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+  core::FsdLog log(&disk, 1000, 4000);
+  CEDAR_CHECK_OK(log.Format(1));
+  std::vector<core::PageImage> pages(state.range(0));
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    pages[i].primary = static_cast<sim::Lba>(100000 + i);
+    pages[i].data.assign(512, 0x22);
+  }
+  for (auto _ : state) {
+    CEDAR_CHECK_OK(
+        log.Append(pages, [](int) { return OkStatus(); }).status());
+  }
+}
+BENCHMARK(BM_LogAppend)->Arg(1)->Arg(14)->Arg(52);
+
+void BM_FsdCreateSmall(benchmark::State& state) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+  core::Fsd fsd(&disk, core::FsdConfig{});
+  CEDAR_CHECK_OK(fsd.Format());
+  std::vector<std::uint8_t> contents(1000, 0x33);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    CEDAR_CHECK_OK(
+        fsd.CreateFile("bench/f" + std::to_string(i++), contents).status());
+    if (i % 64 == 0) {
+      state.PauseTiming();
+      clock.Advance(600 * sim::kMillisecond);
+      CEDAR_CHECK_OK(fsd.Tick());
+      if (i % 2048 == 0) {
+        // Recycle the namespace so the name table never fills.
+        for (std::uint64_t j = i - 2048; j < i; ++j) {
+          CEDAR_CHECK_OK(fsd.DeleteFile("bench/f" + std::to_string(j)));
+        }
+        CEDAR_CHECK_OK(fsd.Force());
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_FsdCreateSmall);
+
+void BM_FsdOpenWarm(benchmark::State& state) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+  core::Fsd fsd(&disk, core::FsdConfig{});
+  CEDAR_CHECK_OK(fsd.Format());
+  std::vector<std::uint8_t> contents(1000, 0x33);
+  for (int i = 0; i < 500; ++i) {
+    CEDAR_CHECK_OK(
+        fsd.CreateFile("bench/f" + std::to_string(i), contents).status());
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fsd.Open("bench/f" + std::to_string(rng.Below(500))));
+  }
+}
+BENCHMARK(BM_FsdOpenWarm);
+
+}  // namespace
+}  // namespace cedar
+
+BENCHMARK_MAIN();

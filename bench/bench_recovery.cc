@@ -1,0 +1,130 @@
+// Sections 5.5 / 5.9 and Table 2's recovery row: crash-recovery times.
+//
+//   Paper:
+//     FSD log replay:        "rarely takes more than two seconds"
+//     FSD VAM reconstruction: ~20 s (300 MB volume, Dorado)
+//     FSD worst case:         ~25 s
+//     CFS scavenge:           an hour or more (3600+ s)
+//     4.3 BSD fsck (VAX):     ~7 minutes (~420 s)
+//
+// The sweep shows how FSD recovery scales with volume population (the
+// name-table scan is the variable part) while CFS scavenging scales with
+// raw volume capacity — the paper's point that scavenge-style recovery is
+// untenable "as disk capacity continues to grow".
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/bsd/ffs.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace cedar::bench {
+namespace {
+
+double FsdRecoverySeconds(std::uint32_t files, double* replay_s,
+                          double* rebuild_s, bool vam_logging = false) {
+  Rig rig;
+  cedar::core::FsdConfig config;
+  config.vam_logging = vam_logging;
+  cedar::core::Fsd fsd(&rig.disk, config);
+  CEDAR_CHECK_OK(fsd.Format());
+  cedar::Rng rng(5);
+  cedar::workload::SizeDistribution sizes;
+  CEDAR_CHECK_OK(
+      cedar::workload::PopulateVolume(&fsd, "v/", files, sizes, rng)
+          .status());
+  // Leave uncommitted work in flight, then crash.
+  for (int i = 0; i < 20; ++i) {
+    CEDAR_CHECK_OK(fsd.Touch("v/f" + std::to_string(i) + ".db"));
+  }
+  rig.disk.CrashNow();
+  rig.disk.Reopen();
+
+  // Measure the two recovery phases separately by timing a Mount and
+  // attributing the log-replay share via the I/O stats.
+  cedar::core::Fsd recovered(&rig.disk, config);
+  const double total =
+      TimedMs(rig.clock, [&] { CEDAR_CHECK_OK(recovered.Mount()); }) / 1000.0;
+  // Replay share estimate: pages replayed x (write + short seek).
+  *replay_s = static_cast<double>(
+                  recovered.stats().recovery_pages_replayed) *
+              15.0 / 1000.0;
+  *rebuild_s = total - *replay_s;
+  return total;
+}
+
+}  // namespace
+}  // namespace cedar::bench
+
+int main() {
+  using namespace cedar::bench;
+  std::printf("Recovery benchmarks (300 MB simulated volume)\n\n");
+
+  std::printf("FSD crash recovery vs population:\n");
+  std::printf("%8s %10s %10s %10s\n", "files", "replay s", "rebuild s",
+              "total s");
+  for (std::uint32_t files : {1000u, 3000u, 6000u, 10000u}) {
+    double replay = 0;
+    double rebuild = 0;
+    const double total = FsdRecoverySeconds(files, &replay, &rebuild);
+    std::printf("%8u %10.1f %10.1f %10.1f\n", files, replay, rebuild, total);
+  }
+  std::printf("(paper: replay <= 2 s, VAM rebuild ~20 s, worst ~25 s)\n\n");
+
+  std::printf("Extension ablation — VAM logging (section 5.3's deferred\n"
+              "modification: \"would greatly decrease worst case crash\n"
+              "recovery time from about twenty five seconds to about two\n"
+              "seconds\"):\n");
+  std::printf("%8s %10s %10s\n", "files", "rebuild s", "vamlog s");
+  for (std::uint32_t files : {3000u, 10000u}) {
+    double replay = 0;
+    double rebuild = 0;
+    const double slow = FsdRecoverySeconds(files, &replay, &rebuild, false);
+    const double fast = FsdRecoverySeconds(files, &replay, &rebuild, true);
+    std::printf("%8u %10.1f %10.1f\n", files, slow, fast);
+  }
+  std::printf("\n");
+
+  {
+    Rig rig;
+    cedar::cfs::Cfs cfs(&rig.disk, cedar::cfs::CfsConfig{});
+    CEDAR_CHECK_OK(cfs.Format());
+    cedar::Rng rng(5);
+    cedar::workload::SizeDistribution sizes;
+    CEDAR_CHECK_OK(
+        cedar::workload::PopulateVolume(&cfs, "v/", 6000, sizes, rng)
+            .status());
+    const double seconds = TimedMs(rig.clock, [&] {
+                             cedar::cfs::Cfs recovered(
+                                 &rig.disk, cedar::cfs::CfsConfig{});
+                             CEDAR_CHECK_OK(recovered.Scavenge());
+                           }) /
+                           1000.0;
+    std::printf("CFS scavenge, 6000 files: %.0f s (paper: 3600+ s)\n",
+                seconds);
+  }
+  {
+    Rig rig;
+    cedar::bsd::Ffs ffs(&rig.disk, cedar::bsd::FfsConfig{});
+    CEDAR_CHECK_OK(ffs.Format());
+    cedar::Rng rng(5);
+    cedar::workload::SizeDistribution sizes;
+    CEDAR_CHECK_OK(
+        cedar::workload::PopulateVolume(&ffs, "v/", 6000, sizes, rng)
+            .status());
+    const double seconds =
+        TimedMs(rig.clock,
+                [&] {
+                  cedar::bsd::Ffs recovered(&rig.disk,
+                                            cedar::bsd::FfsConfig{});
+                  CEDAR_CHECK_OK(recovered.Fsck());
+                }) /
+        1000.0;
+    std::printf("4.3 BSD fsck, 6000 files: %.0f s (paper: ~420 s)\n",
+                seconds);
+  }
+  return 0;
+}

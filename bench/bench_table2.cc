@@ -1,0 +1,205 @@
+// Table 2: CFS to FSD performance measured in wall clock (times in msec).
+//
+//   Paper (Dorado, Trident 300 MB):
+//     Small create   264 -> 70    (3.77x)
+//     Large create  7674 -> 2730  (2.81x)
+//     Open          51.2 -> 11.7  (4.38x)
+//     Open + Read   68.5 -> 35.4  (1.94x)
+//     Small delete   214 -> 15    (14.5x)
+//     Large delete  2692 -> 118   (22.8x)
+//     Read page       41 -> 41    (1.0x)
+//     Crash recovery 3600+ s -> 25 s (100+x)
+//
+// All creates/opens/deletes use different files in the same directory, per
+// the paper's note. "Large" is 1 MB.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace cedar::bench {
+namespace {
+
+constexpr int kOps = 100;
+constexpr std::size_t kSmallBytes = 1000;
+constexpr std::size_t kLargeBytes = 1024 * 1024;
+
+std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return out;
+}
+
+struct OpTimes {
+  double small_create = 0;
+  double large_create = 0;
+  double open = 0;
+  double open_read = 0;
+  double small_delete = 0;
+  double large_delete = 0;
+  double read_page = 0;
+  double recovery_ms = 0;
+};
+
+// Runs the operation mix against any FileSystem; `between` is called
+// between operations to advance background time (drives FSD group commit);
+// `freshen` remounts so the open/read phase starts with cold caches, as the
+// paper's separately-run benchmarks would.
+template <typename Fs>
+OpTimes RunOps(Rig& rig, Fs& file_system, const std::function<void()>& between,
+               const std::function<void()>& freshen) {
+  OpTimes times;
+  Rng scramble_rng(99);
+  // Between timed operations the workstation does other disk work; without
+  // this, back-to-back ops enjoy unrealistic head locality.
+  auto scramble = [&] {
+    std::vector<std::uint8_t> sector(512);
+    (void)rig.disk.Read(
+        static_cast<cedar::sim::Lba>(
+            scramble_rng.Below(rig.disk.geometry().TotalSectors())),
+        sector);
+  };
+  auto average = [&](int n, const std::function<void(int)>& op) {
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      scramble();
+      total += TimedMs(rig.clock, [&] { op(i); });
+      between();
+    }
+    return total / n;
+  };
+
+  // Small creates.
+  times.small_create = average(kOps, [&](int i) {
+    CEDAR_CHECK_OK(file_system
+                       .CreateFile("bench/s" + std::to_string(i),
+                                   Payload(kSmallBytes, 1))
+                       .status());
+  });
+  // Large creates (fewer: they are slow).
+  times.large_create = average(8, [&](int i) {
+    CEDAR_CHECK_OK(file_system
+                       .CreateFile("bench/L" + std::to_string(i),
+                                   Payload(kLargeBytes, 2))
+                       .status());
+  });
+  // Cold caches for the open/read phase.
+  freshen();
+  // Opens of distinct existing files.
+  times.open = average(kOps, [&](int i) {
+    CEDAR_CHECK_OK(file_system.Open("bench/s" + std::to_string(i)).status());
+  });
+  // Open + read first page, distinct files (fresh handles, cold leaders).
+  times.open_read = average(kOps, [&](int i) {
+    auto handle = file_system.Open("bench/s" + std::to_string(i));
+    CEDAR_CHECK_OK(handle.status());
+    std::vector<std::uint8_t> out(512);
+    CEDAR_CHECK_OK(file_system.Read(*handle, 0, out));
+  });
+  // Read page at a random offset of one open file.
+  auto big = file_system.Open("bench/L0");
+  CEDAR_CHECK_OK(big.status());
+  Rng rng(7);
+  times.read_page = average(kOps, [&](int) {
+    std::vector<std::uint8_t> out(512);
+    const std::uint64_t page = rng.Below(kLargeBytes / 512);
+    CEDAR_CHECK_OK(file_system.Read(*big, page * 512, out));
+  });
+  // Deletes.
+  times.small_delete = average(kOps, [&](int i) {
+    CEDAR_CHECK_OK(file_system.DeleteFile("bench/s" + std::to_string(i)));
+  });
+  times.large_delete = average(8, [&](int i) {
+    CEDAR_CHECK_OK(file_system.DeleteFile("bench/L" + std::to_string(i)));
+  });
+  return times;
+}
+
+OpTimes BenchCfs() {
+  Rig rig;
+  cfs::Cfs cfs(&rig.disk, cfs::CfsConfig{});
+  CEDAR_CHECK_OK(cfs.Format());
+  // Warm the volume with a realistic population.
+  Rng rng(42);
+  workload::SizeDistribution sizes;
+  CEDAR_CHECK_OK(
+      workload::PopulateVolume(&cfs, "pre/", 300, sizes, rng).status());
+
+  OpTimes times = RunOps(rig, cfs, [] {}, [&] {
+    CEDAR_CHECK_OK(cfs.Shutdown());
+    CEDAR_CHECK_OK(cfs.Mount());
+  });
+
+  // Crash recovery = scavenge of a moderately full volume.
+  CEDAR_CHECK_OK(
+      workload::PopulateVolume(&cfs, "fill/", 6000, sizes, rng).status());
+  times.recovery_ms = TimedMs(rig.clock, [&] {
+    cfs::Cfs recovered(&rig.disk, cfs::CfsConfig{});
+    CEDAR_CHECK_OK(recovered.Scavenge());
+  });
+  return times;
+}
+
+OpTimes BenchFsd() {
+  Rig rig;
+  core::Fsd fsd(&rig.disk, core::FsdConfig{});
+  CEDAR_CHECK_OK(fsd.Format());
+  Rng rng(42);
+  workload::SizeDistribution sizes;
+  CEDAR_CHECK_OK(
+      workload::PopulateVolume(&fsd, "pre/", 300, sizes, rng).status());
+
+  // Between ops: 20 ms of user think time so the half-second group commit
+  // fires at its natural rate during the run.
+  OpTimes times = RunOps(
+      rig, fsd,
+      [&] {
+        rig.clock.Advance(20 * sim::kMillisecond);
+        CEDAR_CHECK_OK(fsd.Tick());
+      },
+      [&] {
+        CEDAR_CHECK_OK(fsd.Shutdown());
+        CEDAR_CHECK_OK(fsd.Mount());
+      });
+
+  CEDAR_CHECK_OK(
+      workload::PopulateVolume(&fsd, "fill/", 6000, sizes, rng).status());
+  // Crash (no shutdown): log replay + VAM reconstruction.
+  rig.disk.CrashNow();
+  rig.disk.Reopen();
+  times.recovery_ms = TimedMs(rig.clock, [&] {
+    core::Fsd recovered(&rig.disk, core::FsdConfig{});
+    CEDAR_CHECK_OK(recovered.Mount());
+  });
+  return times;
+}
+
+}  // namespace
+}  // namespace cedar::bench
+
+int main() {
+  using namespace cedar::bench;
+  std::printf("Table 2: CFS to FSD, wall clock ms (simulated Dorado)\n");
+  OpTimes cfs = BenchCfs();
+  OpTimes fsd = BenchFsd();
+
+  PrintRowHeader("operation", "CFS", "FSD");
+  PrintRow("Small create", cfs.small_create, fsd.small_create, 264, 70);
+  PrintRow("Large create", cfs.large_create, fsd.large_create, 7674, 2730);
+  PrintRow("Open", cfs.open, fsd.open, 51.2, 11.7);
+  PrintRow("Open + Read", cfs.open_read, fsd.open_read, 68.5, 35.4);
+  PrintRow("Small delete", cfs.small_delete, fsd.small_delete, 214, 15);
+  PrintRow("Large delete", cfs.large_delete, fsd.large_delete, 2692, 118);
+  PrintRow("Read page", cfs.read_page, fsd.read_page, 41, 41);
+  PrintRow("Crash recovery (s)", cfs.recovery_ms / 1000,
+           fsd.recovery_ms / 1000, 3600, 25);
+  return 0;
+}

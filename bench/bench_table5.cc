@@ -1,0 +1,127 @@
+// Table 5: FSD and 4.2 BSD, percent of CPU and percent of disk bandwidth
+// during sequential file transfer.
+//
+//   Paper:            %CPU   %bandwidth
+//     FSD    read      27        79
+//     FSD    write     28        80
+//     4.2BSD read      54        47
+//     4.2BSD write     95        47
+//
+// FSD reads whole runs with large requests, so it streams near media rate;
+// BSD goes block-at-a-time through the buffer cache over rotationally
+// interleaved blocks, so it tops out near half bandwidth (the rotdelay
+// effect [McKu84]).
+//
+// Caveat: the simulator is single-threaded — CPU and disk never overlap —
+// so %CPU + %bandwidth <= 100 here, whereas the VAX overlapped them (4.2BSD
+// write: 95% + 47%). The ordering and the bandwidth column are the
+// reproducible claims.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/bsd/ffs.h"
+#include "src/core/fsd.h"
+
+namespace cedar::bench {
+namespace {
+
+constexpr std::size_t kFileBytes = 2 * 1024 * 1024;
+constexpr std::size_t kChunk = 64 * 1024;
+
+struct Utilization {
+  double cpu_pct = 0;
+  double bandwidth_pct = 0;
+};
+
+// Runs `body` and computes CPU% (CPU time / elapsed) and bandwidth%
+// (media transfer time / elapsed, which equals achieved/peak bandwidth).
+Utilization Measure(Rig& rig, const std::function<void()>& body) {
+  const sim::Micros t0 = rig.clock.now();
+  const sim::Micros cpu0 = rig.clock.cpu_time();
+  const sim::Micros xfer0 = rig.disk.stats().transfer_us;
+  body();
+  const double elapsed = static_cast<double>(rig.clock.now() - t0);
+  const double cpu = static_cast<double>(rig.clock.cpu_time() - cpu0);
+  const double xfer =
+      static_cast<double>(rig.disk.stats().transfer_us - xfer0);
+  return Utilization{.cpu_pct = 100.0 * cpu / elapsed,
+                     .bandwidth_pct = 100.0 * xfer / elapsed};
+}
+
+std::vector<std::uint8_t> Payload(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  return out;
+}
+
+template <typename Fs>
+std::pair<Utilization, Utilization> RunTransfer(Rig& rig, Fs& file_system) {
+  Utilization write_util = Measure(rig, [&] {
+    CEDAR_CHECK_OK(
+        file_system.CreateFile("big.data", Payload(kFileBytes)).status());
+  });
+  auto handle = file_system.Open("big.data");
+  CEDAR_CHECK_OK(handle.status());
+  // Touch the first page so leader verification doesn't skew the stream.
+  std::vector<std::uint8_t> warm(512);
+  CEDAR_CHECK_OK(file_system.Read(*handle, 0, warm));
+
+  Utilization read_util = Measure(rig, [&] {
+    std::vector<std::uint8_t> chunk(kChunk);
+    for (std::size_t off = 0; off < kFileBytes; off += kChunk) {
+      CEDAR_CHECK_OK(file_system.Read(*handle, off, chunk));
+    }
+  });
+  return {read_util, write_util};
+}
+
+}  // namespace
+}  // namespace cedar::bench
+
+int main() {
+  using namespace cedar::bench;
+  std::printf(
+      "Table 5: FSD and 4.2 BSD, %% CPU and %% disk bandwidth "
+      "(sequential %zu KB transfer)\n",
+      kFileBytes / 1024);
+
+  Utilization fsd_read;
+  Utilization fsd_write;
+  {
+    Rig rig;
+    cedar::core::Fsd fsd(&rig.disk, cedar::core::FsdConfig{});
+    CEDAR_CHECK_OK(fsd.Format());
+    auto [r, w] = RunTransfer(rig, fsd);
+    fsd_read = r;
+    fsd_write = w;
+  }
+  Utilization bsd_read;
+  Utilization bsd_write;
+  {
+    Rig rig;
+    cedar::bsd::Ffs ffs(&rig.disk, cedar::bsd::FfsConfig{});
+    CEDAR_CHECK_OK(ffs.Format());
+    auto [r, w] = RunTransfer(rig, ffs);
+    bsd_read = r;
+    bsd_write = w;
+  }
+
+  std::printf("%-14s %8s %12s | paper: %6s %12s\n", "system/op", "%CPU",
+              "%bandwidth", "%CPU", "%bandwidth");
+  std::printf("%-14s %8.0f %12.0f | paper: %6.0f %12.0f\n", "FSD read",
+              fsd_read.cpu_pct, fsd_read.bandwidth_pct, 27.0, 79.0);
+  std::printf("%-14s %8.0f %12.0f | paper: %6.0f %12.0f\n", "FSD write",
+              fsd_write.cpu_pct, fsd_write.bandwidth_pct, 28.0, 80.0);
+  std::printf("%-14s %8.0f %12.0f | paper: %6.0f %12.0f\n", "4.2BSD read",
+              bsd_read.cpu_pct, bsd_read.bandwidth_pct, 54.0, 47.0);
+  std::printf("%-14s %8.0f %12.0f | paper: %6.0f %12.0f\n", "4.2BSD write",
+              bsd_write.cpu_pct, bsd_write.bandwidth_pct, 95.0, 47.0);
+  std::printf(
+      "note: simulator does not overlap CPU with I/O, so %%CPU+%%bw <= 100; "
+      "the paper's VAX overlapped them.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// MakeDo-style build workload (the Table 3 benchmark) run on all three
+// file systems, printing each device's view of the same logical work.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/bsd/ffs.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+struct RunResult {
+  std::uint64_t ios = 0;
+  double seconds = 0;
+  std::uint32_t rebuilt = 0;
+};
+
+template <typename Fs>
+RunResult RunBuild(cedar::sim::SimDisk& disk, cedar::sim::VirtualClock& clock,
+                   Fs& file_system) {
+  cedar::Rng rng(7);
+  cedar::workload::MakeDoConfig config;
+  config.modules = 60;
+  config.stale_fraction = 0.25;
+  CEDAR_CHECK_OK(
+      cedar::workload::MakeDoSetup(&file_system, "src/", config, rng));
+  CEDAR_CHECK_OK(file_system.Force());
+
+  disk.ResetStats();
+  const cedar::sim::Micros t0 = clock.now();
+  cedar::Rng build_rng(13);
+  auto result =
+      cedar::workload::MakeDoBuild(&file_system, "src/", config, build_rng);
+  CEDAR_CHECK_OK(result.status());
+  CEDAR_CHECK_OK(file_system.Force());
+
+  return RunResult{
+      .ios = disk.stats().TotalIos(),
+      .seconds = static_cast<double>(clock.now() - t0) / 1e6,
+      .rebuilt = result->modules_rebuilt};
+}
+
+}  // namespace
+
+int main() {
+  using namespace cedar;
+  std::printf("MakeDo build (60 modules, ~25%% stale) on each system:\n\n");
+  std::printf("%-8s %10s %12s %10s\n", "system", "disk I/Os", "virtual s",
+              "rebuilt");
+
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+    cfs::Cfs cfs(&disk, cfs::CfsConfig{});
+    CEDAR_CHECK_OK(cfs.Format());
+    RunResult r = RunBuild(disk, clock, cfs);
+    std::printf("%-8s %10llu %12.1f %10u\n", "CFS",
+                (unsigned long long)r.ios, r.seconds, r.rebuilt);
+  }
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+    core::Fsd fsd(&disk, core::FsdConfig{});
+    CEDAR_CHECK_OK(fsd.Format());
+    RunResult r = RunBuild(disk, clock, fsd);
+    std::printf("%-8s %10llu %12.1f %10u\n", "FSD",
+                (unsigned long long)r.ios, r.seconds, r.rebuilt);
+  }
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::DiskGeometry{}, sim::DiskTimingParams{}, &clock);
+    bsd::Ffs ffs(&disk, bsd::FfsConfig{});
+    CEDAR_CHECK_OK(ffs.Format());
+    RunResult r = RunBuild(disk, clock, ffs);
+    std::printf("%-8s %10llu %12.1f %10u\n", "4.3BSD",
+                (unsigned long long)r.ios, r.seconds, r.rebuilt);
+  }
+  std::printf(
+      "\nFSD does the same logical build with fewer device operations: the\n"
+      "metadata half of the work rides in the log at group-commit time.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// A trivial in-memory PageStore, used by unit tests and by the scavenger /
+// fsck implementations when rebuilding metadata off-disk.
+
+#ifndef CEDAR_BTREE_MEM_PAGE_STORE_H_
+#define CEDAR_BTREE_MEM_PAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/btree/page_store.h"
+#include "src/util/status.h"
+
+namespace cedar::btree {
+
+class MemPageStore : public PageStore {
+ public:
+  explicit MemPageStore(std::uint32_t page_size) : page_size_(page_size) {
+    // Reserve page 0 so callers can use it as a fixed root.
+    pages_[0] = std::vector<std::uint8_t>(page_size_);
+  }
+
+  std::uint32_t page_size() const override { return page_size_; }
+
+  Status ReadPage(PageId id, std::span<std::uint8_t> out) override {
+    auto it = pages_.find(id);
+    if (it == pages_.end()) {
+      return MakeError(ErrorCode::kNotFound, "no such page");
+    }
+    std::copy(it->second.begin(), it->second.end(), out.begin());
+    return OkStatus();
+  }
+
+  Status WritePage(PageId id, std::span<const std::uint8_t> data) override {
+    pages_[id].assign(data.begin(), data.end());
+    ++writes_;
+    return OkStatus();
+  }
+
+  Result<PageId> AllocatePage() override {
+    const PageId id = next_id_++;
+    pages_[id] = std::vector<std::uint8_t>(page_size_);
+    return id;
+  }
+
+  Status FreePage(PageId id) override {
+    if (pages_.erase(id) == 0) {
+      return MakeError(ErrorCode::kNotFound, "free of unallocated page");
+    }
+    ++frees_;
+    return OkStatus();
+  }
+
+  std::size_t live_pages() const { return pages_.size(); }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t frees() const { return frees_; }
+
+ private:
+  std::uint32_t page_size_;
+  std::map<PageId, std::vector<std::uint8_t>> pages_;
+  PageId next_id_ = 1;
+  std::uint64_t writes_ = 0;
+  std::uint64_t frees_ = 0;
+};
+
+}  // namespace cedar::btree
+
+#endif  // CEDAR_BTREE_MEM_PAGE_STORE_H_

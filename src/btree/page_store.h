@@ -1,0 +1,53 @@
+// PageStore: the interface through which the B-tree (and thus the file name
+// table) reads and writes its pages.
+//
+// The binding of this interface is where CFS and FSD differ most:
+//   - CFS writes pages straight to their home disk sectors, non-atomically
+//     (a crash mid-update corrupts the tree; scavenging repairs it).
+//   - FSD binds it to a write-back cache whose dirty pages are captured by
+//     the redo log at group commit, giving atomic multi-page updates.
+
+#ifndef CEDAR_BTREE_PAGE_STORE_H_
+#define CEDAR_BTREE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/status.h"
+
+namespace cedar::btree {
+
+using PageId = std::uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual std::uint32_t page_size() const = 0;
+
+  // Reads a full page into `out` (out.size() == page_size()).
+  virtual Status ReadPage(PageId id, std::span<std::uint8_t> out) = 0;
+
+  // Writes a full page.
+  virtual Status WritePage(PageId id, std::span<const std::uint8_t> data) = 0;
+
+  // Allocates a fresh page (contents unspecified until first write).
+  virtual Result<PageId> AllocatePage() = 0;
+
+  // True if `count` pages can still be allocated. The tree checks this
+  // before an insert so a mid-split allocation failure cannot orphan a
+  // freshly written sibling.
+  virtual bool CanAllocate(std::uint32_t count) {
+    (void)count;
+    return true;
+  }
+
+  // Returns a page to the free pool.
+  virtual Status FreePage(PageId id) = 0;
+};
+
+}  // namespace cedar::btree
+
+#endif  // CEDAR_BTREE_PAGE_STORE_H_

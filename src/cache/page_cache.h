@@ -1,0 +1,125 @@
+// Page cache shared by the file-system implementations.
+//
+// CFS uses it as a read cache with write-through updates (its B-tree package
+// had no atomic update, so every modified page went straight to disk).
+//
+// FSD uses it as the write-back buffer pool at the heart of the logging
+// design (paper section 5.3): updates are applied to cached pages, captured
+// into the redo log at group commit, and written to their home sectors only
+// when the log is about to overwrite their third (or at shutdown). The frame
+// carries the bookkeeping that algorithm needs: the third the page was last
+// logged into, whether it has been re-dirtied since it was last captured,
+// and the exact image that was captured (written home at third-entry so the
+// home never runs ahead of the log).
+
+#ifndef CEDAR_CACHE_PAGE_CACHE_H_
+#define CEDAR_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace cedar::cache {
+
+struct Frame {
+  std::vector<std::uint8_t> data;  // current (possibly uncommitted) content
+
+  // FSD bookkeeping.
+  bool dirty = false;            // home sectors are stale
+  bool dirty_since_log = false;  // changed since the last log capture
+  std::int32_t logged_third = -1;  // log third holding the latest image
+  std::vector<std::uint8_t> logged_image;  // image captured by that record
+  bool is_leader = false;        // leader page (single home, no replica)
+
+  std::uint64_t last_access = 0;  // LRU tick, maintained by the cache
+};
+
+class PageCache {
+ public:
+  // `capacity` bounds the number of *clean* frames kept; dirty frames are
+  // never evicted (the log may hold their only durable copy), so the cache
+  // can exceed capacity transiently between group commits.
+  explicit PageCache(std::size_t capacity) : capacity_(capacity) {
+    CEDAR_CHECK(capacity >= 8);
+  }
+
+  // Returns the frame for `key`, or nullptr on miss. Bumps LRU.
+  Frame* Find(std::uint32_t key) {
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    it->second.last_access = ++tick_;
+    return &it->second;
+  }
+
+  // Inserts (or replaces) the frame for `key`, evicting a clean LRU frame
+  // if over capacity.
+  Frame& Insert(std::uint32_t key, std::vector<std::uint8_t> data) {
+    MaybeEvict();
+    Frame& frame = frames_[key];
+    frame.data = std::move(data);
+    frame.dirty = false;
+    frame.dirty_since_log = false;
+    frame.logged_third = -1;
+    frame.logged_image.clear();
+    frame.is_leader = false;
+    frame.last_access = ++tick_;
+    return frame;
+  }
+
+  void Erase(std::uint32_t key) { frames_.erase(key); }
+
+  void Clear() { frames_.clear(); }
+
+  // Iterates all frames (order unspecified). The visitor may mutate frames
+  // but must not insert or erase.
+  void ForEach(const std::function<void(std::uint32_t, Frame&)>& visit) {
+    for (auto& [key, frame] : frames_) {
+      visit(key, frame);
+    }
+  }
+
+  std::size_t size() const { return frames_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  void MaybeEvict() {
+    if (frames_.size() < capacity_) {
+      return;
+    }
+    // Evict the least-recently-used clean frame, if any.
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~0ull;
+    bool found = false;
+    for (const auto& [key, frame] : frames_) {
+      if (!frame.dirty && !frame.dirty_since_log &&
+          frame.last_access < oldest) {
+        oldest = frame.last_access;
+        victim = key;
+        found = true;
+      }
+    }
+    if (found) {
+      frames_.erase(victim);
+    }
+    // If everything is dirty, grow past capacity; the next group commit /
+    // third flush will make frames clean again.
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint32_t, Frame> frames_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cedar::cache
+
+#endif  // CEDAR_CACHE_PAGE_CACHE_H_

@@ -1,0 +1,62 @@
+// The FSD run allocator (paper section 5.6).
+//
+// The data area is split — by *hint*, not invariant — into a small-file
+// region growing up from the low end and a big-file region growing down
+// from the high end, like a heap and a stack. This curtails fragmentation:
+// the measured distribution has 50% of files under 4000 bytes occupying
+// only 8% of the sectors, and without the split those small files chop up
+// the large free runs.
+//
+// Files are allocated leader-first: the first extent always holds the
+// leader sector immediately followed by data page 0, so the leader read
+// can piggyback on the first data access (section 5.7).
+
+#ifndef CEDAR_CORE_ALLOCATOR_H_
+#define CEDAR_CORE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/vam.h"
+#include "src/fsapi/extent.h"
+#include "src/util/status.h"
+
+namespace cedar::core {
+
+class RunAllocator {
+ public:
+  // Entries larger than this many runs no longer fit in a name-table page.
+  static constexpr std::size_t kMaxRuns = 16;
+
+  RunAllocator(Vam* vam, std::uint32_t data_low, std::uint32_t data_high,
+               std::uint32_t big_threshold_sectors)
+      : vam_(vam),
+        data_low_(data_low),
+        data_high_(data_high),
+        big_threshold_(big_threshold_sectors) {}
+
+  // Allocates `sectors` sectors (leader included) and marks them used.
+  // Tries one contiguous run first, then splits, never exceeding kMaxRuns
+  // extents. The first extent is at least min(sectors, 2) long so the
+  // leader and data page 0 stay adjacent.
+  Result<std::vector<fs::Extent>> Allocate(std::uint32_t sectors);
+
+  // Frees via the VAM immediately (allocation rollback only; committed
+  // deletes go through the shadow map).
+  void Release(const std::vector<fs::Extent>& extents);
+
+  std::uint32_t big_threshold() const { return big_threshold_; }
+
+ private:
+  Result<std::vector<fs::Extent>> AllocateFrom(std::uint32_t sectors,
+                                               bool big);
+
+  Vam* vam_;
+  std::uint32_t data_low_;
+  std::uint32_t data_high_;
+  std::uint32_t big_threshold_;
+};
+
+}  // namespace cedar::core
+
+#endif  // CEDAR_CORE_ALLOCATOR_H_

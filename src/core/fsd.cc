@@ -1,0 +1,1288 @@
+#include "src/core/fsd.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/fsapi/name_key.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/serial.h"
+
+namespace cedar::core {
+namespace {
+
+constexpr std::uint32_t kRootMagic = 0x46534452;  // "FSDR"
+
+}  // namespace
+
+// The name-table PageStore: reads come from the buffer pool, falling back
+// to the double-written home copies (primary preferred, replica used for
+// repair); writes only dirty cached frames — the log captures them at the
+// next group commit, so a multi-page B-tree update is atomic.
+class Fsd::NtStore : public btree::PageStore {
+ public:
+  explicit NtStore(Fsd* fsd) : fsd_(fsd) {}
+
+  std::uint32_t page_size() const override { return 512; }
+
+  Status ReadPage(btree::PageId id, std::span<std::uint8_t> out) override {
+    if (cache::Frame* frame = fsd_->cache_.Find(id)) {
+      std::copy(frame->data.begin(), frame->data.end(), out.begin());
+      return OkStatus();
+    }
+    // Miss: read an aligned cluster of pages from each region in one
+    // request (tree pages allocate roughly sequentially, so siblings come
+    // along for free — the clustering effect the paper gets from its larger
+    // name-table pages), cross-check the copies, and repair disagreements.
+    const std::uint32_t cluster = fsd_->config_.nt_read_ahead_pages;
+    const std::uint32_t first = (id / cluster) * cluster;
+    const std::uint32_t count =
+        std::min(cluster, fsd_->config_.nt_pages - first);
+
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(count) * 512);
+    std::vector<std::uint8_t> b(a.size());
+    std::vector<std::uint32_t> bad_a;
+    std::vector<std::uint32_t> bad_b;
+    CEDAR_RETURN_IF_ERROR(
+        fsd_->disk_->Read(fsd_->layout_.nta_base + first, a, &bad_a));
+    fsd_->ChargeSectors(count);
+    bool read_b = fsd_->config_.double_read_check || !bad_a.empty();
+    if (read_b) {
+      CEDAR_RETURN_IF_ERROR(
+          fsd_->disk_->Read(fsd_->layout_.ntb_base + first, b, &bad_b));
+      fsd_->ChargeSectors(count);
+    }
+
+    auto is_bad = [](const std::vector<std::uint32_t>& bad,
+                     std::uint32_t i) {
+      return std::find(bad.begin(), bad.end(), i) != bad.end();
+    };
+    bool found = false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t pid = first + i;
+      if (fsd_->cache_.Find(pid) != nullptr && pid != id) {
+        continue;  // never clobber a (possibly dirty) cached page
+      }
+      auto page_a = std::span<const std::uint8_t>(a).subspan(
+          static_cast<std::size_t>(i) * 512, 512);
+      auto page_b = std::span<const std::uint8_t>(b).subspan(
+          static_cast<std::size_t>(i) * 512, 512);
+      const bool ok_a = !is_bad(bad_a, i);
+      const bool ok_b = read_b && !is_bad(bad_b, i);
+      if (!ok_a && !ok_b) {
+        if (pid == id) {
+          return MakeError(ErrorCode::kSectorDamaged,
+                           "both name-table copies unreadable, page " +
+                               std::to_string(pid));
+        }
+        continue;
+      }
+      // The primary is written first at every flush, so when the copies
+      // disagree the primary is the newer one; repair the other side.
+      auto good = ok_a ? page_a : page_b;
+      if (ok_a && read_b &&
+          (!ok_b || !std::equal(page_a.begin(), page_a.end(),
+                                page_b.begin()))) {
+        CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
+            fsd_->layout_.ntb_base + pid, good));
+        ++fsd_->stats_.nt_repairs;
+      } else if (!ok_a) {
+        CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
+            fsd_->layout_.nta_base + pid, good));
+        ++fsd_->stats_.nt_repairs;
+      }
+      if (pid == id) {
+        std::copy(good.begin(), good.end(), out.begin());
+        found = true;
+      }
+      fsd_->cache_.Insert(pid,
+                          std::vector<std::uint8_t>(good.begin(), good.end()));
+    }
+    CEDAR_CHECK(found);
+    return OkStatus();
+  }
+
+  Status WritePage(btree::PageId id,
+                   std::span<const std::uint8_t> data) override {
+    cache::Frame* frame = fsd_->cache_.Find(id);
+    if (frame == nullptr) {
+      frame = &fsd_->cache_.Insert(
+          id, std::vector<std::uint8_t>(data.begin(), data.end()));
+    } else {
+      frame->data.assign(data.begin(), data.end());
+    }
+    frame->dirty = true;
+    frame->dirty_since_log = true;
+    return OkStatus();
+  }
+
+  Result<btree::PageId> AllocatePage() override {
+    auto pid = fsd_->vam_.nt_free().FindRunForward(0, 1);
+    if (!pid) {
+      return MakeError(ErrorCode::kNoFreeSpace, "name table region full");
+    }
+    fsd_->vam_.nt_free().Set(*pid, false);
+    fsd_->RecordDelta(VamDelta::Op::kNtAlloc, *pid, 1);
+    return *pid;
+  }
+
+  Status FreePage(btree::PageId id) override {
+    fsd_->vam_.nt_free().Set(id, true);
+    fsd_->cache_.Erase(id);
+    fsd_->RecordDelta(VamDelta::Op::kNtFree, id, 1);
+    return OkStatus();
+  }
+
+  bool CanAllocate(std::uint32_t count) override {
+    return fsd_->vam_.nt_free().Count() >= count;
+  }
+
+ private:
+  Fsd* fsd_;
+};
+
+Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
+    : disk_(disk),
+      config_(config),
+      layout_(FsdLayout::Compute(disk->geometry(), config)),
+      vam_(disk->geometry().TotalSectors(), config.nt_pages),
+      cache_(config.cache_frames) {
+  CEDAR_CHECK(disk != nullptr);
+  nt_store_ = std::make_unique<NtStore>(this);
+  tree_ = std::make_unique<btree::BTree>(nt_store_.get(), /*root=*/0);
+  log_ = std::make_unique<FsdLog>(disk_, layout_.log_base,
+                                  config_.log_sectors);
+  allocator_ = std::make_unique<RunAllocator>(
+      &vam_, layout_.data_low, layout_.data_high,
+      config_.big_file_threshold_sectors);
+}
+
+Fsd::~Fsd() = default;
+
+const LogStats& Fsd::log_stats() const { return log_->stats(); }
+
+bool Fsd::HasPendingUpdates() const {
+  bool pending = false;
+  const_cast<cache::PageCache&>(cache_).ForEach(
+      [&](std::uint32_t, cache::Frame& frame) {
+        pending = pending || frame.dirty_since_log;
+      });
+  return pending || vam_.ShadowCount() > 0 || !pending_tombstones_.empty() ||
+         !pending_alloc_deltas_.empty() || !pending_free_deltas_.empty();
+}
+
+void Fsd::RecordDelta(VamDelta::Op op, std::uint32_t start,
+                      std::uint32_t count) {
+  if (!config_.vam_logging) {
+    return;
+  }
+  const VamDelta delta{.op = op, .start = start, .count = count};
+  if (op == VamDelta::Op::kAlloc || op == VamDelta::Op::kNtAlloc) {
+    pending_alloc_deltas_.push_back(delta);
+  } else {
+    pending_free_deltas_.push_back(delta);
+  }
+}
+
+Status Fsd::MarkSystemRegionsUsed() {
+  vam_.free().SetRange(0, layout_.data_low, false);
+  const std::uint32_t central_len =
+      layout_.nta_base + config_.nt_pages - layout_.ntb_base;
+  vam_.free().SetRange(layout_.ntb_base, central_len, false);
+  return OkStatus();
+}
+
+Status Fsd::WriteVolumeRoot(bool clean) {
+  ByteWriter w;
+  w.U32(kRootMagic);
+  w.U32(disk_->geometry().cylinders);
+  w.U32(disk_->geometry().heads);
+  w.U32(disk_->geometry().sectors_per_track);
+  w.U32(config_.log_sectors);
+  w.U32(config_.nt_pages);
+  w.U32(boot_count_);
+  w.U8(clean ? 1 : 0);
+  std::vector<std::uint8_t> root = w.Take();
+  const std::uint32_t crc = Crc32(root);
+  ByteWriter tail(&root);
+  tail.U32(crc);
+  root.resize(512, 0);
+  // [root][blank][copy] in one write; the copies are never adjacent.
+  std::vector<std::uint8_t> buf(3 * 512, 0);
+  std::copy(root.begin(), root.end(), buf.begin());
+  std::copy(root.begin(), root.end(), buf.begin() + 2 * 512);
+  return disk_->Write(layout_.root_lba, buf);
+}
+
+Status Fsd::ReadVolumeRoot(bool* clean) {
+  auto parse = [&](std::span<const std::uint8_t> sector) -> Status {
+    ByteReader r(sector);
+    if (r.U32() != kRootMagic) {
+      return MakeError(ErrorCode::kCorruptMetadata, "bad root magic");
+    }
+    if (r.U32() != disk_->geometry().cylinders ||
+        r.U32() != disk_->geometry().heads ||
+        r.U32() != disk_->geometry().sectors_per_track) {
+      return MakeError(ErrorCode::kCorruptMetadata, "geometry mismatch");
+    }
+    config_.log_sectors = r.U32();
+    config_.nt_pages = r.U32();
+    boot_count_ = r.U32();
+    *clean = r.U8() != 0;
+    if (!r.ok()) {
+      return MakeError(ErrorCode::kCorruptMetadata, "truncated root");
+    }
+    const std::size_t body = r.position();
+    ByteReader cr(sector.subspan(body, 4));
+    if (cr.U32() != Crc32(sector.subspan(0, body))) {
+      return MakeError(ErrorCode::kCorruptMetadata, "root crc mismatch");
+    }
+    return OkStatus();
+  };
+
+  std::vector<std::uint8_t> buf(3 * 512);
+  std::vector<std::uint32_t> bad;
+  CEDAR_RETURN_IF_ERROR(disk_->Read(layout_.root_lba, buf, &bad));
+  auto span = std::span<const std::uint8_t>(buf);
+  const bool bad0 = std::find(bad.begin(), bad.end(), 0u) != bad.end();
+  const bool bad2 = std::find(bad.begin(), bad.end(), 2u) != bad.end();
+  if (!bad0 && parse(span.subspan(0, 512)).ok()) {
+    return OkStatus();
+  }
+  if (!bad2) {
+    return parse(span.subspan(2 * 512, 512));
+  }
+  return MakeError(ErrorCode::kCorruptMetadata, "volume root unreadable");
+}
+
+Status Fsd::Format() {
+  boot_count_ = 0;
+  uid_counter_ = 0;
+  stats_ = FsdStats{};
+  cache_.Clear();
+  open_files_.clear();
+
+  CEDAR_RETURN_IF_ERROR(log_->Format(0));
+
+  vam_ = Vam(disk_->geometry().TotalSectors(), config_.nt_pages);
+  vam_.free().SetRange(0, vam_.free().size(), true);
+  CEDAR_RETURN_IF_ERROR(MarkSystemRegionsUsed());
+  vam_.nt_free().SetRange(0, config_.nt_pages, true);
+  vam_.nt_free().Set(0, false);  // tree root
+
+  CEDAR_RETURN_IF_ERROR(tree_->Create());
+  // Write the fresh root page straight home (both copies) and clear flags;
+  // nothing needs the log yet.
+  Status flush = OkStatus();
+  cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
+    if (frame.dirty && flush.ok()) {
+      flush = WriteHome(key, frame.data);
+      frame.dirty = false;
+      frame.dirty_since_log = false;
+    }
+  });
+  CEDAR_RETURN_IF_ERROR(flush);
+
+  CEDAR_RETURN_IF_ERROR(
+      vam_.Save(disk_, layout_.vam_base, layout_.vam_sectors, 0));
+  CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/true));
+  return Mount();
+}
+
+Status Fsd::Mount() {
+  bool clean = false;
+  CEDAR_RETURN_IF_ERROR(ReadVolumeRoot(&clean));
+  const std::uint32_t previous_boot = boot_count_;
+  ++boot_count_;
+  uid_counter_ = 0;
+  cache_.Clear();
+  open_files_.clear();
+  vam_ = Vam(disk_->geometry().TotalSectors(), config_.nt_pages);
+
+  bool need_rebuild = false;
+  if (!clean) {
+    // Crash recovery: replay the log. Later images supersede earlier ones
+    // and tombstones cancel queued leader writes, so collect first. VAM
+    // delta pages are kept with their record LSNs for the fast path below.
+    std::map<sim::Lba, PageImage> replay;
+    std::vector<std::pair<std::uint64_t, VamDelta>> deltas;
+    CEDAR_RETURN_IF_ERROR(log_->Recover(
+        [&](std::uint64_t lsn, const std::vector<PageImage>& pages) {
+          for (const PageImage& page : pages) {
+            switch (page.kind) {
+              case PageKind::kTombstone:
+                replay.erase(page.primary);
+                break;
+              case PageKind::kVamDelta: {
+                std::vector<VamDelta> parsed;
+                CEDAR_RETURN_IF_ERROR(ParseDeltas(page.data, &parsed));
+                for (const VamDelta& delta : parsed) {
+                  deltas.emplace_back(lsn, delta);
+                }
+                break;
+              }
+              case PageKind::kPage:
+                replay[page.primary] = page;
+                break;
+            }
+          }
+          return OkStatus();
+        },
+        boot_count_));
+    // Write the surviving images home, coalescing consecutive sectors into
+    // single requests (name-table pages cluster, so this turns hundreds of
+    // rotational misses into a few streaming writes).
+    auto write_coalesced =
+        [&](std::vector<std::pair<sim::Lba, const PageImage*>>& pages) {
+          std::sort(pages.begin(), pages.end());
+          std::size_t i = 0;
+          while (i < pages.size()) {
+            std::size_t j = i + 1;
+            while (j < pages.size() &&
+                   pages[j].first == pages[j - 1].first + 1) {
+              ++j;
+            }
+            std::vector<std::uint8_t> buf((j - i) * 512);
+            for (std::size_t k = i; k < j; ++k) {
+              std::copy(pages[k].second->data.begin(),
+                        pages[k].second->data.end(),
+                        buf.begin() + (k - i) * 512);
+            }
+            CEDAR_RETURN_IF_ERROR(disk_->Write(pages[i].first, buf));
+            i = j;
+          }
+          return OkStatus();
+        };
+    std::vector<std::pair<sim::Lba, const PageImage*>> primaries;
+    std::vector<std::pair<sim::Lba, const PageImage*>> secondaries;
+    for (const auto& [lba, page] : replay) {
+      primaries.emplace_back(page.primary, &page);
+      if (page.secondary != kNoLba) {
+        secondaries.emplace_back(page.secondary, &page);
+      }
+      ++stats_.recovery_pages_replayed;
+    }
+    CEDAR_RETURN_IF_ERROR(write_coalesced(primaries));
+    CEDAR_RETURN_IF_ERROR(write_coalesced(secondaries));
+
+    // VAM: fast path = last base snapshot + the deltas logged since it
+    // (idempotent, applied in LSN order); otherwise scan the name table.
+    need_rebuild = true;
+    if (config_.vam_logging) {
+      std::uint64_t base_lsn = 0;
+      Status base = vam_.Load(disk_, layout_.vam_base, layout_.vam_sectors,
+                              Vam::kAnyBoot, &base_lsn);
+      if (base.ok()) {
+        for (const auto& [lsn, delta] : deltas) {
+          if (lsn >= base_lsn) {
+            vam_.Apply(delta);
+          }
+        }
+        need_rebuild = false;
+        ++stats_.fast_recoveries;
+      }
+    }
+  } else {
+    // Clean boot: the log contents are all applied; start it fresh.
+    CEDAR_RETURN_IF_ERROR(log_->Format(boot_count_));
+    Status loaded = vam_.Load(disk_, layout_.vam_base, layout_.vam_sectors,
+                              previous_boot);
+    need_rebuild = !loaded.ok();
+  }
+  if (need_rebuild) {
+    CEDAR_RETURN_IF_ERROR(RebuildVolatileState());
+  }
+
+  CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/false));
+  if (config_.vam_logging) {
+    // Guarantee a base snapshot exists for the next crash.
+    CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
+                                    layout_.vam_sectors, boot_count_,
+                                    log_->next_lsn()));
+  }
+  last_force_ = disk_->clock().now();
+  mounted_ = true;
+  return OkStatus();
+}
+
+Status Fsd::PreloadNameTable() {
+  const std::uint32_t n = config_.nt_pages;
+  std::vector<std::uint8_t> region_a(static_cast<std::size_t>(n) * 512);
+  std::vector<std::uint8_t> region_b(static_cast<std::size_t>(n) * 512);
+  std::vector<std::uint32_t> bad_a;
+  std::vector<std::uint32_t> bad_b;
+  constexpr std::uint32_t kChunk = 1024;
+  for (std::uint32_t off = 0; off < n; off += kChunk) {
+    const std::uint32_t take = std::min(kChunk, n - off);
+    std::vector<std::uint32_t> bad;
+    CEDAR_RETURN_IF_ERROR(disk_->Read(
+        layout_.nta_base + off,
+        std::span<std::uint8_t>(region_a.data() +
+                                    static_cast<std::size_t>(off) * 512,
+                                static_cast<std::size_t>(take) * 512),
+        &bad));
+    for (std::uint32_t b : bad) {
+      bad_a.push_back(off + b);
+    }
+    bad.clear();
+    CEDAR_RETURN_IF_ERROR(disk_->Read(
+        layout_.ntb_base + off,
+        std::span<std::uint8_t>(region_b.data() +
+                                    static_cast<std::size_t>(off) * 512,
+                                static_cast<std::size_t>(take) * 512),
+        &bad));
+    for (std::uint32_t b : bad) {
+      bad_b.push_back(off + b);
+    }
+  }
+  auto is_bad = [](const std::vector<std::uint32_t>& bad, std::uint32_t pid) {
+    return std::find(bad.begin(), bad.end(), pid) != bad.end();
+  };
+  for (std::uint32_t pid = 0; pid < n; ++pid) {
+    auto a = std::span<const std::uint8_t>(region_a)
+                 .subspan(static_cast<std::size_t>(pid) * 512, 512);
+    auto b = std::span<const std::uint8_t>(region_b)
+                 .subspan(static_cast<std::size_t>(pid) * 512, 512);
+    const bool ok_a = !is_bad(bad_a, pid);
+    const bool ok_b = !is_bad(bad_b, pid);
+    if (!ok_a && !ok_b) {
+      continue;  // per-page read path will report if the page is live
+    }
+    // Primary is written first at flushes, so it wins a disagreement.
+    auto good = ok_a ? a : b;
+    if (ok_a && (!ok_b || !std::equal(a.begin(), a.end(), b.begin()))) {
+      CEDAR_RETURN_IF_ERROR(disk_->Write(
+          layout_.ntb_base + pid, good));
+      ++stats_.nt_repairs;
+    } else if (!ok_a) {
+      CEDAR_RETURN_IF_ERROR(disk_->Write(layout_.nta_base + pid, good));
+      ++stats_.nt_repairs;
+    }
+    cache_.Insert(pid, std::vector<std::uint8_t>(good.begin(), good.end()));
+  }
+  return OkStatus();
+}
+
+Status Fsd::RebuildVolatileState() {
+  // Reconstruct the VAM from the name table (paper section 5.5): the name
+  // table is compact and local, so this scan is fast; the cost is mostly
+  // per-entry CPU. Both regions are slurped sequentially first.
+  CEDAR_RETURN_IF_ERROR(PreloadNameTable());
+  vam_.free().SetRange(0, vam_.free().size(), true);
+  CEDAR_RETURN_IF_ERROR(MarkSystemRegionsUsed());
+  vam_.nt_free().SetRange(0, config_.nt_pages, true);
+
+  std::vector<btree::PageId> pages;
+  CEDAR_RETURN_IF_ERROR(tree_->CollectPages(&pages));
+  for (btree::PageId pid : pages) {
+    vam_.nt_free().Set(pid, false);
+  }
+
+  Status scan = tree_->Scan({}, [&](std::span<const std::uint8_t>,
+                                    std::span<const std::uint8_t> value) {
+    FsdEntry entry;
+    if (ParseEntry(value, &entry).ok()) {
+      vam_.MarkUsed(fs::Extent{.start = entry.leader_lba, .count = 1});
+      for (const fs::Extent& run : entry.runs) {
+        vam_.MarkUsed(run);
+      }
+      disk_->clock().AdvanceCpu(config_.cpu_per_rebuild_entry);
+    }
+    return true;
+  });
+  return scan;
+}
+
+Status Fsd::WriteHome(std::uint32_t key, std::span<const std::uint8_t> image) {
+  if (key & kLeaderKeyBit) {
+    return disk_->Write(key & ~kLeaderKeyBit, image);
+  }
+  CEDAR_RETURN_IF_ERROR(disk_->Write(layout_.nta_base + key, image));
+  return disk_->Write(layout_.ntb_base + key, image);
+}
+
+Status Fsd::FlushThird(int third) {
+  // With VAM logging, a fresh base snapshot accompanies every third entry;
+  // recovery then needs only the deltas in the surviving records.
+  if (config_.vam_logging) {
+    CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
+                                    layout_.vam_sectors, boot_count_,
+                                    log_->next_lsn()));
+  }
+  // Pages whose latest logged image lives in `third` are about to lose it;
+  // write that image (not the possibly newer cache contents — those are
+  // covered by the record about to be appended) to the home sectors.
+  Status status = OkStatus();
+  cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
+    if (frame.logged_third != third || !status.ok()) {
+      return;
+    }
+    if (frame.is_leader && !frame.dirty) {
+      // Piggybacked to disk already; nothing to do.
+      frame.logged_third = -1;
+      frame.logged_image.clear();
+      return;
+    }
+    status = WriteHome(key, frame.logged_image);
+    if (status.ok()) {
+      ++stats_.third_flush_pages;
+      frame.logged_third = -1;
+      frame.dirty = frame.dirty_since_log;
+      if (!frame.dirty) {
+        frame.logged_image.clear();
+      }
+    }
+  });
+  return status;
+}
+
+Status Fsd::ForceLog() {
+  if (in_force_) {
+    return OkStatus();
+  }
+  in_force_ = true;
+  last_force_ = disk_->clock().now();
+
+  // Gather everything dirtied since the last capture, in deterministic
+  // key order.
+  std::vector<std::uint32_t> keys;
+  cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
+    if (frame.dirty_since_log) {
+      keys.push_back(key);
+    }
+  });
+  std::sort(keys.begin(), keys.end());
+
+  if (keys.empty() && pending_tombstones_.empty() &&
+      pending_alloc_deltas_.empty() && pending_free_deltas_.empty()) {
+    ++stats_.empty_forces;
+    vam_.CommitShadow();
+    in_force_ = false;
+    return OkStatus();
+  }
+
+  // Assemble the record stream. Ordering is load-bearing for VAM logging:
+  // alloc deltas precede the tree pages that reference the allocated
+  // sectors, free deltas follow the pages that drop the references — so a
+  // force torn between records can leak sectors but never double-use them.
+  std::vector<PageImage> images;
+  auto add_delta_pages = [&](std::span<const VamDelta> deltas) {
+    for (auto& page_bytes : SerializeDeltas(deltas)) {
+      PageImage page;
+      page.kind = PageKind::kVamDelta;
+      page.data = std::move(page_bytes);
+      images.push_back(std::move(page));
+    }
+  };
+  add_delta_pages(pending_alloc_deltas_);
+  const std::size_t frames_begin = images.size();
+  for (std::uint32_t key : keys) {
+    cache::Frame* frame = cache_.Find(key);
+    CEDAR_CHECK(frame != nullptr);
+    PageImage page;
+    if (key & kLeaderKeyBit) {
+      page.primary = key & ~kLeaderKeyBit;
+    } else {
+      page.primary = layout_.nta_base + key;
+      page.secondary = layout_.ntb_base + key;
+    }
+    page.data = frame->data;
+    images.push_back(std::move(page));
+  }
+  const std::size_t frames_end = images.size();
+  for (std::uint32_t key : pending_tombstones_) {
+    PageImage page;
+    page.primary = key & ~kLeaderKeyBit;
+    page.kind = PageKind::kTombstone;
+    page.data.assign(512, 0);
+    images.push_back(std::move(page));
+  }
+  add_delta_pages(pending_free_deltas_);
+
+  auto flush_fn = [this](int third) { return FlushThird(third); };
+
+  Status status = OkStatus();
+  std::size_t i = 0;
+  while (i < images.size() && status.ok()) {
+    const std::size_t n =
+        std::min<std::size_t>(FsdLog::kMaxPagesPerRecord, images.size() - i);
+    Result<int> third = log_->Append(
+        std::span<const PageImage>(images.data() + i, n), flush_fn);
+    status = third.status();
+    if (status.ok()) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t index = i + j;
+        if (index < frames_begin || index >= frames_end) {
+          continue;
+        }
+        cache::Frame* frame = cache_.Find(keys[index - frames_begin]);
+        frame->logged_third = *third;
+        frame->logged_image = frame->data;
+        frame->dirty = true;
+        frame->dirty_since_log = false;
+      }
+      stats_.pages_captured += n;
+    }
+    i += n;
+  }
+  if (status.ok()) {
+    pending_tombstones_.clear();
+    pending_alloc_deltas_.clear();
+    pending_free_deltas_.clear();
+    vam_.CommitShadow();
+    ++stats_.forces;
+  }
+  in_force_ = false;
+  return status;
+}
+
+Status Fsd::MaybeGroupCommit() {
+  if (!mounted_ || in_force_) {
+    return OkStatus();
+  }
+  if (disk_->clock().now() - last_force_ >= config_.group_commit_interval) {
+    return ForceLog();
+  }
+  return OkStatus();
+}
+
+Status Fsd::Tick() { return MaybeGroupCommit(); }
+
+Status Fsd::Force() {
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  return ForceLog();
+}
+
+Status Fsd::Shutdown() {
+  if (!mounted_) {
+    return OkStatus();
+  }
+  CEDAR_RETURN_IF_ERROR(ForceLog());
+  // Write every dirty page home (the force above made cache contents equal
+  // to the last logged images).
+  Status status = OkStatus();
+  cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
+    if (frame.dirty && status.ok()) {
+      status = WriteHome(key, frame.data);
+      frame.dirty = false;
+      frame.logged_third = -1;
+      frame.logged_image.clear();
+    }
+  });
+  CEDAR_RETURN_IF_ERROR(status);
+  CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
+                                  layout_.vam_sectors, boot_count_,
+                                  log_->next_lsn()));
+  CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/true));
+  open_files_.clear();
+  mounted_ = false;
+  return OkStatus();
+}
+
+Result<std::pair<std::uint32_t, FsdEntry>> Fsd::HighestVersion(
+    std::string_view name) {
+  std::optional<std::pair<std::uint32_t, FsdEntry>> best;
+  Status scan = tree_->Scan(
+      fs::NameKeyLow(name),
+      [&](std::span<const std::uint8_t> key,
+          std::span<const std::uint8_t> value) {
+        if (!fs::KeyIsName(key, name)) {
+          return false;
+        }
+        std::string decoded;
+        std::uint32_t version = 0;
+        FsdEntry entry;
+        if (fs::DecodeNameKey(key, &decoded, &version) &&
+            ParseEntry(value, &entry).ok()) {
+          best = {version, std::move(entry)};
+        }
+        return true;
+      });
+  CEDAR_RETURN_IF_ERROR(scan);
+  if (!best) {
+    return MakeError(ErrorCode::kNotFound,
+                     "no such file: " + std::string(name));
+  }
+  return *best;
+}
+
+Result<FsdEntry> Fsd::GetEntry(std::string_view name, std::uint32_t version) {
+  CEDAR_ASSIGN_OR_RETURN(btree::Value value,
+                         tree_->Lookup(fs::EncodeNameKey(name, version)));
+  FsdEntry entry;
+  CEDAR_RETURN_IF_ERROR(ParseEntry(value, &entry));
+  return entry;
+}
+
+Status Fsd::PutEntry(std::string_view name, std::uint32_t version,
+                     const FsdEntry& entry) {
+  return tree_->Insert(fs::EncodeNameKey(name, version),
+                       SerializeEntry(entry));
+}
+
+Result<std::vector<fs::Extent>> Fsd::MapPages(const FsdEntry& entry,
+                                              std::uint32_t first_page,
+                                              std::uint32_t count) const {
+  std::vector<fs::Extent> out;
+  std::uint32_t page = 0;
+  std::uint32_t need = first_page;
+  std::uint32_t remaining = count;
+  for (const fs::Extent& run : entry.runs) {
+    if (remaining == 0) {
+      break;
+    }
+    if (need < page + run.count) {
+      const std::uint32_t skip = need > page ? need - page : 0;
+      const std::uint32_t take = std::min(run.count - skip, remaining);
+      out.push_back(fs::Extent{.start = run.start + skip, .count = take});
+      remaining -= take;
+      need += take;
+    }
+    page += run.count;
+  }
+  if (remaining != 0) {
+    return MakeError(ErrorCode::kOutOfRange, "page range beyond file");
+  }
+  return out;
+}
+
+Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
+                                    std::span<const std::uint8_t> contents) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  std::uint32_t version = 1;
+  std::uint16_t keep = 0;
+  if (auto highest = HighestVersion(name); highest.ok()) {
+    version = highest->first + 1;
+    keep = highest->second.keep;  // new versions inherit the keep count
+  }
+  const auto npages =
+      static_cast<std::uint32_t>((contents.size() + 511) / 512);
+
+  CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
+                         allocator_->Allocate(1 + npages));
+  for (const fs::Extent& run : extents) {
+    RecordDelta(VamDelta::Op::kAlloc, run.start, run.count);
+  }
+  FsdEntry entry;
+  entry.uid = NextUid();
+  entry.keep = keep;
+  entry.byte_size = contents.size();
+  entry.create_time = disk_->clock().now();
+  entry.last_used = entry.create_time;
+  entry.leader_lba = extents[0].start;
+  if (extents[0].count > 1) {
+    entry.runs.push_back(fs::Extent{.start = extents[0].start + 1,
+                                    .count = extents[0].count - 1});
+  }
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    entry.runs.push_back(extents[i]);
+  }
+
+  const std::vector<std::uint8_t> leader =
+      SerializeLeader(MakeLeader(entry, version));
+
+  if (!contents.empty()) {
+    // The typical create: ONE synchronous I/O combining the leader and the
+    // data pages of the first extent.
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(extents[0].count) * 512, 0);
+    std::copy(leader.begin(), leader.end(), buf.begin());
+    const std::size_t first_data =
+        std::min(contents.size(),
+                 static_cast<std::size_t>(extents[0].count - 1) * 512);
+    std::copy(contents.begin(), contents.begin() + first_data,
+              buf.begin() + 512);
+    CEDAR_RETURN_IF_ERROR(disk_->Write(extents[0].start, buf));
+    ChargeDataSectors(extents[0].count);
+    std::size_t off = first_data;
+    for (std::size_t i = 1; i < extents.size(); ++i) {
+      std::vector<std::uint8_t> run_buf(
+          static_cast<std::size_t>(extents[i].count) * 512, 0);
+      const std::size_t n = std::min(run_buf.size(), contents.size() - off);
+      std::copy(contents.begin() + off, contents.begin() + off + n,
+                run_buf.begin());
+      off += n;
+      CEDAR_RETURN_IF_ERROR(disk_->Write(extents[i].start, run_buf));
+      ChargeDataSectors(extents[i].count);
+    }
+  } else {
+    // Zero-length create: the leader stays buffered, is logged at the next
+    // force, and is written home by piggybacking on the first write to the
+    // file (or by the logging code at third entry).
+    cache::Frame& frame =
+        cache_.Insert(kLeaderKeyBit | entry.leader_lba, leader);
+    frame.is_leader = true;
+    frame.dirty = true;
+    frame.dirty_since_log = true;
+  }
+
+  CEDAR_RETURN_IF_ERROR(PutEntry(name, version, entry));
+  if (keep > 0) {
+    CEDAR_RETURN_IF_ERROR(PruneVersions(name, keep));
+  }
+  return entry.uid;
+}
+
+Result<fs::FileHandle> Fsd::Open(std::string_view name) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
+  auto [version, entry] = found;
+  auto it = open_files_.find(entry.uid);
+  if (it == open_files_.end()) {
+    open_files_.emplace(entry.uid,
+                        OpenState{.name = std::string(name),
+                                  .version = version,
+                                  .leader_verified = false});
+  }
+  return fs::FileHandle{.uid = entry.uid,
+                        .version = version,
+                        .byte_size = entry.byte_size};
+}
+
+Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
+                 std::span<std::uint8_t> out) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  auto it = open_files_.find(file.uid);
+  if (it == open_files_.end()) {
+    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
+  }
+  OpenState& state = it->second;
+  CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
+                         GetEntry(state.name, state.version));
+  if (out.empty()) {
+    return OkStatus();
+  }
+  if (offset + out.size() > entry.byte_size) {
+    return MakeError(ErrorCode::kOutOfRange, "read beyond end of file");
+  }
+  const auto first_page = static_cast<std::uint32_t>(offset / 512);
+  const auto last_page =
+      static_cast<std::uint32_t>((offset + out.size() - 1) / 512);
+  const std::uint32_t count = last_page - first_page + 1;
+  CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
+                         MapPages(entry, first_page, count));
+
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(count) * 512);
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < extents.size(); ++r) {
+    const fs::Extent& run = extents[r];
+    const bool piggyback_verify =
+        r == 0 && first_page == 0 && !state.leader_verified &&
+        !entry.runs.empty() && entry.runs[0].start == entry.leader_lba + 1;
+    if (piggyback_verify) {
+      // Leader pending in the cache? Verify the buffered copy instead.
+      if (cache::Frame* frame =
+              cache_.Find(kLeaderKeyBit | entry.leader_lba);
+          frame != nullptr && frame->dirty) {
+        CEDAR_RETURN_IF_ERROR(
+            VerifyLeader(frame->data, entry, state.version));
+        CEDAR_RETURN_IF_ERROR(disk_->Read(
+            run.start,
+            std::span<std::uint8_t>(buf.data() + pos,
+                                    static_cast<std::size_t>(run.count) *
+                                        512)));
+      } else {
+        // One request covering leader + data (section 5.7: "it usually
+        // costs only the transfer time for a page to read the leader").
+        std::vector<std::uint8_t> tmp(
+            static_cast<std::size_t>(1 + run.count) * 512);
+        CEDAR_RETURN_IF_ERROR(disk_->Read(entry.leader_lba, tmp));
+        CEDAR_RETURN_IF_ERROR(VerifyLeader(
+            std::span<const std::uint8_t>(tmp).subspan(0, 512), entry,
+            state.version));
+        std::copy(tmp.begin() + 512, tmp.end(), buf.begin() + pos);
+        ++stats_.piggyback_leader_verifies;
+      }
+      state.leader_verified = true;
+      ChargeDataSectors(1 + run.count);
+    } else {
+      CEDAR_RETURN_IF_ERROR(disk_->Read(
+          run.start,
+          std::span<std::uint8_t>(buf.data() + pos,
+                                  static_cast<std::size_t>(run.count) * 512)));
+      ChargeDataSectors(run.count);
+    }
+    pos += static_cast<std::size_t>(run.count) * 512;
+  }
+  const std::size_t skip = offset % 512;
+  std::copy(buf.begin() + skip, buf.begin() + skip + out.size(), out.begin());
+  return OkStatus();
+}
+
+Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
+                  std::span<const std::uint8_t> data) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  auto it = open_files_.find(file.uid);
+  if (it == open_files_.end()) {
+    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
+  }
+  OpenState& state = it->second;
+  CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
+                         GetEntry(state.name, state.version));
+  if (data.empty()) {
+    return OkStatus();
+  }
+  if (offset + data.size() > entry.byte_size) {
+    return MakeError(ErrorCode::kOutOfRange, "write beyond end of file");
+  }
+  const auto first_page = static_cast<std::uint32_t>(offset / 512);
+  const auto last_page =
+      static_cast<std::uint32_t>((offset + data.size() - 1) / 512);
+  const std::uint32_t count = last_page - first_page + 1;
+  CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
+                         MapPages(entry, first_page, count));
+
+  // Read-modify-write for unaligned edges.
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(count) * 512);
+  const bool aligned = (offset % 512 == 0) && (data.size() % 512 == 0);
+  if (!aligned) {
+    std::size_t pos = 0;
+    for (const fs::Extent& run : extents) {
+      CEDAR_RETURN_IF_ERROR(disk_->Read(
+          run.start,
+          std::span<std::uint8_t>(buf.data() + pos,
+                                  static_cast<std::size_t>(run.count) * 512)));
+      ChargeDataSectors(run.count);
+      pos += static_cast<std::size_t>(run.count) * 512;
+    }
+  }
+  std::copy(data.begin(), data.end(), buf.begin() + (offset % 512));
+
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < extents.size(); ++r) {
+    const fs::Extent& run = extents[r];
+    cache::Frame* leader_frame =
+        cache_.Find(kLeaderKeyBit | entry.leader_lba);
+    const bool piggyback_leader =
+        r == 0 && first_page == 0 && leader_frame != nullptr &&
+        leader_frame->dirty && !entry.runs.empty() &&
+        entry.runs[0].start == entry.leader_lba + 1;
+    if (piggyback_leader) {
+      // Write leader + data in one request; the logging code then skips
+      // this leader at third entry.
+      std::vector<std::uint8_t> tmp(
+          static_cast<std::size_t>(1 + run.count) * 512);
+      std::copy(leader_frame->data.begin(), leader_frame->data.end(),
+                tmp.begin());
+      std::copy(buf.begin() + pos,
+                buf.begin() + pos + static_cast<std::size_t>(run.count) * 512,
+                tmp.begin() + 512);
+      CEDAR_RETURN_IF_ERROR(disk_->Write(entry.leader_lba, tmp));
+      leader_frame->dirty = false;
+      ++stats_.piggyback_leader_writes;
+      ChargeDataSectors(1 + run.count);
+    } else {
+      CEDAR_RETURN_IF_ERROR(disk_->Write(
+          run.start, std::span<const std::uint8_t>(
+                         buf.data() + pos,
+                         static_cast<std::size_t>(run.count) * 512)));
+      ChargeDataSectors(run.count);
+    }
+    pos += static_cast<std::size_t>(run.count) * 512;
+  }
+  return OkStatus();
+}
+
+Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  auto it = open_files_.find(file.uid);
+  if (it == open_files_.end()) {
+    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
+  }
+  OpenState& state = it->second;
+  CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
+                         GetEntry(state.name, state.version));
+  const std::uint64_t new_size = entry.byte_size + bytes;
+  const auto cur_pages =
+      static_cast<std::uint32_t>((entry.byte_size + 511) / 512);
+  const auto new_pages = static_cast<std::uint32_t>((new_size + 511) / 512);
+
+  if (new_pages > cur_pages) {
+    CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
+                           allocator_->Allocate(new_pages - cur_pages));
+    for (const fs::Extent& run : extents) {
+      std::vector<std::uint8_t> zeros(
+          static_cast<std::size_t>(run.count) * 512, 0);
+      CEDAR_RETURN_IF_ERROR(disk_->Write(run.start, zeros));
+      ChargeSectors(run.count);
+      // Merge with the previous run when physically adjacent.
+      if (!entry.runs.empty() &&
+          entry.runs.back().start + entry.runs.back().count == run.start) {
+        entry.runs.back().count += run.count;
+      } else {
+        entry.runs.push_back(run);
+      }
+    }
+    if (entry.runs.size() > RunAllocator::kMaxRuns) {
+      allocator_->Release(extents);
+      return MakeError(ErrorCode::kNoFreeSpace,
+                       "file too fragmented to extend");
+    }
+    for (const fs::Extent& run : extents) {
+      RecordDelta(VamDelta::Op::kAlloc, run.start, run.count);
+    }
+    // The run table changed: refresh the leader through the buffer pool so
+    // the cross-check stays consistent (logged, then written home).
+    cache::Frame& frame = cache_.Insert(
+        kLeaderKeyBit | entry.leader_lba,
+        SerializeLeader(MakeLeader(entry, state.version)));
+    frame.is_leader = true;
+    frame.dirty = true;
+    frame.dirty_since_log = true;
+  }
+  entry.byte_size = new_size;
+  return PutEntry(state.name, state.version, entry);
+}
+
+Status Fsd::DeleteVersion(std::string_view name, std::uint32_t version,
+                          const FsdEntry& entry) {
+  // Pages are not really free until the delete commits (section 5.5): park
+  // them in the shadow map. The bookkeeping is pure CPU, proportional to
+  // the file size.
+  std::uint64_t freed = 1;
+  vam_.MarkFreeShadow(fs::Extent{.start = entry.leader_lba, .count = 1});
+  RecordDelta(VamDelta::Op::kFree, entry.leader_lba, 1);
+  for (const fs::Extent& run : entry.runs) {
+    vam_.MarkFreeShadow(run);
+    RecordDelta(VamDelta::Op::kFree, run.start, run.count);
+    freed += run.count;
+  }
+  ChargeSectors(freed);
+  CEDAR_RETURN_IF_ERROR(tree_->Erase(fs::EncodeNameKey(name, version)));
+  cache_.Erase(kLeaderKeyBit | entry.leader_lba);
+  // Cancel any still-in-log leader image for this sector.
+  pending_tombstones_.push_back(kLeaderKeyBit | entry.leader_lba);
+  open_files_.erase(entry.uid);
+  return OkStatus();
+}
+
+Status Fsd::DeleteFile(std::string_view name) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
+  return DeleteVersion(name, found.first, found.second);
+}
+
+Result<std::vector<std::pair<std::uint32_t, FsdEntry>>> Fsd::ListVersions(
+    std::string_view name) {
+  std::vector<std::pair<std::uint32_t, FsdEntry>> versions;
+  Status scan = tree_->Scan(
+      fs::NameKeyLow(name),
+      [&](std::span<const std::uint8_t> key,
+          std::span<const std::uint8_t> value) {
+        if (!fs::KeyIsName(key, name)) {
+          return false;
+        }
+        std::string decoded;
+        std::uint32_t version = 0;
+        FsdEntry entry;
+        if (fs::DecodeNameKey(key, &decoded, &version) &&
+            ParseEntry(value, &entry).ok()) {
+          versions.emplace_back(version, std::move(entry));
+        }
+        return true;
+      });
+  CEDAR_RETURN_IF_ERROR(scan);
+  return versions;
+}
+
+Status Fsd::PruneVersions(std::string_view name, std::uint16_t keep) {
+  CEDAR_ASSIGN_OR_RETURN(auto versions, ListVersions(name));
+  while (versions.size() > keep) {
+    CEDAR_RETURN_IF_ERROR(
+        DeleteVersion(name, versions.front().first, versions.front().second));
+    versions.erase(versions.begin());
+  }
+  return OkStatus();
+}
+
+Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
+  auto [version, entry] = found;
+  entry.keep = keep;
+  CEDAR_RETURN_IF_ERROR(PutEntry(name, version, entry));
+  if (keep > 0) {
+    return PruneVersions(name, keep);
+  }
+  return OkStatus();
+}
+
+Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  // Properties live in the name table: no per-file I/O (section 5.1).
+  std::vector<fs::FileInfo> out;
+  Status scan = tree_->Scan(
+      std::vector<std::uint8_t>(prefix.begin(), prefix.end()),
+      [&](std::span<const std::uint8_t> key,
+          std::span<const std::uint8_t> value) {
+        if (!fs::KeyHasPrefix(key, prefix)) {
+          return false;
+        }
+        std::string name;
+        std::uint32_t version = 0;
+        FsdEntry entry;
+        if (fs::DecodeNameKey(key, &name, &version) &&
+            ParseEntry(value, &entry).ok()) {
+          disk_->clock().AdvanceCpu(config_.cpu_per_list_entry);
+          out.push_back(fs::FileInfo{.name = std::move(name),
+                                     .version = version,
+                                     .uid = entry.uid,
+                                     .byte_size = entry.byte_size,
+                                     .create_time = entry.create_time,
+                                     .last_used = entry.last_used,
+                                     .keep = entry.keep});
+        }
+        return true;
+      });
+  CEDAR_RETURN_IF_ERROR(scan);
+  return out;
+}
+
+Status Fsd::Touch(std::string_view name) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  ChargeOp();
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
+  auto [version, entry] = found;
+  entry.last_used = disk_->clock().now();
+  // A pure hot-spot update: dirties a cached page, no synchronous I/O; the
+  // last-used-time of cached remote files is the paper's example of data
+  // that tolerates half a second of uncertainty.
+  return PutEntry(name, version, entry);
+}
+
+Result<Fsd::ScrubReport> Fsd::Scrub() {
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  // Settle pending work first so the tree and VAM are a consistent pair.
+  CEDAR_RETURN_IF_ERROR(ForceLog());
+  ScrubReport report;
+
+  // Pass 1: walk every entry, verify its leader, and accumulate the set of
+  // sectors the name table actually references.
+  Bitmap referenced(disk_->geometry().TotalSectors(), false);
+  struct Damaged {
+    std::string name;
+    std::uint32_t version;
+    FsdEntry entry;
+  };
+  std::vector<Damaged> stale_leaders;
+  Status scan = tree_->Scan({}, [&](std::span<const std::uint8_t> key,
+                                    std::span<const std::uint8_t> value) {
+    std::string name;
+    std::uint32_t version = 0;
+    FsdEntry entry;
+    if (!fs::DecodeNameKey(key, &name, &version) ||
+        !ParseEntry(value, &entry).ok()) {
+      return true;
+    }
+    ++report.files_checked;
+    referenced.Set(entry.leader_lba, true);
+    for (const fs::Extent& run : entry.runs) {
+      referenced.SetRange(run.start, run.count, true);
+    }
+    // Leader check: prefer the buffered copy if one is pending.
+    std::vector<std::uint8_t> sector(512);
+    bool ok;
+    if (cache::Frame* frame = cache_.Find(kLeaderKeyBit | entry.leader_lba);
+        frame != nullptr && frame->dirty) {
+      ok = VerifyLeader(frame->data, entry, version).ok();
+    } else {
+      std::vector<std::uint32_t> bad;
+      ok = disk_->Read(entry.leader_lba, sector, &bad).ok() && bad.empty() &&
+           VerifyLeader(sector, entry, version).ok();
+      ChargeSectors(1);
+    }
+    if (!ok) {
+      stale_leaders.push_back(Damaged{.name = std::move(name),
+                                      .version = version,
+                                      .entry = std::move(entry)});
+    }
+    return true;
+  });
+  CEDAR_RETURN_IF_ERROR(scan);
+
+  // Repair stale leaders from the authoritative name-table entries.
+  for (const Damaged& damaged : stale_leaders) {
+    const std::vector<std::uint8_t> leader =
+        SerializeLeader(MakeLeader(damaged.entry, damaged.version));
+    CEDAR_RETURN_IF_ERROR(disk_->Write(damaged.entry.leader_lba, leader));
+    ++report.leaders_repaired;
+  }
+
+  // Pass 2: reconcile the VAM. A data sector is leaked if it is marked
+  // used but nothing references it; it is missing-used (a latent double
+  // allocation) if referenced but marked free.
+  for (sim::Lba lba = layout_.data_low; lba < layout_.data_high; ++lba) {
+    if (lba >= layout_.ntb_base &&
+        lba < layout_.nta_base + config_.nt_pages) {
+      continue;  // the central metadata complex is not file space
+    }
+    const bool used = !vam_.IsFree(lba);
+    if (used && !referenced.Get(lba)) {
+      vam_.MarkFree(fs::Extent{.start = lba, .count = 1});
+      RecordDelta(VamDelta::Op::kFree, lba, 1);
+      ++report.leaked_sectors_reclaimed;
+    } else if (!used && referenced.Get(lba)) {
+      vam_.MarkUsed(fs::Extent{.start = lba, .count = 1});
+      RecordDelta(VamDelta::Op::kAlloc, lba, 1);
+      ++report.missing_used_sectors_fixed;
+    }
+  }
+
+  // Pass 3: reconcile the name-table page map against the live tree.
+  std::vector<btree::PageId> pages;
+  CEDAR_RETURN_IF_ERROR(tree_->CollectPages(&pages));
+  Bitmap nt_used(config_.nt_pages, false);
+  for (btree::PageId pid : pages) {
+    nt_used.Set(pid, true);
+  }
+  for (std::uint32_t pid = 0; pid < config_.nt_pages; ++pid) {
+    const bool used = !vam_.nt_free().Get(pid);
+    if (used != nt_used.Get(pid)) {
+      vam_.nt_free().Set(pid, !nt_used.Get(pid));
+      RecordDelta(nt_used.Get(pid) ? VamDelta::Op::kNtAlloc
+                                   : VamDelta::Op::kNtFree,
+                  pid, 1);
+      ++report.nt_pages_reconciled;
+    }
+  }
+
+  // Make the reconciliation durable.
+  CEDAR_RETURN_IF_ERROR(ForceLog());
+  return report;
+}
+
+Result<fs::FileInfo> Fsd::Stat(std::string_view name) {
+  ChargeOp();
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
+  auto [version, entry] = found;
+  return fs::FileInfo{.name = std::string(name),
+                      .version = version,
+                      .uid = entry.uid,
+                      .byte_size = entry.byte_size,
+                      .create_time = entry.create_time,
+                      .last_used = entry.last_used,
+                      .keep = entry.keep};
+}
+
+}  // namespace cedar::core

@@ -1,0 +1,219 @@
+// FSD — "FS for Dragon" — the paper's reimplemented Cedar file system.
+//
+// The pieces, and where each lives:
+//   - File name table: a B-tree of 512-byte pages holding name!version ->
+//     {uid, run table, properties} (src/core/name_table.h). Every tree page
+//     is double-written: a primary copy near the central cylinder and a
+//     replica on distant cylinders with independent failure modes.
+//   - Redo log (src/core/log.h): physical page images of name-table pages
+//     and leader pages, written in duplicated records, circular thirds.
+//   - Group commit: metadata updates dirty cached pages only; the log is
+//     forced every half virtual second (or by an explicit client Force()),
+//     batching all updates since the last force into one log write.
+//   - VAM (src/core/vam.h): volatile free map + shadow map for uncommitted
+//     deletes; saved only at orderly shutdown, rebuilt from the name table
+//     after a crash.
+//   - Allocator (src/core/allocator.h): big/small split, leader-adjacent
+//     runs.
+//   - Leader pages: one sector before data page 0, software cross-check
+//     only, verified by piggybacking on the first data access.
+//
+// Operation costs in the normal case (the paper's headline):
+//   create  = ONE synchronous I/O (leader + data in a single write)
+//   open    = no I/O (name table cached)
+//   delete  = no I/O (shadow free + cached tree update)
+//   list    = no I/O (properties live in the name table)
+//   touch   = no I/O (hot-spot absorbed by group commit)
+// Crash recovery = read the log, rewrite the logged pages (a second or
+// two), plus a name-table scan to rebuild the VAM (~20 s).
+
+#ifndef CEDAR_CORE_FSD_H_
+#define CEDAR_CORE_FSD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/btree/page_store.h"
+#include "src/cache/page_cache.h"
+#include "src/core/allocator.h"
+#include "src/core/layout.h"
+#include "src/core/log.h"
+#include "src/core/name_table.h"
+#include "src/core/vam.h"
+#include "src/fsapi/file_system.h"
+#include "src/sim/disk.h"
+
+namespace cedar::core {
+
+struct FsdStats {
+  std::uint64_t forces = 0;            // group commits that wrote the log
+  std::uint64_t empty_forces = 0;      // timer fired with nothing dirty
+  std::uint64_t pages_captured = 0;    // page images handed to the log
+  std::uint64_t third_flush_pages = 0; // home writes done at third entry
+  std::uint64_t piggyback_leader_writes = 0;
+  std::uint64_t piggyback_leader_verifies = 0;
+  std::uint64_t nt_repairs = 0;        // replica repairs on read
+  std::uint64_t recovery_pages_replayed = 0;
+  std::uint64_t fast_recoveries = 0;   // VAM-logging fast path taken
+};
+
+class Fsd : public fs::FileSystem {
+ public:
+  explicit Fsd(sim::SimDisk* disk, FsdConfig config = {});
+  ~Fsd() override;
+
+  // Initializes an empty volume and leaves it mounted.
+  Status Format();
+
+  // Attaches to a volume. After a crash this runs log recovery (replaying
+  // page images to both name-table copies) and reconstructs the VAM from
+  // the name table; after a clean shutdown it loads the saved VAM.
+  Status Mount();
+
+  // fs::FileSystem:
+  Result<fs::FileUid> CreateFile(std::string_view name,
+                                 std::span<const std::uint8_t> contents) override;
+  Result<fs::FileHandle> Open(std::string_view name) override;
+  Status Read(const fs::FileHandle& file, std::uint64_t offset,
+              std::span<std::uint8_t> out) override;
+  Status Write(const fs::FileHandle& file, std::uint64_t offset,
+               std::span<const std::uint8_t> data) override;
+  Status Extend(const fs::FileHandle& file, std::uint64_t bytes) override;
+  Status DeleteFile(std::string_view name) override;
+  Result<std::vector<fs::FileInfo>> List(std::string_view prefix) override;
+  Status Touch(std::string_view name) override;
+  Status SetKeep(std::string_view name, std::uint16_t keep) override;
+  Status Force() override;     // client log force
+  Status Shutdown() override;  // force, flush home, save VAM, mark clean
+
+  // Drives the half-second group-commit timer; benchmarks and tests call
+  // this after advancing virtual time (every public op also checks).
+  Status Tick();
+
+  // Properties of the highest version (no I/O when the tree is cached).
+  Result<fs::FileInfo> Stat(std::string_view name);
+
+  // Online consistency scrub: verifies every file's leader page against its
+  // name-table entry (repairing stale leaders from the authoritative
+  // entry), and reconciles the VAM against the name table — reclaiming
+  // leaked sectors (e.g. from a force torn between an allocation delta and
+  // its tree pages under VAM logging) and re-marking any sector a file
+  // references. The mutual-checking discipline of section 5.8, packaged as
+  // a maintenance operation instead of CFS's offline scavenge.
+  struct ScrubReport {
+    std::uint64_t files_checked = 0;
+    std::uint64_t leaders_repaired = 0;
+    std::uint64_t leaked_sectors_reclaimed = 0;
+    std::uint64_t missing_used_sectors_fixed = 0;
+    std::uint64_t nt_pages_reconciled = 0;
+  };
+  Result<ScrubReport> Scrub();
+
+  const FsdLayout& layout() const { return layout_; }
+  const FsdConfig& config() const { return config_; }
+  const FsdStats& stats() const { return stats_; }
+  const LogStats& log_stats() const;
+  std::uint32_t FreeSectors() const { return vam_.FreeCount(); }
+  std::uint32_t ShadowSectors() const { return vam_.ShadowCount(); }
+  bool HasPendingUpdates() const;
+  Status CheckNameTableInvariants() { return tree_->CheckInvariants(); }
+
+ private:
+  class NtStore;
+
+  // Cache keys: name-table pages use their PageId; leader pages use their
+  // LBA with the top bit set.
+  static constexpr std::uint32_t kLeaderKeyBit = 0x80000000u;
+
+  void ChargeOp() const { disk_->clock().AdvanceCpu(config_.cpu_per_op); }
+  void ChargeSectors(std::uint64_t n) const {
+    disk_->clock().AdvanceCpu(config_.cpu_per_sector_io * n);
+  }
+  void ChargeDataSectors(std::uint64_t n) const {
+    disk_->clock().AdvanceCpu(config_.cpu_per_data_sector * n);
+  }
+
+  Status MaybeGroupCommit();
+  Status ForceLog();
+  Status FlushThird(int third);
+  // Queues an allocation-map delta for the next log record (VAM logging).
+  // Alloc-type deltas are logged before the tree pages they correspond to,
+  // free-type deltas after, so a torn force can only leak sectors, never
+  // double-allocate them.
+  void RecordDelta(VamDelta::Op op, std::uint32_t start, std::uint32_t count);
+  // Writes one page image to its home sector(s).
+  Status WriteHome(std::uint32_t key, std::span<const std::uint8_t> image);
+
+  Status WriteVolumeRoot(bool clean);
+  Status ReadVolumeRoot(bool* clean);
+  Status RebuildVolatileState();  // VAM + name-table page map from the tree
+  // Bulk sequential read of both name-table regions into the cache (with
+  // replica cross-check), so the rebuild scan runs at media rate instead of
+  // seeking between the copies per page.
+  Status PreloadNameTable();
+  Status MarkSystemRegionsUsed();
+
+  Result<std::pair<std::uint32_t, FsdEntry>> HighestVersion(
+      std::string_view name);
+  Result<FsdEntry> GetEntry(std::string_view name, std::uint32_t version);
+  Status PutEntry(std::string_view name, std::uint32_t version,
+                  const FsdEntry& entry);
+  // All versions of `name`, ascending.
+  Result<std::vector<std::pair<std::uint32_t, FsdEntry>>> ListVersions(
+      std::string_view name);
+  // Removes one specific version: shadow-frees its sectors, erases the
+  // name-table entry, queues the leader tombstone.
+  Status DeleteVersion(std::string_view name, std::uint32_t version,
+                       const FsdEntry& entry);
+  // Enforces the keep count after a create.
+  Status PruneVersions(std::string_view name, std::uint16_t keep);
+
+  fs::FileUid NextUid() {
+    return (static_cast<std::uint64_t>(boot_count_ + 1) << 32) |
+           ++uid_counter_;
+  }
+
+  // Maps file page range to disk extents using the entry's run table.
+  Result<std::vector<fs::Extent>> MapPages(const FsdEntry& entry,
+                                           std::uint32_t first_page,
+                                           std::uint32_t count) const;
+
+  sim::SimDisk* disk_;
+  FsdConfig config_;
+  FsdLayout layout_;
+
+  std::unique_ptr<NtStore> nt_store_;
+  std::unique_ptr<btree::BTree> tree_;
+  std::unique_ptr<FsdLog> log_;
+  Vam vam_;
+  std::unique_ptr<RunAllocator> allocator_;
+  cache::PageCache cache_;
+
+  std::uint32_t boot_count_ = 0;
+  std::uint32_t uid_counter_ = 0;
+  // Leader keys of deleted files whose tombstone awaits the next force.
+  std::vector<std::uint32_t> pending_tombstones_;
+  // VAM deltas awaiting the next force (VAM logging only).
+  std::vector<VamDelta> pending_alloc_deltas_;
+  std::vector<VamDelta> pending_free_deltas_;
+  sim::Micros last_force_ = 0;
+  bool mounted_ = false;
+  bool in_force_ = false;  // guards re-entrant commits
+  FsdStats stats_;
+
+  struct OpenState {
+    std::string name;
+    std::uint32_t version = 0;
+    bool leader_verified = false;
+  };
+  std::map<fs::FileUid, OpenState> open_files_;
+};
+
+}  // namespace cedar::core
+
+#endif  // CEDAR_CORE_FSD_H_

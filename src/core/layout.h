@@ -1,0 +1,115 @@
+// FSD volume layout and configuration.
+//
+// Placement follows the paper's locality principle (section 5): the log and
+// the primary name-table region sit at the central cylinder to minimize head
+// motion; the name-table replica sits on distant cylinders so the two copies
+// have independent failure modes; boot-critical pages are replicated with a
+// blank sector between the copies.
+
+#ifndef CEDAR_CORE_LAYOUT_H_
+#define CEDAR_CORE_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/sim/geometry.h"
+#include "src/util/check.h"
+
+namespace cedar::core {
+
+struct FsdConfig {
+  // Log region size in sectors (4 pointer/blank sectors + three thirds).
+  std::uint32_t log_sectors = 1540;
+  // Name table size, in 512-byte tree pages (= sectors); two full replicas
+  // of this size are preallocated.
+  std::uint32_t nt_pages = 4096;
+  // Files at least this many sectors long allocate from the big-file area
+  // at the high end of the volume (section 5.6).
+  std::uint32_t big_file_threshold_sectors = 64;
+  // Group commit: the log is forced when this much virtual time has passed
+  // since the last force ("FSD forces its log twice a second").
+  sim::Micros group_commit_interval = 500 * sim::kMillisecond;
+  // Buffer pool frames (name-table pages + pending leader pages).
+  std::size_t cache_frames = 8192;
+  // Read both name-table copies on a cache miss and cross-check, per
+  // section 5.1; turning this off is an ablation.
+  bool double_read_check = true;
+  // Pages fetched per name-table miss (aligned cluster, one request per
+  // region). Our tree pages are one sector; the original's were larger, so
+  // clustered fetch reproduces its entries-per-read.
+  std::uint32_t nt_read_ahead_pages = 8;
+  // VAM logging (the extension sketched in section 5.3): allocation-map
+  // deltas ride in every log record and a VAM snapshot is saved at each
+  // third entry, so crash recovery skips the name-table scan — "about two
+  // seconds" instead of ~25. Off by default, like the original system.
+  bool vam_logging = false;
+  // Records per atomic commit group. Forces larger than one record are
+  // split into records tagged with group start/end flags; recovery discards
+  // incomplete groups, so a multi-record force stays atomic. A group must
+  // stay well under a log third; 4 records (~436 sectors) is safe for the
+  // default sizing. 1 disables group atomicity (ablation).
+  std::uint32_t log_group_records = 4;
+
+  // CPU cost model (virtual microseconds); calibration in EXPERIMENTS.md.
+  std::uint64_t cpu_per_op = 1200;
+  std::uint64_t cpu_per_sector_io = 80;
+  // Data-path copy cost (buffer moves per 512-byte sector); dominates the
+  // CPU column of Table 5.
+  std::uint64_t cpu_per_data_sector = 200;
+  std::uint64_t cpu_per_list_entry = 150;
+  // Per name-table entry processed when reconstructing the VAM (the bulk of
+  // the paper's ~20 second rebuild on a Dorado).
+  std::uint64_t cpu_per_rebuild_entry = 1800;
+};
+
+struct FsdLayout {
+  sim::Lba root_lba = 0;  // volume root, copy at root_lba + 2
+  sim::Lba vam_base = 0;
+  std::uint32_t vam_sectors = 0;
+  sim::Lba ntb_base = 0;  // name-table replica: central, below the log
+  sim::Lba log_base = 0;  // central cylinders
+  sim::Lba nta_base = 0;  // name-table primary, right after the log
+  sim::Lba data_low = 0;  // first sector eligible for file data
+  sim::Lba data_high = 0; // one past the last data sector
+
+  // The whole metadata complex — replica B, log, primary A — sits on the
+  // central cylinders (paper sections 5.1/5.3: log and name table are
+  // "allocated to sectors near the central cylinder"). The two name-table
+  // copies are separated by the full log region, i.e. several cylinders, so
+  // a 1-2 sector failure (the paper's model) can never hit both, while
+  // double-reads cost only a short seek.
+  static FsdLayout Compute(const sim::DiskGeometry& geometry,
+                           const FsdConfig& config) {
+    FsdLayout layout;
+    layout.root_lba = 0;
+    layout.vam_base = 4;
+    // Header sector + free bitmap + name-table page bitmap.
+    const std::uint32_t vam_bits = geometry.TotalSectors();
+    const std::uint32_t nt_bits = config.nt_pages;
+    layout.vam_sectors =
+        1 + (vam_bits + 4095) / 4096 + (nt_bits + 4095) / 4096;
+
+    const std::uint32_t central_span =
+        2 * config.nt_pages + config.log_sectors;
+    const std::uint32_t spc = geometry.SectorsPerCylinder();
+    const std::uint32_t central_cyls = (central_span + spc - 1) / spc;
+    const std::uint32_t first_cyl =
+        geometry.CenterCylinder() >= central_cyls / 2
+            ? geometry.CenterCylinder() - central_cyls / 2
+            : 0;
+    layout.ntb_base = geometry.CylinderStart(first_cyl);
+    layout.log_base = layout.ntb_base + config.nt_pages;
+    layout.nta_base = layout.log_base + config.log_sectors;
+
+    layout.data_low = layout.vam_base + layout.vam_sectors;
+    layout.data_high = geometry.TotalSectors();
+
+    CEDAR_CHECK(layout.data_low < layout.ntb_base);
+    CEDAR_CHECK(layout.nta_base + config.nt_pages < layout.data_high);
+    return layout;
+  }
+};
+
+}  // namespace cedar::core
+
+#endif  // CEDAR_CORE_LAYOUT_H_

@@ -1,0 +1,472 @@
+#include "src/core/log.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/serial.h"
+
+namespace cedar::core {
+namespace {
+
+constexpr std::uint32_t kHeaderMagic = 0x4C4F4748;   // "LOGH"
+constexpr std::uint32_t kEndMagic = 0x4C4F4745;      // "LOGE"
+constexpr std::uint32_t kMarkerMagic = 0x4C4F474D;   // "LOGM"
+constexpr std::uint32_t kPointerMagic = 0x4C4F4750;  // "LOGP"
+
+struct HomeRef {
+  sim::Lba primary = kNoLba;
+  sim::Lba secondary = kNoLba;
+  PageKind kind = PageKind::kPage;
+};
+
+struct ParsedHeader {
+  std::uint64_t lsn = 0;
+  std::uint32_t boot = 0;
+  std::uint32_t npages = 0;
+  std::uint32_t data_crc = 0;
+  bool group_start = true;
+  bool group_end = true;
+  std::vector<HomeRef> homes;
+};
+
+// Appends a trailing crc over everything written so far and pads to 512.
+std::vector<std::uint8_t> Seal(ByteWriter w) {
+  std::vector<std::uint8_t> buf = w.Take();
+  const std::uint32_t crc = Crc32(buf);
+  ByteWriter tail(&buf);
+  tail.U32(crc);
+  buf.resize(512, 0);
+  return buf;
+}
+
+// Checks the trailing crc written by Seal given the payload length.
+bool CheckSeal(std::span<const std::uint8_t> sector, std::size_t body_len) {
+  if (body_len + 4 > sector.size()) {
+    return false;
+  }
+  ByteReader r(sector.subspan(body_len, 4));
+  return r.U32() == Crc32(sector.subspan(0, body_len));
+}
+
+bool ParseHeaderSector(std::span<const std::uint8_t> sector,
+                       ParsedHeader* out) {
+  ByteReader r(sector);
+  if (r.U32() != kHeaderMagic) {
+    return false;
+  }
+  out->lsn = r.U64();
+  out->boot = r.U32();
+  out->npages = r.U16();
+  out->data_crc = r.U32();
+  const std::uint8_t group_flags = r.U8();
+  out->group_start = (group_flags & 1) != 0;
+  out->group_end = (group_flags & 2) != 0;
+  if (!r.ok() || out->npages == 0 || out->npages > FsdLog::kMaxPagesPerRecord) {
+    return false;
+  }
+  out->homes.clear();
+  for (std::uint32_t i = 0; i < out->npages; ++i) {
+    HomeRef home;
+    home.primary = r.U32();
+    home.secondary = r.U32();
+    const std::uint8_t kind = r.U8();
+    if (kind > static_cast<std::uint8_t>(PageKind::kVamDelta)) {
+      return false;
+    }
+    home.kind = static_cast<PageKind>(kind);
+    out->homes.push_back(home);
+  }
+  if (!r.ok()) {
+    return false;
+  }
+  return CheckSeal(sector, r.position());
+}
+
+// Marker and end sectors share a {magic, lsn, boot, crc} shape.
+bool ParseStamp(std::span<const std::uint8_t> sector, std::uint32_t magic,
+                std::uint64_t* lsn, std::uint32_t* boot) {
+  ByteReader r(sector);
+  if (r.U32() != magic) {
+    return false;
+  }
+  *lsn = r.U64();
+  *boot = r.U32();
+  if (!r.ok()) {
+    return false;
+  }
+  return CheckSeal(sector, r.position());
+}
+
+}  // namespace
+
+FsdLog::FsdLog(sim::SimDisk* disk, sim::Lba base, std::uint32_t size_sectors)
+    : disk_(disk), base_(base), size_sectors_(size_sectors) {
+  CEDAR_CHECK(disk != nullptr);
+  // Room for pointer pages plus a third that fits a maximal record.
+  CEDAR_CHECK(size_sectors_ >= 4 + 3 * (2 * kMaxPagesPerRecord + 5));
+}
+
+std::vector<std::uint8_t> FsdLog::BuildHeaderSector(
+    std::span<const PageImage> pages, bool group_start,
+    bool group_end) const {
+  ByteWriter w;
+  w.U32(kHeaderMagic);
+  w.U64(next_lsn_);
+  w.U32(boot_count_);
+  w.U16(static_cast<std::uint16_t>(pages.size()));
+  std::uint32_t data_crc = 0;
+  for (const PageImage& page : pages) {
+    data_crc = Crc32(page.data, data_crc);
+  }
+  w.U32(data_crc);
+  w.U8(static_cast<std::uint8_t>((group_start ? 1 : 0) |
+                                 (group_end ? 2 : 0)));
+  for (const PageImage& page : pages) {
+    w.U32(page.primary);
+    w.U32(page.secondary);
+    w.U8(static_cast<std::uint8_t>(page.kind));
+  }
+  return Seal(std::move(w));
+}
+
+std::vector<std::uint8_t> FsdLog::BuildEndSector() const {
+  ByteWriter w;
+  w.U32(kEndMagic);
+  w.U64(next_lsn_);
+  w.U32(boot_count_);
+  return Seal(std::move(w));
+}
+
+std::vector<std::uint8_t> FsdLog::BuildMarkerSector() const {
+  ByteWriter w;
+  w.U32(kMarkerMagic);
+  w.U64(next_lsn_);
+  w.U32(boot_count_);
+  return Seal(std::move(w));
+}
+
+Status FsdLog::WritePointer() {
+  ByteWriter w;
+  w.U32(kPointerMagic);
+  w.U32(oldest_pointer_);
+  w.U32(boot_count_);
+  std::vector<std::uint8_t> ptr = Seal(std::move(w));
+  // [pointer][blank][pointer copy] in one request: the duplicates are not
+  // adjacent, so one torn write cannot destroy both.
+  std::vector<std::uint8_t> buf(3 * 512, 0);
+  std::copy(ptr.begin(), ptr.end(), buf.begin());
+  std::copy(ptr.begin(), ptr.end(), buf.begin() + 2 * 512);
+  stats_.sectors_written += 3;
+  return disk_->Write(base_, buf);
+}
+
+Result<std::uint32_t> FsdLog::ReadPointer() {
+  auto parse = [&](std::span<const std::uint8_t> sector,
+                   std::uint32_t* offset) {
+    ByteReader r(sector);
+    if (r.U32() != kPointerMagic) {
+      return false;
+    }
+    *offset = r.U32();
+    r.U32();  // boot count (diagnostic only)
+    if (!r.ok() || !CheckSeal(sector, r.position())) {
+      return false;
+    }
+    return *offset < record_area_sectors();
+  };
+
+  std::vector<std::uint8_t> buf(3 * 512);
+  std::vector<std::uint32_t> bad;
+  CEDAR_RETURN_IF_ERROR(disk_->Read(base_, buf, &bad));
+  std::uint32_t offset = 0;
+  auto primary = std::span<const std::uint8_t>(buf).subspan(0, 512);
+  auto copy = std::span<const std::uint8_t>(buf).subspan(2 * 512, 512);
+  const bool primary_bad =
+      std::find(bad.begin(), bad.end(), 0u) != bad.end();
+  const bool copy_bad = std::find(bad.begin(), bad.end(), 2u) != bad.end();
+  if (!primary_bad && parse(primary, &offset)) {
+    return offset;
+  }
+  if (!copy_bad && parse(copy, &offset)) {
+    return offset;
+  }
+  return MakeError(ErrorCode::kCorruptMetadata, "log pointer unreadable");
+}
+
+Status FsdLog::Format(std::uint32_t boot_count) {
+  boot_count_ = boot_count;
+  next_lsn_ = 1;
+  pos_ = 0;
+  current_third_ = 0;
+  oldest_pointer_ = 0;
+  first_record_in_third_ = {kNoOffset, kNoOffset, kNoOffset};
+  stats_ = LogStats{};
+  CEDAR_RETURN_IF_ERROR(WritePointer());
+  // Invalidate the first header position so recovery of a fresh log stops
+  // immediately even if the area holds stale records.
+  std::vector<std::uint8_t> zero(512, 0);
+  stats_.sectors_written += 1;
+  return disk_->Write(AreaLba(0), zero);
+}
+
+Result<int> FsdLog::Append(std::span<const PageImage> pages,
+                           const ThirdFlushFn& flush, bool group_start,
+                           bool group_end) {
+  CEDAR_CHECK(!pages.empty() && pages.size() <= kMaxPagesPerRecord);
+  for (const PageImage& page : pages) {
+    CEDAR_CHECK(page.data.size() == 512);
+    CEDAR_CHECK(page.primary != kNoLba || page.kind == PageKind::kVamDelta);
+  }
+  const auto len =
+      static_cast<std::uint32_t>(RecordSectors(pages.size()));
+  CEDAR_CHECK(len < third_sectors());
+
+  // Skip to the next third (or wrap) if the record would straddle it.
+  const int pos_third = ThirdOf(pos_);
+  const std::uint32_t boundary =
+      pos_third < 2 ? ThirdStart(pos_third + 1) : record_area_sectors();
+  if (pos_ + len > boundary) {
+    if (pos_ < boundary) {
+      std::vector<std::uint8_t> marker = BuildMarkerSector();
+      CEDAR_RETURN_IF_ERROR(disk_->Write(AreaLba(pos_), marker));
+      if (first_record_in_third_[pos_third] == kNoOffset) {
+        first_record_in_third_[pos_third] = pos_;
+      }
+      ++next_lsn_;
+      ++stats_.markers;
+      stats_.sectors_written += 1;
+    }
+    pos_ = boundary == record_area_sectors() ? 0 : boundary;
+  }
+
+  const int third = ThirdOf(pos_);
+  if (third != current_third_) {
+    // Entering a new third: flush pages whose only durable copy is here,
+    // then durably advance the oldest-record pointer past it.
+    CEDAR_RETURN_IF_ERROR(flush(third));
+    first_record_in_third_[third] = kNoOffset;
+    std::uint32_t ptr = kNoOffset;
+    for (int k = 1; k <= 2; ++k) {
+      const int candidate = (third + k) % 3;
+      if (first_record_in_third_[candidate] != kNoOffset) {
+        ptr = first_record_in_third_[candidate];
+        break;
+      }
+    }
+    oldest_pointer_ = ptr == kNoOffset ? pos_ : ptr;
+    CEDAR_RETURN_IF_ERROR(WritePointer());
+    current_third_ = third;
+    ++stats_.third_entries;
+  }
+
+  // Assemble the record: H, blank, H', D1..Dn, E, D1'..Dn', E'.
+  const std::vector<std::uint8_t> header =
+      BuildHeaderSector(pages, group_start, group_end);
+  const std::vector<std::uint8_t> end = BuildEndSector();
+  std::vector<std::uint8_t> buf;
+  buf.reserve(static_cast<std::size_t>(len) * 512);
+  auto put = [&buf](std::span<const std::uint8_t> sector) {
+    buf.insert(buf.end(), sector.begin(), sector.end());
+  };
+  put(header);
+  buf.insert(buf.end(), 512, 0);  // blank page
+  put(header);
+  for (const PageImage& page : pages) {
+    put(page.data);
+  }
+  put(end);
+  for (const PageImage& page : pages) {
+    put(page.data);
+  }
+  put(end);
+  CEDAR_RETURN_IF_ERROR(disk_->Write(AreaLba(pos_), buf));
+
+  if (first_record_in_third_[third] == kNoOffset) {
+    first_record_in_third_[third] = pos_;
+  }
+  pos_ += len;
+  if (pos_ >= record_area_sectors()) {
+    pos_ = 0;
+  }
+  ++next_lsn_;
+  ++stats_.records;
+  stats_.pages_logged += pages.size();
+  stats_.sectors_written += len;
+  stats_.total_record_sectors += len;
+  stats_.max_record_sectors = std::max(stats_.max_record_sectors, len);
+  return third;
+}
+
+Status FsdLog::Recover(
+    const std::function<Status(std::uint64_t, const std::vector<PageImage>&)>&
+        visit,
+    std::uint32_t boot_count) {
+  first_record_in_third_ = {kNoOffset, kNoOffset, kNoOffset};
+  CEDAR_ASSIGN_OR_RETURN(std::uint32_t pos, ReadPointer());
+  oldest_pointer_ = pos;
+
+  bool have_lsn = false;
+  std::uint64_t expected_lsn = 0;
+  std::uint64_t last_lsn = 0;
+  std::uint32_t last_start = pos;
+  bool any = false;
+  // Commit-group buffering: records accumulate here and are delivered only
+  // when the group's final record is seen.
+  std::vector<std::pair<std::uint64_t, std::vector<PageImage>>> group;
+  bool in_group = false;
+
+  // Slurp the whole record area sequentially (it sits on a handful of
+  // central cylinders, so this costs a second or two instead of one
+  // rotational miss per sector), remembering which sectors are damaged.
+  std::vector<std::uint8_t> area(
+      static_cast<std::size_t>(record_area_sectors()) * 512);
+  std::vector<bool> damaged(record_area_sectors(), false);
+  constexpr std::uint32_t kChunk = 1024;
+  for (std::uint32_t off = 0; off < record_area_sectors(); off += kChunk) {
+    const std::uint32_t take =
+        std::min(kChunk, record_area_sectors() - off);
+    std::vector<std::uint32_t> bad;
+    CEDAR_RETURN_IF_ERROR(disk_->Read(
+        AreaLba(off),
+        std::span<std::uint8_t>(area.data() +
+                                    static_cast<std::size_t>(off) * 512,
+                                static_cast<std::size_t>(take) * 512),
+        &bad));
+    for (std::uint32_t b : bad) {
+      damaged[off + b] = true;
+    }
+  }
+  auto read_sector = [&](std::uint32_t offset,
+                         std::vector<std::uint8_t>* out) {
+    if (offset >= record_area_sectors() || damaged[offset]) {
+      return false;
+    }
+    out->assign(area.begin() + static_cast<std::size_t>(offset) * 512,
+                area.begin() + static_cast<std::size_t>(offset + 1) * 512);
+    return true;
+  };
+
+  // Bounded by the number of sectors in the area (every step advances).
+  for (std::uint64_t guard = 0; guard <= record_area_sectors(); ++guard) {
+    if (pos >= record_area_sectors()) {
+      pos = 0;
+    }
+    // Parse the header, repairing from its copy two sectors later.
+    ParsedHeader header;
+    std::vector<std::uint8_t> sector;
+    bool header_ok =
+        read_sector(pos, &sector) && ParseHeaderSector(sector, &header);
+    if (!header_ok) {
+      // Maybe it is a skip marker.
+      std::uint64_t marker_lsn = 0;
+      std::uint32_t marker_boot = 0;
+      if (read_sector(pos, &sector) &&
+          ParseStamp(sector, kMarkerMagic, &marker_lsn, &marker_boot)) {
+        if (have_lsn && marker_lsn != expected_lsn) {
+          break;
+        }
+        expected_lsn = marker_lsn + 1;
+        have_lsn = true;
+        last_lsn = marker_lsn;
+        const int t = ThirdOf(pos);
+        if (first_record_in_third_[t] == kNoOffset) {
+          first_record_in_third_[t] = pos;
+        }
+        last_start = pos;
+        pos = t < 2 ? ThirdStart(t + 1) : 0;
+        continue;
+      }
+      // Try the header copy.
+      if (pos + 2 < record_area_sectors() && read_sector(pos + 2, &sector) &&
+          ParseHeaderSector(sector, &header)) {
+        header_ok = true;
+      }
+    }
+    if (!header_ok) {
+      break;
+    }
+    if (have_lsn && header.lsn != expected_lsn) {
+      break;
+    }
+    const std::uint32_t len = RecordSectors(header.npages);
+    if (pos + len > record_area_sectors()) {
+      break;  // structurally impossible for a good record
+    }
+
+    // Read the data pages, preferring the first copy, repairing each from
+    // the duplicate set.
+    std::vector<PageImage> pages(header.npages);
+    bool data_ok = true;
+    for (std::uint32_t i = 0; i < header.npages && data_ok; ++i) {
+      pages[i].primary = header.homes[i].primary;
+      pages[i].secondary = header.homes[i].secondary;
+      pages[i].kind = header.homes[i].kind;
+      if (!read_sector(pos + 3 + i, &pages[i].data) &&
+          !read_sector(pos + 3 + header.npages + 1 + i, &pages[i].data)) {
+        data_ok = false;
+      }
+    }
+    if (data_ok) {
+      std::uint32_t crc = 0;
+      for (const PageImage& page : pages) {
+        crc = Crc32(page.data, crc);
+      }
+      data_ok = crc == header.data_crc;
+    }
+    // Validate the end stamps (torn-write detection).
+    if (data_ok) {
+      std::uint64_t end_lsn = 0;
+      std::uint32_t end_boot = 0;
+      const bool end_ok =
+          (read_sector(pos + 3 + header.npages, &sector) &&
+           ParseStamp(sector, kEndMagic, &end_lsn, &end_boot) &&
+           end_lsn == header.lsn) ||
+          (read_sector(pos + len - 1, &sector) &&
+           ParseStamp(sector, kEndMagic, &end_lsn, &end_boot) &&
+           end_lsn == header.lsn);
+      data_ok = end_ok;
+    }
+    if (!data_ok) {
+      break;  // torn or multiply-damaged record: end of valid log
+    }
+
+    if (header.group_start) {
+      group.clear();
+      in_group = true;
+    }
+    if (in_group) {
+      group.emplace_back(header.lsn, std::move(pages));
+      if (header.group_end) {
+        for (auto& [record_lsn, record_pages] : group) {
+          CEDAR_RETURN_IF_ERROR(visit(record_lsn, record_pages));
+        }
+        group.clear();
+        in_group = false;
+      }
+    }
+    // else: the tail of a group whose start fell off the log — skip it,
+    // but keep the lsn chain so later groups still replay.
+    any = true;
+    const int t = ThirdOf(pos);
+    if (first_record_in_third_[t] == kNoOffset) {
+      first_record_in_third_[t] = pos;
+    }
+    expected_lsn = header.lsn + 1;
+    have_lsn = true;
+    last_lsn = header.lsn;
+    last_start = pos;
+    pos += len;
+  }
+
+  // Position the log to continue appending.
+  pos_ = pos >= record_area_sectors() ? 0 : pos;
+  current_third_ = any || have_lsn ? ThirdOf(last_start)
+                                   : ThirdOf(oldest_pointer_);
+  next_lsn_ = have_lsn ? last_lsn + 1 : 1;
+  boot_count_ = boot_count;
+  return OkStatus();
+}
+
+}  // namespace cedar::core

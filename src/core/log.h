@@ -1,0 +1,159 @@
+// The FSD redo log (paper section 5.3).
+//
+// A circular region of the disk, placed near the central cylinder, holding
+// physical page images of file-name-table pages and leader pages. Layout:
+//
+//   base+0   pointer page: offset of the first valid record in the oldest
+//            third (replicated at base+2 with a blank page between — the
+//            same data is never written to adjacent sectors)
+//   base+1   blank
+//   base+2   pointer copy
+//   base+3   blank
+//   base+4.. record area, divided into three equal "thirds"
+//
+// A record with n pages occupies 2n+5 sectors, written in ONE disk request:
+//
+//   [header][blank][header'][D1..Dn][end][D1'..Dn'][end']
+//
+// so a one-page record is seven 512-byte sectors (the paper's number), and
+// any one- or two-sector failure inside the record is repairable from the
+// copies and detectable by matching the header and end pairs.
+//
+// Records never straddle a third boundary (or the end of the area): a skip
+// marker sector is written and the record starts at the boundary. Entering
+// a new third first invokes the owner's flush callback so pages whose only
+// durable copy lives in that third are written to their home sectors, then
+// durably advances the oldest-third pointer. This simple scheme keeps an
+// average of 5/6 of the log in use.
+
+#ifndef CEDAR_CORE_LOG_H_
+#define CEDAR_CORE_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/disk.h"
+#include "src/util/status.h"
+
+namespace cedar::core {
+
+inline constexpr sim::Lba kNoLba = 0xFFFFFFFFu;
+
+// One logged page: its image and where it lives on disk (secondary is
+// kNoLba for leader pages, which have a single home).
+//
+// kTombstone cancels any earlier in-log image of the same primary LBA
+// during replay. Deletes log one for the leader page: without it, a crash
+// after the freed sector was reallocated would let replay write the dead
+// file's leader over the new owner's data.
+//
+// kVamDelta pages carry serialized allocation-map changes (the paper's
+// considered-but-deferred "VAM logging" extension, section 5.3); they have
+// no home sectors and are interpreted by the owner at recovery.
+enum class PageKind : std::uint8_t {
+  kPage = 0,
+  kTombstone = 1,
+  kVamDelta = 2,
+};
+
+struct PageImage {
+  sim::Lba primary = kNoLba;
+  sim::Lba secondary = kNoLba;
+  PageKind kind = PageKind::kPage;
+  std::vector<std::uint8_t> data;  // exactly one sector
+};
+
+struct LogStats {
+  std::uint64_t records = 0;
+  std::uint64_t pages_logged = 0;
+  std::uint64_t sectors_written = 0;  // record + marker + pointer sectors
+  std::uint64_t markers = 0;
+  std::uint64_t third_entries = 0;
+  std::uint32_t max_record_sectors = 0;
+  // Histogram-ish: record size accumulators for the section 5.4 numbers.
+  std::uint64_t total_record_sectors = 0;
+};
+
+class FsdLog {
+ public:
+  // Flush callback: write home every cached page whose latest log copy
+  // lives in `third`, because that third is about to be overwritten.
+  using ThirdFlushFn = std::function<Status(int third)>;
+
+  static constexpr std::uint32_t kMaxPagesPerRecord = 52;
+
+  FsdLog(sim::SimDisk* disk, sim::Lba base, std::uint32_t size_sectors);
+
+  // Initializes an empty log (pointer at offset 0).
+  Status Format(std::uint32_t boot_count);
+
+  // Appends one record (1..kMaxPagesPerRecord pages) as a single disk
+  // write, handling skip markers, third entry (flush + pointer update), and
+  // wrap. Returns the third the record was placed in.
+  //
+  // group_start/group_end delimit a commit group: recovery replays a group
+  // only when its final record survived, so a force that spans several
+  // records stays atomic (a crash mid-group discards the whole group). A
+  // standalone record passes true for both.
+  Result<int> Append(std::span<const PageImage> pages,
+                     const ThirdFlushFn& flush, bool group_start = true,
+                     bool group_end = true);
+
+  // Replays the log after a crash: scans records from the oldest-third
+  // pointer, repairs single-sector damage from the duplicate copies, stops
+  // at the first invalid/torn record, and calls `visit(lsn, pages)` for
+  // each complete record in order. Afterwards the log is positioned to
+  // continue appending (with `boot_count` stamped on new records).
+  Status Recover(const std::function<Status(
+                     std::uint64_t, const std::vector<PageImage>&)>& visit,
+                 std::uint32_t boot_count);
+
+  const LogStats& stats() const { return stats_; }
+  std::uint32_t record_area_sectors() const { return size_sectors_ - 4; }
+  std::uint32_t third_sectors() const { return record_area_sectors() / 3; }
+  int current_third() const { return current_third_; }
+  std::uint64_t next_lsn() const { return next_lsn_; }
+
+  // Sectors a record with n pages occupies (for capacity planning/tests).
+  static std::uint32_t RecordSectors(std::uint32_t n) { return 2 * n + 5; }
+
+ private:
+  static constexpr std::uint32_t kNoOffset = 0xFFFFFFFFu;
+
+  int ThirdOf(std::uint32_t offset) const {
+    const std::uint32_t t = offset / third_sectors();
+    return static_cast<int>(t > 2 ? 2 : t);
+  }
+  std::uint32_t ThirdStart(int third) const {
+    return static_cast<std::uint32_t>(third) * third_sectors();
+  }
+  sim::Lba AreaLba(std::uint32_t offset) const { return base_ + 4 + offset; }
+
+  Status WritePointer();
+  Result<std::uint32_t> ReadPointer();
+
+  std::vector<std::uint8_t> BuildHeaderSector(std::span<const PageImage> pages,
+                                              bool group_start,
+                                              bool group_end) const;
+  std::vector<std::uint8_t> BuildEndSector() const;
+  std::vector<std::uint8_t> BuildMarkerSector() const;
+
+  sim::SimDisk* disk_;
+  sim::Lba base_;
+  std::uint32_t size_sectors_;
+
+  std::uint64_t next_lsn_ = 1;
+  std::uint32_t boot_count_ = 0;
+  std::uint32_t pos_ = 0;  // next write offset within the record area
+  int current_third_ = 0;
+  std::uint32_t oldest_pointer_ = 0;
+  std::array<std::uint32_t, 3> first_record_in_third_{kNoOffset, kNoOffset,
+                                                      kNoOffset};
+  LogStats stats_;
+};
+
+}  // namespace cedar::core
+
+#endif  // CEDAR_CORE_LOG_H_

@@ -1,0 +1,107 @@
+// The FSD Volume Allocation Map (paper section 5.5).
+//
+// Entirely volatile during normal operation: no disk writes at all. Pages of
+// deleted files go to a *shadow* bitmap first, because they are not really
+// free until the delete is committed (logged); CommitShadow() folds them
+// into the free map at each group commit.
+//
+// The map is saved to its disk region only on orderly shutdown, stamped with
+// the boot count; at mount a stamp mismatch means the save is stale and the
+// map must be reconstructed from the name table (the caller does the scan).
+
+#ifndef CEDAR_CORE_VAM_H_
+#define CEDAR_CORE_VAM_H_
+
+#include <cstdint>
+
+#include "src/fsapi/extent.h"
+#include "src/sim/disk.h"
+#include "src/util/bitmap.h"
+#include "src/util/status.h"
+
+namespace cedar::core {
+
+// One allocation-map change, for the VAM-logging extension (the paper's
+// section 5.3 "YAM logging ... would greatly decrease worst case crash
+// recovery time from about twenty five seconds to about two seconds").
+// Deltas ride in the log's kVamDelta pages; recovery applies them over the
+// last base snapshot instead of scanning the whole name table.
+struct VamDelta {
+  enum class Op : std::uint8_t {
+    kAlloc = 0,    // data sectors became used
+    kFree = 1,     // data sectors became free (at commit)
+    kNtAlloc = 2,  // a name-table page was allocated
+    kNtFree = 3,
+  };
+  Op op = Op::kAlloc;
+  std::uint32_t start = 0;
+  std::uint32_t count = 0;
+};
+
+// Packs deltas into 512-byte log pages (56 per page) and back.
+std::vector<std::vector<std::uint8_t>> SerializeDeltas(
+    std::span<const VamDelta> deltas);
+Status ParseDeltas(std::span<const std::uint8_t> page,
+                   std::vector<VamDelta>* out);
+
+class Vam {
+ public:
+  Vam(std::uint32_t total_sectors, std::uint32_t nt_pages)
+      : free_(total_sectors, false),
+        shadow_(total_sectors, false),
+        nt_free_(nt_pages, false) {}
+
+  // ---- Free map.
+  Bitmap& free() { return free_; }
+  const Bitmap& free() const { return free_; }
+  bool IsFree(std::uint32_t lba) const { return free_.Get(lba); }
+  void MarkUsed(const fs::Extent& run) {
+    free_.SetRange(run.start, run.count, false);
+  }
+  void MarkFree(const fs::Extent& run) {
+    free_.SetRange(run.start, run.count, true);
+  }
+  std::uint32_t FreeCount() const { return free_.Count(); }
+
+  // ---- Shadow map for uncommitted deletes.
+  void MarkFreeShadow(const fs::Extent& run) {
+    shadow_.SetRange(run.start, run.count, true);
+  }
+  void CommitShadow() {
+    free_.OrWith(shadow_);
+    shadow_.Clear();
+  }
+  std::uint32_t ShadowCount() const { return shadow_.Count(); }
+
+  // ---- Name-table page allocation map (piggybacks on the VAM save).
+  Bitmap& nt_free() { return nt_free_; }
+  const Bitmap& nt_free() const { return nt_free_; }
+
+  // ---- Persistence (shutdown save / mount load / VAM-logging base).
+
+  static constexpr std::uint32_t kAnyBoot = 0xFFFFFFFFu;
+
+  // Writes the map (free bits + name-table bits) stamped with `boot_count`
+  // and the log position `lsn` to `base`, as one request.
+  Status Save(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+              std::uint32_t boot_count, std::uint64_t lsn = 0) const;
+
+  // Loads a saved map. `expected_boot` of kAnyBoot accepts any stamp (the
+  // VAM-logging recovery path, which trusts the lsn instead); otherwise a
+  // stale stamp fails with kFailedPrecondition (caller reconstructs). The
+  // save's lsn is returned through `lsn` when non-null.
+  Status Load(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+              std::uint32_t expected_boot, std::uint64_t* lsn = nullptr);
+
+  // Applies one delta (used by recovery).
+  void Apply(const VamDelta& delta);
+
+ private:
+  Bitmap free_;
+  Bitmap shadow_;
+  Bitmap nt_free_;
+};
+
+}  // namespace cedar::core
+
+#endif  // CEDAR_CORE_VAM_H_

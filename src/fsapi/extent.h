@@ -1,0 +1,21 @@
+// A run of consecutive sectors (the File Package allocates in runs/extents).
+
+#ifndef CEDAR_FSAPI_EXTENT_H_
+#define CEDAR_FSAPI_EXTENT_H_
+
+#include <cstdint>
+
+namespace cedar::fs {
+
+struct Extent {
+  std::uint32_t start = 0;  // LBA of the first sector
+  std::uint32_t count = 0;  // number of sectors
+
+  friend bool operator==(const Extent& a, const Extent& b) {
+    return a.start == b.start && a.count == b.count;
+  }
+};
+
+}  // namespace cedar::fs
+
+#endif  // CEDAR_FSAPI_EXTENT_H_

@@ -1,0 +1,97 @@
+// The common file-system interface implemented by all three systems in the
+// reproduction (CFS, FSD, and the BSD FFS-like baseline), so workloads and
+// benchmarks drive them uniformly.
+//
+// The operation set mirrors the paper's benchmarks: create, open, read page,
+// write, delete, list (with properties), property touch (the last-used-time
+// update of cached remote files, section 5.4), and an explicit client force.
+//
+// Cedar name semantics: files are versioned; Create makes version
+// highest+1, Open/Delete address the highest version. Names sort
+// lexicographically, so files of one "subdirectory" (a shared prefix) are
+// adjacent in the name table — the locality both systems exploit.
+
+#ifndef CEDAR_FSAPI_FILE_SYSTEM_H_
+#define CEDAR_FSAPI_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cedar::fs {
+
+using FileUid = std::uint64_t;
+
+struct FileInfo {
+  std::string name;
+  std::uint32_t version = 0;
+  FileUid uid = 0;
+  std::uint64_t byte_size = 0;
+  std::uint64_t create_time = 0;  // virtual microseconds
+  std::uint64_t last_used = 0;
+  std::uint16_t keep = 0;  // versions to retain; 0 = unlimited
+};
+
+// An open file. Handles are value types; the owning file system keeps any
+// per-open state (e.g. "leader verified") keyed by uid.
+struct FileHandle {
+  FileUid uid = 0;
+  std::uint32_t version = 0;
+  std::uint64_t byte_size = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Creates version highest+1 of `name` holding `contents` (may be empty).
+  virtual Result<FileUid> CreateFile(std::string_view name,
+                                     std::span<const std::uint8_t> contents) = 0;
+
+  // Opens the highest version. Does not read data.
+  virtual Result<FileHandle> Open(std::string_view name) = 0;
+
+  // Reads out.size() bytes at `offset`. Short reads are errors.
+  virtual Status Read(const FileHandle& file, std::uint64_t offset,
+                      std::span<std::uint8_t> out) = 0;
+
+  // Overwrites bytes within the current size (Cedar files are typically
+  // written once; in-place rewrite exists for completeness).
+  virtual Status Write(const FileHandle& file, std::uint64_t offset,
+                       std::span<const std::uint8_t> data) = 0;
+
+  // Grows the file by `bytes` zero bytes (allocating new runs).
+  virtual Status Extend(const FileHandle& file, std::uint64_t bytes) = 0;
+
+  // Deletes the highest version of `name`.
+  virtual Status DeleteFile(std::string_view name) = 0;
+
+  // Lists all files whose name starts with `prefix`, with full properties
+  // (for CFS this is the operation that must visit header pages).
+  virtual Result<std::vector<FileInfo>> List(std::string_view prefix) = 0;
+
+  // Updates the last-used time of the highest version (a pure metadata
+  // hot-spot operation).
+  virtual Status Touch(std::string_view name) = 0;
+
+  // Sets the version-retention count ("keep" in the Cedar name table):
+  // after each create, only the newest `keep` versions survive. 0 means
+  // unlimited. Applies to the highest version and is inherited by new
+  // versions. Systems without versions treat this as a no-op.
+  virtual Status SetKeep(std::string_view name, std::uint16_t keep) = 0;
+
+  // Client force: make all completed operations durable before returning
+  // (FSD forces the log; CFS and BSD are already synchronous).
+  virtual Status Force() = 0;
+
+  // Orderly unmount: persist volatile state (FSD saves the VAM).
+  virtual Status Shutdown() = 0;
+};
+
+}  // namespace cedar::fs
+
+#endif  // CEDAR_FSAPI_FILE_SYSTEM_H_

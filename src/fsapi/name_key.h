@@ -1,0 +1,73 @@
+// Name-table key encoding shared by CFS and FSD.
+//
+// Cedar files are versioned: "Foo.mesa!3". The B-tree key is the name bytes,
+// a 0x00 terminator (names must not contain NUL), and the version as a
+// big-endian u32 — so versions of one file are adjacent and ascending, and
+// a name prefix scan visits a whole "subdirectory" contiguously.
+
+#ifndef CEDAR_FSAPI_NAME_KEY_H_
+#define CEDAR_FSAPI_NAME_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cedar::fs {
+
+inline std::vector<std::uint8_t> EncodeNameKey(std::string_view name,
+                                               std::uint32_t version) {
+  std::vector<std::uint8_t> key;
+  key.reserve(name.size() + 5);
+  key.insert(key.end(), name.begin(), name.end());
+  key.push_back(0);
+  key.push_back(static_cast<std::uint8_t>(version >> 24));
+  key.push_back(static_cast<std::uint8_t>(version >> 16));
+  key.push_back(static_cast<std::uint8_t>(version >> 8));
+  key.push_back(static_cast<std::uint8_t>(version));
+  return key;
+}
+
+inline bool DecodeNameKey(std::span<const std::uint8_t> key,
+                          std::string* name, std::uint32_t* version) {
+  if (key.size() < 5) {
+    return false;
+  }
+  const std::size_t name_len = key.size() - 5;
+  if (key[name_len] != 0) {
+    return false;
+  }
+  name->assign(key.begin(), key.begin() + name_len);
+  *version = (static_cast<std::uint32_t>(key[name_len + 1]) << 24) |
+             (static_cast<std::uint32_t>(key[name_len + 2]) << 16) |
+             (static_cast<std::uint32_t>(key[name_len + 3]) << 8) |
+             static_cast<std::uint32_t>(key[name_len + 4]);
+  return true;
+}
+
+// Smallest key of any version of `name` (scan start for highest-version
+// lookups and exact-name iteration).
+inline std::vector<std::uint8_t> NameKeyLow(std::string_view name) {
+  return EncodeNameKey(name, 0);
+}
+
+// True if `key` belongs to some version of exactly `name`.
+inline bool KeyIsName(std::span<const std::uint8_t> key,
+                      std::string_view name) {
+  return key.size() == name.size() + 5 &&
+         std::equal(name.begin(), name.end(), key.begin()) &&
+         key[name.size()] == 0;
+}
+
+// True if the decoded name of `key` starts with `prefix`.
+inline bool KeyHasPrefix(std::span<const std::uint8_t> key,
+                         std::string_view prefix) {
+  if (key.size() < prefix.size() + 5) {
+    return false;
+  }
+  return std::equal(prefix.begin(), prefix.end(), key.begin());
+}
+
+}  // namespace cedar::fs
+
+#endif  // CEDAR_FSAPI_NAME_KEY_H_

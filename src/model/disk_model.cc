@@ -1,0 +1,93 @@
+#include "src/model/disk_model.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace cedar::model {
+
+DiskModel::DiskModel(const sim::DiskGeometry& geometry,
+                     const sim::DiskTimingParams& params)
+    : geometry_(geometry), params_(params) {
+  sector_time_us_ = params_.rotation_us / geometry_.sectors_per_track;
+  // Expected seek over a uniformly random pair of cylinders under the
+  // sqrt curve: E[sqrt(d/D)] with d = |x - y| uniform triangular is
+  // 16/15 * ... — computed numerically here for exactness.
+  const std::uint32_t cyls = geometry_.cylinders;
+  sim::DiskTimingModel timing(geometry_, params_);
+  double sum = 0;
+  const int samples = 1000;
+  for (int i = 1; i <= samples; ++i) {
+    // Triangular distribution of distances: P(d) ~ 2(D-d)/D^2.
+    const double d = static_cast<double>(i) / samples * (cyls - 1);
+    const double p = 2.0 * (cyls - 1 - d) / ((cyls - 1) * (cyls - 1));
+    sum += p * static_cast<double>(
+                   timing.SeekTime(static_cast<std::uint32_t>(d > 1 ? d : 1))) *
+           (static_cast<double>(cyls - 1) / samples);
+  }
+  average_seek_us_ = static_cast<sim::Micros>(sum);
+  short_seek_us_ = timing.SeekTime(3);
+}
+
+sim::Micros DiskModel::SeekToFraction(std::uint32_t permille) const {
+  sim::DiskTimingModel timing(geometry_, params_);
+  const double target =
+      static_cast<double>(permille) / 1000.0 * (geometry_.cylinders - 1);
+  double sum = 0;
+  const int samples = 1000;
+  for (int i = 0; i < samples; ++i) {
+    const double start = (static_cast<double>(i) + 0.5) / samples *
+                         (geometry_.cylinders - 1);
+    const double d = std::abs(start - target);
+    sum += static_cast<double>(
+        timing.SeekTime(static_cast<std::uint32_t>(d < 1 ? 1 : d)));
+  }
+  return static_cast<sim::Micros>(sum / samples);
+}
+
+sim::Micros DiskModel::Evaluate(const OpScript& script) const {
+  sim::Micros total = 0;
+  for (const Step& step : script.steps) {
+    switch (step.kind) {
+      case StepKind::kSeek:
+        total += average_seek_us_ * step.count;
+        break;
+      case StepKind::kSeekToFraction:
+        total += SeekToFraction(step.count);
+        break;
+      case StepKind::kShortSeek:
+        total += short_seek_us_ * step.count;
+        break;
+      case StepKind::kLatency:
+        total += Latency() * step.count;
+        break;
+      case StepKind::kRevolution:
+        total += Revolution() * step.count;
+        break;
+      case StepKind::kRevolutionMinusTransfers: {
+        const sim::Micros sub = sector_time_us_ * step.count;
+        total += Revolution() > sub ? Revolution() - sub : 0;
+        break;
+      }
+      case StepKind::kTransfer:
+        total += sector_time_us_ * step.count;
+        break;
+      case StepKind::kController:
+        total += params_.controller_us * step.count;
+        break;
+      case StepKind::kCpu:
+        total += step.count;
+        break;
+    }
+  }
+  return total;
+}
+
+double DiskModel::EvaluateWeighted(const WeightedScript& script) const {
+  CEDAR_CHECK(script.hit_probability >= 0 && script.hit_probability <= 1);
+  return script.hit_probability * static_cast<double>(Evaluate(script.hit)) +
+         (1 - script.hit_probability) *
+             static_cast<double>(Evaluate(script.miss));
+}
+
+}  // namespace cedar::model

@@ -1,0 +1,120 @@
+// The paper's section-6 analytical performance model.
+//
+// "The idea is quite simple. Based on the code or documentation, analyze
+//  the algorithm to find out where it will do I/O's. If an I/O will be on
+//  the same (or nearby) cylinder or if the rotational position of the disk
+//  is known, then take this rotational and radial position into account in
+//  computing the time for the I/O. Compute both the cache hit and cache
+//  miss cases, and compute a weighted average."
+//
+// An operation is an OpScript: a sequence of seeks, short seeks, rotational
+// latencies, (partial) lost revolutions, transfers, and CPU time. The model
+// evaluates a script to expected microseconds; ValidateAgainst compares the
+// prediction with a measurement from the simulator (the paper reports the
+// model "almost always predicted performance to within five percent").
+
+#ifndef CEDAR_MODEL_DISK_MODEL_H_
+#define CEDAR_MODEL_DISK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/geometry.h"
+#include "src/sim/timing.h"
+
+namespace cedar::model {
+
+enum class StepKind : std::uint8_t {
+  kSeek,        // average seek (uniform random to uniform random)
+  // Seek from a uniform random cylinder to a fixed target at `count`
+  // per-mille of the stroke (radial placement matters: files live near the
+  // front, the name table and log at the center).
+  kSeekToFraction,
+  kShortSeek,   // a few cylinders
+  kLatency,     // half a revolution
+  kRevolution,  // full lost revolution
+  // A revolution minus `count` sector times: the wait to rewrite sectors
+  // that just passed under the head (the paper's create script).
+  kRevolutionMinusTransfers,
+  kTransfer,    // `count` sector transfers
+  kController,  // per-request controller overhead
+  kCpu,         // `count` microseconds of CPU
+};
+
+struct Step {
+  StepKind kind;
+  std::uint32_t count = 1;
+};
+
+struct OpScript {
+  std::string name;
+  std::vector<Step> steps;
+
+  OpScript& Seek() { return Add(StepKind::kSeek, 1); }
+  // permille in [0,1000]: radial position of the target region.
+  OpScript& SeekTo(std::uint32_t permille) {
+    return Add(StepKind::kSeekToFraction, permille);
+  }
+  OpScript& ShortSeek() { return Add(StepKind::kShortSeek, 1); }
+  OpScript& Latency() { return Add(StepKind::kLatency, 1); }
+  OpScript& Revolution() { return Add(StepKind::kRevolution, 1); }
+  OpScript& RevMinus(std::uint32_t sectors) {
+    return Add(StepKind::kRevolutionMinusTransfers, sectors);
+  }
+  OpScript& Transfer(std::uint32_t sectors) {
+    return Add(StepKind::kTransfer, sectors);
+  }
+  OpScript& Controller(std::uint32_t requests = 1) {
+    return Add(StepKind::kController, requests);
+  }
+  OpScript& Cpu(std::uint32_t us) { return Add(StepKind::kCpu, us); }
+
+ private:
+  OpScript& Add(StepKind kind, std::uint32_t count) {
+    steps.push_back(Step{kind, count});
+    return *this;
+  }
+};
+
+// A script pair weighted by cache-hit probability.
+struct WeightedScript {
+  OpScript hit;
+  OpScript miss;
+  double hit_probability = 1.0;
+};
+
+class DiskModel {
+ public:
+  DiskModel(const sim::DiskGeometry& geometry,
+            const sim::DiskTimingParams& params);
+
+  sim::Micros AverageSeek() const { return average_seek_us_; }
+  // Expected seek from a uniform random cylinder to the cylinder at
+  // `permille`/1000 of the stroke.
+  sim::Micros SeekToFraction(std::uint32_t permille) const;
+  sim::Micros ShortSeek() const { return short_seek_us_; }
+  sim::Micros Latency() const { return params_.rotation_us / 2; }
+  sim::Micros Revolution() const { return params_.rotation_us; }
+  sim::Micros SectorTime() const { return sector_time_us_; }
+  sim::Micros Controller() const { return params_.controller_us; }
+
+  sim::Micros Evaluate(const OpScript& script) const;
+  double EvaluateWeighted(const WeightedScript& script) const;
+
+  // Relative error of a prediction against a measurement (|p-m|/m).
+  static double RelativeError(double predicted, double measured) {
+    return measured == 0 ? 0 : std::abs(predicted - measured) / measured;
+  }
+
+ private:
+  sim::DiskGeometry geometry_;
+  sim::DiskTimingParams params_;
+  sim::Micros sector_time_us_;
+  sim::Micros average_seek_us_;
+  sim::Micros short_seek_us_;
+};
+
+}  // namespace cedar::model
+
+#endif  // CEDAR_MODEL_DISK_MODEL_H_

@@ -1,0 +1,333 @@
+#include "src/sim/disk.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace cedar::sim {
+
+SimDisk::SimDisk(const DiskGeometry& geometry, const DiskTimingParams& timing,
+                 VirtualClock* clock)
+    : geometry_(geometry),
+      timing_(geometry, timing),
+      clock_(clock),
+      data_(static_cast<std::size_t>(geometry.TotalSectors()) * kSectorSize),
+      labels_(geometry.TotalSectors()),
+      damaged_(geometry.TotalSectors(), false) {
+  CEDAR_CHECK(clock != nullptr);
+}
+
+Status SimDisk::CheckRange(Lba start, std::size_t count) const {
+  if (crashed_) {
+    return MakeError(ErrorCode::kDeviceCrashed, "disk is crashed");
+  }
+  if (count == 0 || start + count > geometry_.TotalSectors()) {
+    return MakeError(ErrorCode::kOutOfRange,
+                     "lba " + std::to_string(start) + "+" +
+                         std::to_string(count) + " out of range");
+  }
+  return OkStatus();
+}
+
+void SimDisk::AccountRequest(Lba start, std::uint32_t count, bool is_write,
+                             bool label_only) {
+  const ServiceTime service = timing_.Access(start, count, clock_->now());
+  clock_->Advance(service.Total());
+  stats_.seek_us += service.seek_us;
+  stats_.rotational_us += service.rotational_us;
+  stats_.transfer_us += service.transfer_us;
+  stats_.busy_us += service.Total();
+  if (label_only) {
+    ++stats_.label_ops;
+  } else if (is_write) {
+    ++stats_.writes;
+    stats_.sectors_written += count;
+  } else {
+    ++stats_.reads;
+    stats_.sectors_read += count;
+  }
+}
+
+Status SimDisk::CheckLabels(Lba start, std::span<const Label> expected) {
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (!(labels_[start + i] == expected[i])) {
+      return MakeError(ErrorCode::kLabelMismatch,
+                       "label mismatch at lba " + std::to_string(start + i));
+    }
+  }
+  return OkStatus();
+}
+
+Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
+                     std::vector<std::uint32_t>* bad) {
+  CEDAR_CHECK(out.size() % kSectorSize == 0);
+  const auto count = static_cast<std::uint32_t>(out.size() / kSectorSize);
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  AccountRequest(start, count, /*is_write=*/false, /*label_only=*/false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Lba lba = start + i;
+    auto dst = out.subspan(static_cast<std::size_t>(i) * kSectorSize,
+                           kSectorSize);
+    if (damaged_[lba]) {
+      if (bad == nullptr) {
+        return MakeError(ErrorCode::kSectorDamaged,
+                         "damaged sector at lba " + std::to_string(lba));
+      }
+      std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+      bad->push_back(i);
+      continue;
+    }
+    const std::uint8_t* src =
+        data_.data() + static_cast<std::size_t>(lba) * kSectorSize;
+    std::copy(src, src + kSectorSize, dst.begin());
+  }
+  return OkStatus();
+}
+
+bool SimDisk::MaybeCrashOnWrite(Lba start, std::span<const std::uint8_t> data,
+                                std::span<const Label> new_labels) {
+  if (!crash_plan_.has_value()) {
+    return false;
+  }
+  if (crash_plan_->at_write_index > 0) {
+    --crash_plan_->at_write_index;
+    return false;
+  }
+  // Tear the write: a prefix of sectors is transferred, then 0-2 sectors are
+  // damaged at the cut, and nothing after the cut is touched.
+  const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+  const std::uint32_t done = std::min(crash_plan_->sectors_completed, count);
+  for (std::uint32_t i = 0; i < done; ++i) {
+    const Lba lba = start + i;
+    std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
+              data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
+              data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
+    damaged_[lba] = false;
+    if (!new_labels.empty()) {
+      labels_[lba] = new_labels[i];
+    }
+  }
+  const std::uint32_t ndamaged =
+      std::min(crash_plan_->sectors_damaged, count - done);
+  for (std::uint32_t i = 0; i < ndamaged; ++i) {
+    damaged_[start + done + i] = true;
+  }
+  crashed_ = true;
+  crash_plan_.reset();
+  return true;
+}
+
+Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
+  CEDAR_CHECK(!data.empty() && data.size() % kSectorSize == 0);
+  const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  if (MaybeCrashOnWrite(start, data, {})) {
+    return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
+  }
+  AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Lba lba = start + i;
+    std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
+              data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
+              data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
+    damaged_[lba] = false;  // a successful rewrite revives the sector
+  }
+  return OkStatus();
+}
+
+Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
+                            std::span<const Label> expected) {
+  CEDAR_CHECK(out.size() % kSectorSize == 0);
+  CEDAR_CHECK(expected.size() * kSectorSize == out.size());
+  const auto count = static_cast<std::uint32_t>(expected.size());
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  // Microcode checks the label as each sector arrives; charge one request.
+  AccountRequest(start, count, /*is_write=*/false, /*label_only=*/false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Lba lba = start + i;
+    if (damaged_[lba]) {
+      return MakeError(ErrorCode::kSectorDamaged,
+                       "damaged sector at lba " + std::to_string(lba));
+    }
+    if (!(labels_[lba] == expected[i])) {
+      return MakeError(ErrorCode::kLabelMismatch,
+                       "label mismatch at lba " + std::to_string(lba));
+    }
+    const std::uint8_t* src =
+        data_.data() + static_cast<std::size_t>(lba) * kSectorSize;
+    std::copy(src, src + kSectorSize,
+              out.begin() + static_cast<std::size_t>(i) * kSectorSize);
+  }
+  return OkStatus();
+}
+
+Status SimDisk::WriteLabeled(Lba start, std::span<const std::uint8_t> data,
+                             std::span<const Label> expected,
+                             std::span<const Label> new_labels) {
+  CEDAR_CHECK(data.size() % kSectorSize == 0);
+  const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+  CEDAR_CHECK(new_labels.size() == count);
+  CEDAR_CHECK(expected.empty() || expected.size() == count);
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  if (!expected.empty()) {
+    // The label check happens before any data is transferred.
+    Status check = CheckLabels(start, expected);
+    if (!check.ok()) {
+      // The failed request still occupied the device.
+      AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+      return check;
+    }
+  }
+  if (MaybeCrashOnWrite(start, data, new_labels)) {
+    return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
+  }
+  AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Lba lba = start + i;
+    std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
+              data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
+              data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
+    labels_[lba] = new_labels[i];
+    damaged_[lba] = false;
+  }
+  return OkStatus();
+}
+
+Status SimDisk::ReadLabels(Lba start, std::span<Label> out) {
+  const auto count = static_cast<std::uint32_t>(out.size());
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  AccountRequest(start, count, /*is_write=*/false, /*label_only=*/true);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (damaged_[start + i]) {
+      return MakeError(ErrorCode::kSectorDamaged,
+                       "damaged sector at lba " + std::to_string(start + i));
+    }
+    out[i] = labels_[start + i];
+  }
+  return OkStatus();
+}
+
+Status SimDisk::WriteLabels(Lba start, std::span<const Label> labels,
+                            std::span<const Label> expected) {
+  const auto count = static_cast<std::uint32_t>(labels.size());
+  CEDAR_CHECK(expected.empty() || expected.size() == count);
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  AccountRequest(start, count, /*is_write=*/true, /*label_only=*/true);
+  if (!expected.empty()) {
+    CEDAR_RETURN_IF_ERROR(CheckLabels(start, expected));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    labels_[start + i] = labels[i];
+  }
+  return OkStatus();
+}
+
+void SimDisk::DamageSectors(Lba start, std::uint32_t count) {
+  CEDAR_CHECK(count >= 1 && count <= 2);
+  CEDAR_CHECK(start + count <= geometry_.TotalSectors());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    damaged_[start + i] = true;
+  }
+}
+
+void SimDisk::DamageTrack(std::uint32_t cylinder, std::uint32_t head) {
+  CEDAR_CHECK(cylinder < geometry_.cylinders);
+  CEDAR_CHECK(head < geometry_.heads);
+  const Lba start = geometry_.ToLba(
+      Chs{.cylinder = cylinder, .head = head, .sector = 0});
+  for (std::uint32_t i = 0; i < geometry_.sectors_per_track; ++i) {
+    damaged_[start + i] = true;
+  }
+}
+
+void SimDisk::WildWrite(Lba lba, std::uint64_t seed) {
+  CEDAR_CHECK(lba < geometry_.TotalSectors());
+  Rng rng(seed);
+  std::uint8_t* sector =
+      data_.data() + static_cast<std::size_t>(lba) * kSectorSize;
+  for (std::uint32_t i = 0; i < kSectorSize; ++i) {
+    sector[i] = static_cast<std::uint8_t>(rng.Next());
+  }
+  damaged_[lba] = false;
+}
+
+namespace {
+constexpr char kImageMagic[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '1'};
+}  // namespace
+
+Status SimDisk::SaveImage(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "cannot open " + path);
+  }
+  out.write(kImageMagic, sizeof(kImageMagic));
+  const std::uint32_t header[3] = {geometry_.cylinders, geometry_.heads,
+                                   geometry_.sectors_per_track};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size()));
+  for (const Label& label : labels_) {
+    out.write(reinterpret_cast<const char*>(&label.file_uid), 8);
+    out.write(reinterpret_cast<const char*>(&label.page_number), 4);
+    const auto type = static_cast<std::uint8_t>(label.type);
+    out.write(reinterpret_cast<const char*>(&type), 1);
+  }
+  for (std::uint32_t lba = 0; lba < geometry_.TotalSectors(); ++lba) {
+    const std::uint8_t bad = damaged_[lba] ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&bad), 1);
+  }
+  out.flush();
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "write failed: " + path);
+  }
+  return OkStatus();
+}
+
+Status SimDisk::LoadImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return MakeError(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0) {
+    return MakeError(ErrorCode::kCorruptMetadata, "not a cedar disk image");
+  }
+  std::uint32_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != geometry_.cylinders || header[1] != geometry_.heads ||
+      header[2] != geometry_.sectors_per_track) {
+    return MakeError(ErrorCode::kInvalidArgument, "image geometry mismatch");
+  }
+  in.read(reinterpret_cast<char*>(data_.data()),
+          static_cast<std::streamsize>(data_.size()));
+  for (Label& label : labels_) {
+    in.read(reinterpret_cast<char*>(&label.file_uid), 8);
+    in.read(reinterpret_cast<char*>(&label.page_number), 4);
+    std::uint8_t type = 0;
+    in.read(reinterpret_cast<char*>(&type), 1);
+    label.type = static_cast<PageType>(type);
+  }
+  for (std::uint32_t lba = 0; lba < geometry_.TotalSectors(); ++lba) {
+    std::uint8_t bad = 0;
+    in.read(reinterpret_cast<char*>(&bad), 1);
+    damaged_[lba] = bad != 0;
+  }
+  if (!in) {
+    return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
+  }
+  crashed_ = false;
+  crash_plan_.reset();
+  return OkStatus();
+}
+
+void SimDisk::ArmCrash(const CrashPlan& plan) {
+  CEDAR_CHECK(plan.sectors_damaged <= 2);
+  crash_plan_ = plan;
+}
+
+}  // namespace cedar::sim

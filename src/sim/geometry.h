@@ -1,0 +1,78 @@
+// Disk geometry: cylinders x heads x sectors, with LBA <-> CHS conversion.
+//
+// The defaults approximate the Trident T-300-class drive of the paper's
+// Dorado: 512-byte sectors and roughly 300 MB of formatted capacity. The
+// paper's analytical model (section 6) reasons about cylinders, rotational
+// position, and transfer time, so geometry is explicit rather than a flat
+// sector array.
+
+#ifndef CEDAR_SIM_GEOMETRY_H_
+#define CEDAR_SIM_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace cedar::sim {
+
+// Logical block address, in units of one sector.
+using Lba = std::uint32_t;
+
+inline constexpr std::uint32_t kSectorSize = 512;
+
+struct Chs {
+  std::uint32_t cylinder = 0;
+  std::uint32_t head = 0;
+  std::uint32_t sector = 0;
+};
+
+struct DiskGeometry {
+  std::uint32_t cylinders = 1100;
+  std::uint32_t heads = 19;            // tracks per cylinder
+  std::uint32_t sectors_per_track = 28;
+
+  constexpr std::uint32_t SectorsPerCylinder() const {
+    return heads * sectors_per_track;
+  }
+
+  constexpr std::uint32_t TotalSectors() const {
+    return cylinders * SectorsPerCylinder();
+  }
+
+  constexpr std::uint64_t TotalBytes() const {
+    return static_cast<std::uint64_t>(TotalSectors()) * kSectorSize;
+  }
+
+  Chs ToChs(Lba lba) const {
+    CEDAR_CHECK(lba < TotalSectors());
+    Chs chs;
+    chs.cylinder = lba / SectorsPerCylinder();
+    const std::uint32_t within = lba % SectorsPerCylinder();
+    chs.head = within / sectors_per_track;
+    chs.sector = within % sectors_per_track;
+    return chs;
+  }
+
+  Lba ToLba(const Chs& chs) const {
+    return chs.cylinder * SectorsPerCylinder() +
+           chs.head * sectors_per_track + chs.sector;
+  }
+
+  // The cylinder in the middle of the volume; the paper places the log and
+  // the file name table here to minimize head motion (sections 5.1, 5.3).
+  std::uint32_t CenterCylinder() const { return cylinders / 2; }
+
+  // First LBA of a cylinder.
+  Lba CylinderStart(std::uint32_t cylinder) const {
+    return cylinder * SectorsPerCylinder();
+  }
+};
+
+// A geometry for small/fast unit tests (~5.5 MB).
+inline DiskGeometry TestGeometry() {
+  return DiskGeometry{.cylinders = 50, .heads = 8, .sectors_per_track = 28};
+}
+
+}  // namespace cedar::sim
+
+#endif  // CEDAR_SIM_GEOMETRY_H_

@@ -1,0 +1,39 @@
+// Trident-style per-sector labels (paper section 2).
+//
+// On the real hardware each sector carried a label field checked by
+// microcode before the data was read or written. CFS used labels to identify
+// every sector (owning file uid, page number within the file, page type) so
+// wild writes and stale-pointer bugs were caught at the device, and so the
+// scavenger could rebuild all metadata by scanning labels. FSD does not use
+// labels; the simulator keeps them optional so both systems run on the same
+// device model.
+
+#ifndef CEDAR_SIM_LABEL_H_
+#define CEDAR_SIM_LABEL_H_
+
+#include <cstdint>
+
+namespace cedar::sim {
+
+enum class PageType : std::uint8_t {
+  kFree = 0,
+  kHeader = 1,
+  kData = 2,
+  kSystem = 3,   // boot pages, VAM, name table, log
+  kLeader = 4,   // FSD leader pages (not label-checked; kept for symmetry)
+};
+
+struct Label {
+  std::uint64_t file_uid = 0;   // 0 for free / system pages
+  std::uint32_t page_number = 0;
+  PageType type = PageType::kFree;
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.file_uid == b.file_uid && a.page_number == b.page_number &&
+           a.type == b.type;
+  }
+};
+
+}  // namespace cedar::sim
+
+#endif  // CEDAR_SIM_LABEL_H_

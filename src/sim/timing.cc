@@ -1,0 +1,85 @@
+#include "src/sim/timing.h"
+
+#include <cmath>
+
+namespace cedar::sim {
+
+Micros DiskTimingModel::SeekTime(std::uint32_t distance) const {
+  if (distance == 0) {
+    return 0;
+  }
+  // Classic sqrt seek curve: exactly min at one cylinder, max at full stroke.
+  const double span = static_cast<double>(geometry_.cylinders - 1);
+  const double frac =
+      span <= 1.0 ? 0.0
+                  : std::sqrt(static_cast<double>(distance - 1) / (span - 1));
+  const double us =
+      static_cast<double>(params_.min_seek_us) +
+      frac * static_cast<double>(params_.max_seek_us - params_.min_seek_us);
+  return static_cast<Micros>(us);
+}
+
+ServiceTime DiskTimingModel::Access(Lba lba, std::uint32_t count,
+                                    Micros start_us) {
+  CEDAR_CHECK(count > 0);
+  CEDAR_CHECK(lba + count <= geometry_.TotalSectors());
+
+  ServiceTime service;
+  service.controller_us = params_.controller_us;
+  Micros t = start_us + params_.controller_us;
+
+  Chs chs = geometry_.ToChs(lba);
+
+  // Initial seek.
+  const std::uint32_t dist = chs.cylinder > current_cylinder_
+                                 ? chs.cylinder - current_cylinder_
+                                 : current_cylinder_ - chs.cylinder;
+  service.seek_us = SeekTime(dist);
+  t += service.seek_us;
+  current_cylinder_ = chs.cylinder;
+
+  // Rotational wait for the first sector.
+  const Micros angle_now = t % params_.rotation_us;
+  const Micros angle_target = SectorAngleUs(chs.sector);
+  const Micros wait =
+      (angle_target + params_.rotation_us - angle_now) % params_.rotation_us;
+  service.rotational_us = wait;
+  t += wait;
+
+  // Transfer, sector by sector. Consecutive sectors on a track stream at
+  // media rate; a head switch within a cylinder is free (tracks aligned);
+  // crossing into the next cylinder costs a short seek plus the rotational
+  // wait for sector 0 to come around again.
+  std::uint32_t remaining = count;
+  while (remaining > 0) {
+    const std::uint32_t on_track = geometry_.sectors_per_track - chs.sector;
+    const std::uint32_t burst = remaining < on_track ? remaining : on_track;
+    const Micros burst_us = static_cast<Micros>(burst) * us_per_sector_;
+    service.transfer_us += burst_us;
+    t += burst_us;
+    remaining -= burst;
+    if (remaining == 0) {
+      break;
+    }
+    chs.sector = 0;
+    ++chs.head;
+    if (chs.head == geometry_.heads) {
+      chs.head = 0;
+      ++chs.cylinder;
+      const Micros step = SeekTime(1);
+      current_cylinder_ = chs.cylinder;
+      const Micros after_seek = (t + step) % params_.rotation_us;
+      const Micros realign =
+          (params_.rotation_us - after_seek) % params_.rotation_us;
+      service.transfer_us += step + realign;
+      t += step + realign;
+    }
+    // Head switch within the cylinder: sector 0 of the next track is exactly
+    // where the previous track's last sector ended (aligned tracks, and a
+    // track holds a whole number of sectors), so no extra wait.
+  }
+
+  return service;
+}
+
+}  // namespace cedar::sim

@@ -1,0 +1,129 @@
+// A packed bitmap over sector numbers, the representation behind both
+// systems' Volume Allocation Map (VAM). Bit set = sector free.
+
+#ifndef CEDAR_UTIL_BITMAP_H_
+#define CEDAR_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace cedar {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint32_t size, bool initial = false)
+      : size_(size), words_((size + 63) / 64, initial ? ~0ull : 0ull) {
+    TrimTail();
+  }
+
+  std::uint32_t size() const { return size_; }
+
+  bool Get(std::uint32_t i) const {
+    CEDAR_CHECK(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void Set(std::uint32_t i, bool value) {
+    CEDAR_CHECK(i < size_);
+    if (value) {
+      words_[i / 64] |= (1ull << (i % 64));
+    } else {
+      words_[i / 64] &= ~(1ull << (i % 64));
+    }
+  }
+
+  void SetRange(std::uint32_t start, std::uint32_t count, bool value) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Set(start + i, value);
+    }
+  }
+
+  // Number of set bits.
+  std::uint32_t Count() const {
+    std::uint32_t n = 0;
+    for (std::uint64_t w : words_) {
+      n += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  // First run of >= count consecutive set bits at or after `from`, searching
+  // forward. Returns the run start.
+  std::optional<std::uint32_t> FindRunForward(std::uint32_t from,
+                                              std::uint32_t count) const {
+    std::uint32_t run = 0;
+    for (std::uint32_t i = from; i < size_; ++i) {
+      run = Get(i) ? run + 1 : 0;
+      if (run >= count) {
+        return i - count + 1;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // First run of >= count consecutive set bits at or before `from`,
+  // searching backward (run end <= from). Returns the run start.
+  std::optional<std::uint32_t> FindRunBackward(std::uint32_t from,
+                                               std::uint32_t count) const {
+    if (size_ == 0) {
+      return std::nullopt;
+    }
+    std::uint32_t run = 0;
+    for (std::uint32_t i = std::min(from, size_ - 1) + 1; i-- > 0;) {
+      run = Get(i) ? run + 1 : 0;
+      if (run >= count) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Longest run of set bits in [start, end); used by fragmentation metrics.
+  std::uint32_t LongestRun(std::uint32_t start, std::uint32_t end) const {
+    std::uint32_t best = 0;
+    std::uint32_t run = 0;
+    for (std::uint32_t i = start; i < end && i < size_; ++i) {
+      run = Get(i) ? run + 1 : 0;
+      best = std::max(best, run);
+    }
+    return best;
+  }
+
+  // Merges another bitmap with OR (used to fold the shadow free map into
+  // the VAM at commit).
+  void OrWith(const Bitmap& other) {
+    CEDAR_CHECK(other.size_ == size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  void Clear() { std::fill(words_.begin(), words_.end(), 0ull); }
+
+  // Raw word access for serialization.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  void TrimTail() {
+    // Clear bits past size_ so Count() and == stay exact.
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+    }
+  }
+
+  std::uint32_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_UTIL_BITMAP_H_

@@ -1,0 +1,37 @@
+// Internal invariant checks. A failed check indicates a bug in this library,
+// never a simulated hardware fault (those are reported through Status).
+
+#ifndef CEDAR_UTIL_CHECK_H_
+#define CEDAR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cedar::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CEDAR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace cedar::internal
+
+#define CEDAR_CHECK(expr)                                   \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::cedar::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                       \
+  } while (false)
+
+#define CEDAR_CHECK_OK(expr)                                     \
+  do {                                                           \
+    auto cedar_check_status__ = (expr);                          \
+    if (!cedar_check_status__.ok()) {                            \
+      std::fprintf(stderr, "status: %s\n",                       \
+                   cedar_check_status__.ToString().c_str());     \
+      ::cedar::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (false)
+
+#endif  // CEDAR_UTIL_CHECK_H_

@@ -1,0 +1,52 @@
+#include "src/util/status.h"
+
+namespace cedar {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kSectorDamaged:
+      return "SECTOR_DAMAGED";
+    case ErrorCode::kLabelMismatch:
+      return "LABEL_MISMATCH";
+    case ErrorCode::kDeviceCrashed:
+      return "DEVICE_CRASHED";
+    case ErrorCode::kCorruptMetadata:
+      return "CORRUPT_METADATA";
+    case ErrorCode::kNoFreeSpace:
+      return "NO_FREE_SPACE";
+    case ErrorCode::kChecksumMismatch:
+      return "CHECKSUM_MISMATCH";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out{ErrorCodeName(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace cedar

@@ -1,0 +1,300 @@
+#include "src/workload/trace.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace cedar::workload {
+namespace {
+
+std::vector<std::uint8_t> Payload(std::uint64_t size, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(size);
+  Rng rng(seed);
+  for (auto& byte : out) {
+    byte = static_cast<std::uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+const char* OpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kCreate:
+      return "create";
+    case TraceOp::kOpen:
+      return "open";
+    case TraceOp::kRead:
+      return "read";
+    case TraceOp::kWrite:
+      return "write";
+    case TraceOp::kExtend:
+      return "extend";
+    case TraceOp::kDelete:
+      return "delete";
+    case TraceOp::kList:
+      return "list";
+    case TraceOp::kTouch:
+      return "touch";
+    case TraceOp::kSetKeep:
+      return "setkeep";
+    case TraceOp::kForce:
+      return "force";
+    case TraceOp::kAdvance:
+      return "advance";
+  }
+  return "?";
+}
+
+// How many of (name, arg0, arg1, arg2) each op uses.
+struct Arity {
+  bool name = false;
+  int args = 0;
+};
+
+Arity OpArity(TraceOp op) {
+  switch (op) {
+    case TraceOp::kCreate:
+      return {true, 2};
+    case TraceOp::kOpen:
+    case TraceOp::kDelete:
+    case TraceOp::kTouch:
+      return {true, 0};
+    case TraceOp::kRead:
+      return {true, 2};
+    case TraceOp::kWrite:
+      return {true, 3};
+    case TraceOp::kExtend:
+    case TraceOp::kSetKeep:
+      return {true, 1};
+    case TraceOp::kList:
+      return {true, 0};
+    case TraceOp::kForce:
+      return {false, 0};
+    case TraceOp::kAdvance:
+      return {false, 1};
+  }
+  return {false, 0};
+}
+
+}  // namespace
+
+std::string FormatTrace(std::span<const TraceEntry> entries) {
+  std::ostringstream out;
+  for (const TraceEntry& entry : entries) {
+    const Arity arity = OpArity(entry.op);
+    out << OpName(entry.op);
+    if (arity.name) {
+      out << ' ' << entry.name;
+    }
+    if (arity.args >= 1) {
+      out << ' ' << entry.arg0;
+    }
+    if (arity.args >= 2) {
+      out << ' ' << entry.arg1;
+    }
+    if (arity.args >= 3) {
+      out << ' ' << entry.arg2;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<std::vector<TraceEntry>> ParseTrace(std::string_view text) {
+  std::vector<TraceEntry> entries;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_number;
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    // Tokenize.
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') {
+        ++i;
+      }
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ') {
+        ++i;
+      }
+      if (i > start) {
+        tokens.push_back(line.substr(start, i - start));
+      }
+    }
+    if (tokens.empty() || tokens[0].front() == '#') {
+      continue;
+    }
+
+    auto fail = [&](const char* what) {
+      return MakeError(ErrorCode::kInvalidArgument,
+                       "trace line " + std::to_string(line_number) + ": " +
+                           what);
+    };
+
+    TraceEntry entry;
+    bool known = false;
+    for (TraceOp op :
+         {TraceOp::kCreate, TraceOp::kOpen, TraceOp::kRead, TraceOp::kWrite,
+          TraceOp::kExtend, TraceOp::kDelete, TraceOp::kList, TraceOp::kTouch,
+          TraceOp::kSetKeep, TraceOp::kForce, TraceOp::kAdvance}) {
+      if (tokens[0] == OpName(op)) {
+        entry.op = op;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return fail("unknown operation");
+    }
+    const Arity arity = OpArity(entry.op);
+    std::size_t next = 1;
+    if (arity.name) {
+      if (next >= tokens.size()) {
+        return fail("missing name");
+      }
+      entry.name = std::string(tokens[next++]);
+    }
+    std::uint64_t* slots[3] = {&entry.arg0, &entry.arg1, &entry.arg2};
+    for (int a = 0; a < arity.args; ++a) {
+      if (next >= tokens.size()) {
+        return fail("missing argument");
+      }
+      const std::string_view token = tokens[next++];
+      auto [ptr, ec] = std::from_chars(token.data(),
+                                       token.data() + token.size(), *slots[a]);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return fail("malformed number");
+      }
+    }
+    if (next != tokens.size()) {
+      return fail("trailing tokens");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<ReplayStats> ReplayTrace(
+    fs::FileSystem* file_system, std::span<const TraceEntry> entries,
+    const std::function<Status(sim::Micros)>& advance) {
+  ReplayStats stats;
+  auto tolerate = [&stats](const Status& status) {
+    if (status.code() == ErrorCode::kNotFound) {
+      ++stats.not_found;
+      return OkStatus();
+    }
+    return status;
+  };
+
+  for (const TraceEntry& entry : entries) {
+    ++stats.ops;
+    switch (entry.op) {
+      case TraceOp::kCreate:
+        CEDAR_RETURN_IF_ERROR(
+            file_system->CreateFile(entry.name, Payload(entry.arg0, entry.arg1))
+                .status());
+        break;
+      case TraceOp::kOpen:
+        CEDAR_RETURN_IF_ERROR(tolerate(file_system->Open(entry.name).status()));
+        break;
+      case TraceOp::kRead: {
+        auto handle = file_system->Open(entry.name);
+        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+        if (handle.ok()) {
+          const std::uint64_t end =
+              std::min(handle->byte_size, entry.arg0 + entry.arg1);
+          if (end > entry.arg0) {
+            std::vector<std::uint8_t> out(end - entry.arg0);
+            CEDAR_RETURN_IF_ERROR(file_system->Read(*handle, entry.arg0, out));
+          }
+        }
+        break;
+      }
+      case TraceOp::kWrite: {
+        auto handle = file_system->Open(entry.name);
+        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+        if (handle.ok()) {
+          const std::uint64_t end =
+              std::min(handle->byte_size, entry.arg0 + entry.arg1);
+          if (end > entry.arg0) {
+            CEDAR_RETURN_IF_ERROR(file_system->Write(
+                *handle, entry.arg0, Payload(end - entry.arg0, entry.arg2)));
+          }
+        }
+        break;
+      }
+      case TraceOp::kExtend: {
+        auto handle = file_system->Open(entry.name);
+        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+        if (handle.ok()) {
+          CEDAR_RETURN_IF_ERROR(file_system->Extend(*handle, entry.arg0));
+        }
+        break;
+      }
+      case TraceOp::kDelete:
+        CEDAR_RETURN_IF_ERROR(tolerate(file_system->DeleteFile(entry.name)));
+        break;
+      case TraceOp::kList:
+        CEDAR_RETURN_IF_ERROR(file_system->List(entry.name).status());
+        break;
+      case TraceOp::kTouch:
+        CEDAR_RETURN_IF_ERROR(tolerate(file_system->Touch(entry.name)));
+        break;
+      case TraceOp::kSetKeep:
+        CEDAR_RETURN_IF_ERROR(tolerate(file_system->SetKeep(
+            entry.name, static_cast<std::uint16_t>(entry.arg0))));
+        break;
+      case TraceOp::kForce:
+        CEDAR_RETURN_IF_ERROR(file_system->Force());
+        break;
+      case TraceOp::kAdvance:
+        CEDAR_RETURN_IF_ERROR(advance(entry.arg0 * sim::kMillisecond));
+        break;
+    }
+  }
+  return stats;
+}
+
+std::vector<TraceEntry> GenerateTrace(const TraceGenConfig& config, Rng& rng) {
+  std::vector<TraceEntry> entries;
+  for (std::uint32_t i = 0; i < config.operations; ++i) {
+    const std::string name =
+        "t/f" + std::to_string(rng.Below(config.name_space));
+    TraceEntry entry;
+    switch (rng.Below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        entry = {TraceOp::kCreate, name, rng.Between(1, config.max_bytes),
+                 rng.Next(), 0};
+        break;
+      case 4:
+      case 5:
+        entry = {TraceOp::kRead, name, rng.Below(config.max_bytes / 2),
+                 rng.Between(1, 2048), 0};
+        break;
+      case 6:
+        entry = {TraceOp::kDelete, name, 0, 0, 0};
+        break;
+      case 7:
+        entry = {TraceOp::kTouch, name, 0, 0, 0};
+        break;
+      case 8:
+        entry = {TraceOp::kList, "t/", 0, 0, 0};
+        break;
+      case 9:
+        entry = {TraceOp::kAdvance, "",
+                 config.think_time / sim::kMillisecond, 0, 0};
+        break;
+    }
+    entries.push_back(std::move(entry));
+  }
+  entries.push_back(TraceEntry{TraceOp::kForce, "", 0, 0, 0});
+  return entries;
+}
+
+}  // namespace cedar::workload

@@ -1,0 +1,90 @@
+// Operation traces: a small text format for recording file-system
+// workloads and replaying them against any fs::FileSystem implementation.
+//
+// Format, one operation per line ('#' starts a comment):
+//
+//   create <name> <bytes> <seed>
+//   open <name>
+//   read <name> <offset> <length>
+//   write <name> <offset> <length> <seed>
+//   extend <name> <bytes>
+//   delete <name>
+//   list <prefix>
+//   touch <name>
+//   setkeep <name> <count>
+//   force
+//   advance <milliseconds>        # virtual think time (drives group commit)
+//
+// Payloads are derived deterministically from <seed>, so replaying the same
+// trace on two systems must produce byte-identical file contents — the
+// property the cross-system tests and benchmark comparisons rely on.
+
+#ifndef CEDAR_WORKLOAD_TRACE_H_
+#define CEDAR_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fsapi/file_system.h"
+#include "src/sim/clock.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace cedar::workload {
+
+enum class TraceOp : std::uint8_t {
+  kCreate,
+  kOpen,
+  kRead,
+  kWrite,
+  kExtend,
+  kDelete,
+  kList,
+  kTouch,
+  kSetKeep,
+  kForce,
+  kAdvance,
+};
+
+struct TraceEntry {
+  TraceOp op = TraceOp::kForce;
+  std::string name;        // or prefix for kList; empty for kForce/kAdvance
+  std::uint64_t arg0 = 0;  // bytes / offset / count / milliseconds
+  std::uint64_t arg1 = 0;  // length / seed
+  std::uint64_t arg2 = 0;  // seed (kWrite)
+};
+
+// Serializes a trace to the text format above.
+std::string FormatTrace(std::span<const TraceEntry> entries);
+
+// Parses the text format; fails on the first malformed line (the message
+// names the line number).
+Result<std::vector<TraceEntry>> ParseTrace(std::string_view text);
+
+struct ReplayStats {
+  std::uint64_t ops = 0;
+  std::uint64_t not_found = 0;  // opens/deletes of absent files (tolerated)
+};
+
+// Replays a trace. `advance` receives kAdvance think time (wire it to the
+// virtual clock plus the system's Tick). Fails on any unexpected error;
+// kNotFound from open/delete/touch is counted, not fatal, so traces can be
+// replayed against partially recovered volumes.
+Result<ReplayStats> ReplayTrace(
+    fs::FileSystem* file_system, std::span<const TraceEntry> entries,
+    const std::function<Status(sim::Micros)>& advance);
+
+// Generates a random but deterministic trace with the given shape.
+struct TraceGenConfig {
+  std::uint32_t operations = 500;
+  std::uint32_t name_space = 40;  // distinct file names
+  std::uint64_t max_bytes = 8000;
+  sim::Micros think_time = 40 * sim::kMillisecond;
+};
+std::vector<TraceEntry> GenerateTrace(const TraceGenConfig& config, Rng& rng);
+
+}  // namespace cedar::workload
+
+#endif  // CEDAR_WORKLOAD_TRACE_H_

@@ -1,0 +1,88 @@
+// Workload generators for the benchmarks.
+//
+//  - SizeDistribution reproduces the paper's section 5.6 measurement: 50%
+//    of files are under 4000 bytes but hold only ~8% of the sectors.
+//  - PopulateVolume fills a volume to a target utilization ("moderately
+//    full" for the recovery benchmarks).
+//  - MakeDo models the Cedar build tool used as the metadata-intensive
+//    benchmark in Table 3: scan a module tree, stat everything, read the
+//    stale sources, emit new object-file versions, delete the old ones.
+//  - BulkUpdate models the section 5.4 workload: bursts of property updates
+//    and version replacements localized to one subdirectory, the hot-spot
+//    pattern group commit absorbs.
+
+#ifndef CEDAR_WORKLOAD_WORKLOAD_H_
+#define CEDAR_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fsapi/file_system.h"
+#include "src/sim/clock.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace cedar::workload {
+
+class SizeDistribution {
+ public:
+  // Half the draws are "small" (uniform 128..4000 bytes), half follow an
+  // exponential tail with the given mean, floored at 4000 bytes.
+  explicit SizeDistribution(double large_mean_bytes = 24000.0)
+      : large_mean_(large_mean_bytes) {}
+
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  double large_mean_;
+};
+
+// Creates `count` files named <prefix>NNN with sizes from `sizes`. Returns
+// the total bytes written.
+Result<std::uint64_t> PopulateVolume(fs::FileSystem* file_system,
+                                     std::string_view prefix,
+                                     std::uint32_t count,
+                                     const SizeDistribution& sizes, Rng& rng);
+
+struct MakeDoConfig {
+  std::uint32_t modules = 50;
+  double stale_fraction = 0.3;  // modules needing recompilation
+  std::uint32_t source_bytes = 6000;
+  std::uint32_t object_bytes = 9000;
+};
+
+struct MakeDoResult {
+  std::uint32_t modules_scanned = 0;
+  std::uint32_t modules_rebuilt = 0;
+};
+
+// Sets up a module tree (sources + objects) under `prefix`.
+Status MakeDoSetup(fs::FileSystem* file_system, std::string_view prefix,
+                   const MakeDoConfig& config, Rng& rng);
+
+// Runs one build pass: list, stat, read stale sources, write new objects,
+// delete old object versions.
+Result<MakeDoResult> MakeDoBuild(fs::FileSystem* file_system,
+                                 std::string_view prefix,
+                                 const MakeDoConfig& config, Rng& rng);
+
+struct BulkUpdateConfig {
+  std::uint32_t files = 40;       // subdirectory size
+  std::uint32_t rounds = 10;      // bursts
+  std::uint32_t touches_per_round = 30;
+  std::uint32_t rewrites_per_round = 5;
+  sim::Micros think_time = 150 * sim::kMillisecond;  // between operations
+};
+
+// Runs the bulk-update pattern. `advance` is called with the think time
+// between operations so group commit timers can fire (pass the virtual
+// clock's Advance + the file system's Tick).
+Status BulkUpdate(fs::FileSystem* file_system, std::string_view prefix,
+                  const BulkUpdateConfig& config, Rng& rng,
+                  const std::function<Status(sim::Micros)>& advance);
+
+}  // namespace cedar::workload
+
+#endif  // CEDAR_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/util/bitmap.h"
+#include "src/util/random.h"
+
+namespace cedar {
+namespace {
+
+TEST(BitmapTest, InitialValue) {
+  Bitmap zeros(100, false);
+  Bitmap ones(100, true);
+  EXPECT_EQ(zeros.Count(), 0u);
+  EXPECT_EQ(ones.Count(), 100u);
+  EXPECT_FALSE(zeros.Get(50));
+  EXPECT_TRUE(ones.Get(50));
+}
+
+TEST(BitmapTest, TailBitsClearedOnInit) {
+  Bitmap ones(70, true);  // 70 is not a multiple of 64
+  EXPECT_EQ(ones.Count(), 70u);
+}
+
+TEST(BitmapTest, SetAndRange) {
+  Bitmap bits(200);
+  bits.Set(7, true);
+  bits.SetRange(100, 50, true);
+  EXPECT_TRUE(bits.Get(7));
+  EXPECT_TRUE(bits.Get(100));
+  EXPECT_TRUE(bits.Get(149));
+  EXPECT_FALSE(bits.Get(150));
+  EXPECT_EQ(bits.Count(), 51u);
+  bits.SetRange(100, 50, false);
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(BitmapTest, FindRunForward) {
+  Bitmap bits(100);
+  bits.SetRange(10, 5, true);
+  bits.SetRange(40, 20, true);
+  EXPECT_EQ(*bits.FindRunForward(0, 3), 10u);
+  EXPECT_EQ(*bits.FindRunForward(0, 10), 40u);
+  EXPECT_EQ(*bits.FindRunForward(20, 3), 40u);
+  EXPECT_FALSE(bits.FindRunForward(0, 21).has_value());
+}
+
+TEST(BitmapTest, FindRunBackward) {
+  Bitmap bits(100);
+  bits.SetRange(10, 5, true);
+  bits.SetRange(40, 20, true);
+  EXPECT_EQ(*bits.FindRunBackward(99, 3), 57u);  // run ends at 59
+  EXPECT_EQ(*bits.FindRunBackward(30, 3), 12u);
+  EXPECT_FALSE(bits.FindRunBackward(99, 25).has_value());
+}
+
+TEST(BitmapTest, FindRunBackwardAtZero) {
+  Bitmap bits(10);
+  bits.Set(0, true);
+  EXPECT_EQ(*bits.FindRunBackward(9, 1), 0u);
+}
+
+TEST(BitmapTest, LongestRun) {
+  Bitmap bits(100);
+  bits.SetRange(5, 3, true);
+  bits.SetRange(20, 8, true);
+  EXPECT_EQ(bits.LongestRun(0, 100), 8u);
+  EXPECT_EQ(bits.LongestRun(0, 24), 4u);  // clipped window
+}
+
+TEST(BitmapTest, OrWith) {
+  Bitmap a(128);
+  Bitmap b(128);
+  a.SetRange(0, 10, true);
+  b.SetRange(5, 10, true);
+  a.OrWith(b);
+  EXPECT_EQ(a.Count(), 15u);
+}
+
+TEST(BitmapTest, EqualityAndWords) {
+  Bitmap a(65, true);
+  Bitmap b(65, true);
+  EXPECT_EQ(a, b);
+  b.Set(64, false);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.words().size(), 2u);
+}
+
+TEST(BitmapTest, RandomizedAgainstVector) {
+  Rng rng(88);
+  Bitmap bits(500);
+  std::vector<bool> oracle(500, false);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::uint32_t>(rng.Below(500));
+    const bool v = rng.Chance(0.5);
+    bits.Set(i, v);
+    oracle[i] = v;
+  }
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(bits.Get(i), oracle[i]) << i;
+    count += oracle[i];
+  }
+  EXPECT_EQ(bits.Count(), count);
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,330 @@
+// Crash-recovery tests for FSD: the paper's section 5.8 robustness claims
+// and section 5.9 recovery behaviour, exercised with fault injection.
+//
+// The durability contract under test:
+//   - anything forced (Force()/group-commit fired) survives any crash;
+//   - anything not yet forced may be lost — but the file system is always
+//     structurally consistent after Mount() (tree invariants hold, the VAM
+//     matches the name table, no file's data is cross-corrupted);
+//   - one- or two-sector damage anywhere hurts at most one file.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/random.h"
+
+namespace cedar::core {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return out;
+}
+
+FsdConfig SmallConfig() {
+  FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 256;
+  config.cache_frames = 1024;
+  return config;
+}
+
+class FsdRecoveryTest : public ::testing::Test {
+ protected:
+  FsdRecoveryTest()
+      : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_),
+        fsd_(std::make_unique<Fsd>(&disk_, SmallConfig())) {
+    CEDAR_CHECK_OK(fsd_->Format());
+  }
+
+  // Simulates a crash: drops all volatile state and re-mounts a fresh
+  // instance against the surviving disk image.
+  Fsd& CrashAndRemount() {
+    disk_.CrashNow();
+    disk_.Reopen();
+    fsd_ = std::make_unique<Fsd>(&disk_, SmallConfig());
+    CEDAR_CHECK_OK(fsd_->Mount());
+    return *fsd_;
+  }
+
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  std::unique_ptr<Fsd> fsd_;
+};
+
+TEST_F(FsdRecoveryTest, ForcedCreateSurvivesCrash) {
+  ASSERT_TRUE(fsd_->CreateFile("durable", Bytes(1000, 3)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+
+  Fsd& after = CrashAndRemount();
+  auto handle = after.Open("durable");
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::uint8_t> out(1000);
+  ASSERT_TRUE(after.Read(*handle, 0, out).ok());
+  EXPECT_EQ(out, Bytes(1000, 3));
+}
+
+TEST_F(FsdRecoveryTest, UnforcedCreateMayVanishButNothingBreaks) {
+  ASSERT_TRUE(fsd_->CreateFile("committed", Bytes(100, 1)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+  ASSERT_TRUE(fsd_->CreateFile("volatile", Bytes(100, 2)).ok());
+  // No force: at most half a second of work is at risk (section 5.4).
+
+  Fsd& after = CrashAndRemount();
+  EXPECT_TRUE(after.Open("committed").ok());
+  EXPECT_EQ(after.Open("volatile").status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(after.CheckNameTableInvariants().ok());
+  // The lost file's sectors were reclaimed by the VAM rebuild.
+  ASSERT_TRUE(after.CreateFile("reuse", Bytes(100, 3)).ok());
+}
+
+TEST_F(FsdRecoveryTest, ForcedDeleteSurvivesCrash) {
+  ASSERT_TRUE(fsd_->CreateFile("doomed", Bytes(100, 1)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+  ASSERT_TRUE(fsd_->DeleteFile("doomed").ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+
+  Fsd& after = CrashAndRemount();
+  EXPECT_EQ(after.Open("doomed").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsdRecoveryTest, UnforcedDeleteRollsBack) {
+  ASSERT_TRUE(fsd_->CreateFile("phoenix", Bytes(700, 4)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+  ASSERT_TRUE(fsd_->DeleteFile("phoenix").ok());
+  // Crash before the delete commits: the file must come back intact —
+  // which is also why its pages sat in the shadow map, unavailable for
+  // reallocation.
+  Fsd& after = CrashAndRemount();
+  auto handle = after.Open("phoenix");
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::uint8_t> out(700);
+  ASSERT_TRUE(after.Read(*handle, 0, out).ok());
+  EXPECT_EQ(out, Bytes(700, 4));
+}
+
+TEST_F(FsdRecoveryTest, TornLogWriteLosesOnlyTheTornBatch) {
+  ASSERT_TRUE(fsd_->CreateFile("safe", Bytes(200, 1)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+
+  ASSERT_TRUE(fsd_->CreateFile("torn", Bytes(200, 2)).ok());
+  // The next force's log write is torn after 2 sectors.
+  disk_.ArmCrash(sim::CrashPlan{.at_write_index = 0,
+                                .sectors_completed = 2,
+                                .sectors_damaged = 2});
+  EXPECT_EQ(fsd_->Force().code(), ErrorCode::kDeviceCrashed);
+
+  disk_.Reopen();
+  fsd_ = std::make_unique<Fsd>(&disk_, SmallConfig());
+  ASSERT_TRUE(fsd_->Mount().ok());
+  EXPECT_TRUE(fsd_->Open("safe").ok());
+  EXPECT_EQ(fsd_->Open("torn").status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(fsd_->CheckNameTableInvariants().ok());
+}
+
+TEST_F(FsdRecoveryTest, MultiPageTreeUpdateIsAtomicAcrossCrash) {
+  // Load the tree until inserts cause splits (multi-page updates), force,
+  // then crash. CFS could tear these; FSD must not.
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(
+        fsd_->CreateFile("atomic/f" + std::to_string(1000 + i), Bytes(40, 1))
+            .ok());
+  }
+  ASSERT_TRUE(fsd_->Force().ok());
+  Fsd& after = CrashAndRemount();
+  ASSERT_TRUE(after.CheckNameTableInvariants().ok());
+  auto list = after.List("atomic/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 120u);
+}
+
+TEST_F(FsdRecoveryTest, RecoveryIsIdempotentAcrossRepeatedCrashes) {
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("i/f" + std::to_string(i), Bytes(100, 1)).ok());
+  }
+  ASSERT_TRUE(fsd_->Force().ok());
+  // Crash, recover, crash again immediately, recover again.
+  CrashAndRemount();
+  Fsd& after = CrashAndRemount();
+  auto list = after.List("i/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 30u);
+  EXPECT_TRUE(after.CheckNameTableInvariants().ok());
+}
+
+TEST_F(FsdRecoveryTest, DeletedLeaderTombstoneProtectsReallocatedSector) {
+  // Create F, force (leader image enters the log via... the leader was
+  // piggybacked, so use a zero-length create whose leader IS logged).
+  ASSERT_TRUE(fsd_->CreateFile("F", {}).ok());
+  ASSERT_TRUE(fsd_->Force().ok());  // F's leader image is in the log
+  ASSERT_TRUE(fsd_->DeleteFile("F").ok());
+  ASSERT_TRUE(fsd_->Force().ok());  // delete commits; sector reusable
+  // G reuses F's sector (small files allocate first-fit from the bottom).
+  ASSERT_TRUE(fsd_->CreateFile("G", Bytes(1500, 9)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+
+  Fsd& after = CrashAndRemount();
+  // Replay must NOT have written F's dead leader over G's pages.
+  auto handle = after.Open("G");
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::uint8_t> out(1500);
+  ASSERT_TRUE(after.Read(*handle, 0, out).ok());
+  EXPECT_EQ(out, Bytes(1500, 9));
+}
+
+TEST_F(FsdRecoveryTest, VamRebuildMatchesNameTable) {
+  Rng rng(55);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("m/f" + std::to_string(i),
+                                 Bytes(rng.Between(1, 5000),
+                                       static_cast<std::uint8_t>(i)))
+                    .ok());
+  }
+  for (int i = 0; i < 60; i += 3) {
+    ASSERT_TRUE(fsd_->DeleteFile("m/f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(fsd_->Force().ok());
+  const std::uint32_t free_live = fsd_->FreeSectors();
+
+  Fsd& after = CrashAndRemount();
+  // The rebuilt VAM must agree exactly with the live one: same free count.
+  EXPECT_EQ(after.FreeSectors(), free_live);
+}
+
+TEST_F(FsdRecoveryTest, CrashDuringThirdFlushIsSafe) {
+  // Drive enough commits to wrap the log and trigger third flushes, with a
+  // crash armed in the middle of the churn.
+  Rng rng(66);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(fsd_->CreateFile("w/f" + std::to_string(rng.Below(50)),
+                                   Bytes(100, static_cast<std::uint8_t>(i)))
+                      .ok());
+    }
+    clock_.Advance(600 * sim::kMillisecond);
+    ASSERT_TRUE(fsd_->Tick().ok());
+  }
+  EXPECT_GE(fsd_->log_stats().third_entries, 1u);
+  ASSERT_TRUE(fsd_->Force().ok());
+  auto live = fsd_->List("w/");
+  ASSERT_TRUE(live.ok());
+
+  Fsd& after = CrashAndRemount();
+  auto recovered = after.List("w/");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), live->size());
+  EXPECT_TRUE(after.CheckNameTableInvariants().ok());
+}
+
+TEST_F(FsdRecoveryTest, DamagedNtSectorDuringRecoveryMount) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("d/f" + std::to_string(i), Bytes(80, 1)).ok());
+  }
+  ASSERT_TRUE(fsd_->Force().ok());
+  disk_.CrashNow();
+  disk_.Reopen();
+  // A medium error on a primary name-table sector on top of the crash.
+  disk_.DamageSectors(fsd_->layout().nta_base + 1, 1);
+  fsd_ = std::make_unique<Fsd>(&disk_, SmallConfig());
+  ASSERT_TRUE(fsd_->Mount().ok());
+  auto list = fsd_->List("d/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 50u);
+}
+
+// The crash matrix: run a scripted workload, crash after every k-th disk
+// write, remount, and check the durability contract. This sweeps the crash
+// point across log writes, pointer writes, home writes, and data writes.
+class FsdCrashMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsdCrashMatrixTest, ConsistentAfterCrashAtAnyWrite) {
+  const int crash_write = GetParam();
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  auto fsd = std::make_unique<Fsd>(&disk, SmallConfig());
+  ASSERT_TRUE(fsd->Format().ok());
+
+  // Baseline: files created and forced before the crash is armed.
+  std::map<std::string, std::vector<std::uint8_t>> durable;
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "base/f" + std::to_string(i);
+    auto contents = Bytes(200 + i * 37, static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(fsd->CreateFile(name, contents).ok());
+    durable[name] = contents;
+  }
+  ASSERT_TRUE(fsd->Force().ok());
+
+  disk.ArmCrash(sim::CrashPlan{
+      .at_write_index = static_cast<std::uint64_t>(crash_write),
+      .sectors_completed = 1,
+      .sectors_damaged = 1});
+
+  // Churn until the crash fires (creates, deletes, touches, commits).
+  Rng rng(static_cast<std::uint64_t>(crash_write) * 31 + 7);
+  Status status = OkStatus();
+  for (int step = 0; step < 500 && status.ok(); ++step) {
+    const std::string name = "churn/f" + std::to_string(rng.Below(20));
+    switch (rng.Below(4)) {
+      case 0:
+      case 1:
+        status = fsd->CreateFile(name, Bytes(rng.Between(1, 1500),
+                                             static_cast<std::uint8_t>(step)))
+                     .status();
+        break;
+      case 2: {
+        Status s = fsd->DeleteFile(name);
+        status = s.code() == ErrorCode::kNotFound ? OkStatus() : s;
+        break;
+      }
+      case 3:
+        clock.Advance(300 * sim::kMillisecond);
+        status = fsd->Tick();
+        break;
+    }
+  }
+  ASSERT_EQ(status.code(), ErrorCode::kDeviceCrashed)
+      << "crash never fired; raise churn";
+
+  disk.Reopen();
+  auto after = std::make_unique<Fsd>(&disk, SmallConfig());
+  ASSERT_TRUE(after->Mount().ok());
+
+  // Contract 1: structural consistency.
+  ASSERT_TRUE(after->CheckNameTableInvariants().ok());
+  // Contract 2: all pre-crash forced files fully intact.
+  for (const auto& [name, contents] : durable) {
+    auto handle = after->Open(name);
+    ASSERT_TRUE(handle.ok()) << name;
+    std::vector<std::uint8_t> out(handle->byte_size);
+    ASSERT_TRUE(after->Read(*handle, 0, out).ok()) << name;
+    EXPECT_EQ(out, contents) << name;
+  }
+  // Contract 3: every surviving churn file is readable end to end.
+  auto survivors = after->List("churn/");
+  ASSERT_TRUE(survivors.ok());
+  for (const auto& info : *survivors) {
+    auto handle = after->Open(info.name);
+    ASSERT_TRUE(handle.ok()) << info.name;
+    std::vector<std::uint8_t> out(handle->byte_size);
+    EXPECT_TRUE(after->Read(*handle, 0, out).ok()) << info.name;
+  }
+  // Contract 4: the volume still works.
+  ASSERT_TRUE(after->CreateFile("post/alive", Bytes(100, 0)).ok());
+  ASSERT_TRUE(after->Force().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, FsdCrashMatrixTest,
+                         ::testing::Range(0, 60, 3));
+
+}  // namespace
+}  // namespace cedar::core

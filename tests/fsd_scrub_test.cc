@@ -1,0 +1,173 @@
+// Tests for Fsd::Scrub: the online mutual-consistency check between the
+// name table, the leader pages, and the VAM.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+
+namespace cedar::core {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  return std::vector<std::uint8_t>(n, seed);
+}
+
+FsdConfig Config(bool vam_logging = false) {
+  FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 256;
+  config.cache_frames = 1024;
+  config.vam_logging = vam_logging;
+  return config;
+}
+
+class FsdScrubTest : public ::testing::Test {
+ protected:
+  FsdScrubTest()
+      : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_),
+        fsd_(std::make_unique<Fsd>(&disk_, Config())) {
+    CEDAR_CHECK_OK(fsd_->Format());
+  }
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  std::unique_ptr<Fsd> fsd_;
+};
+
+TEST_F(FsdScrubTest, CleanVolumeReportsNothing) {
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("c/" + std::to_string(i), Bytes(700, 1)).ok());
+  }
+  ASSERT_TRUE(fsd_->DeleteFile("c/3").ok());
+  auto report = fsd_->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_checked, 24u);
+  EXPECT_EQ(report->leaders_repaired, 0u);
+  EXPECT_EQ(report->leaked_sectors_reclaimed, 0u);
+  EXPECT_EQ(report->missing_used_sectors_fixed, 0u);
+  EXPECT_EQ(report->nt_pages_reconciled, 0u);
+}
+
+TEST_F(FsdScrubTest, RepairsSmashedLeader) {
+  ASSERT_TRUE(fsd_->CreateFile("victim", Bytes(900, 5)).ok());
+  ASSERT_TRUE(fsd_->Force().ok());
+  // Smash the small-file area's leaders.
+  for (sim::Lba lba = fsd_->layout().data_low;
+       lba < fsd_->layout().data_low + 16; ++lba) {
+    disk_.WildWrite(lba, lba * 3);
+  }
+  auto report = fsd_->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->leaders_repaired, 1u);
+
+  // After the repair, a fresh open + read passes the leader check. (The
+  // data bytes were also smashed — this checks metadata healing, so
+  // restore them first via an in-place write.)
+  auto handle = fsd_->Open("victim");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fsd_->Write(*handle, 0, Bytes(900, 5)).ok());
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  Fsd again(&disk_, Config());
+  ASSERT_TRUE(again.Mount().ok());
+  auto fresh = again.Open("victim");
+  ASSERT_TRUE(fresh.ok());
+  std::vector<std::uint8_t> out(900);
+  EXPECT_TRUE(again.Read(*fresh, 0, out).ok());
+}
+
+// After a crash under VAM logging, the fast-path VAM can over-approximate
+// "used" (e.g. the base snapshot caught allocations whose name-table
+// entries never committed — a safe leak). Scrub must converge the VAM to
+// exactly the state a full name-table rebuild would compute, at every
+// crash point.
+class FsdScrubConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsdScrubConvergenceTest, ScrubConvergesToRebuildTruth) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  auto fsd = std::make_unique<Fsd>(&disk, Config(/*vam_logging=*/true));
+  ASSERT_TRUE(fsd->Format().ok());
+
+  // Committed work plus churn so the log has wrapped and base snapshots
+  // exist, then uncommitted creates, then a crash at the parameterized
+  // write index of the final force.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(fsd->CreateFile("c/" + std::to_string(round * 6 + i),
+                                  Bytes(700, 1))
+                      .ok());
+    }
+    clock.Advance(600 * sim::kMillisecond);
+    ASSERT_TRUE(fsd->Tick().ok());
+  }
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(fsd->CreateFile("u/" + std::to_string(i), Bytes(900, 2)).ok());
+  }
+  disk.ArmCrash(sim::CrashPlan{
+      .at_write_index = static_cast<std::uint64_t>(GetParam()),
+      .sectors_completed = 1,
+      .sectors_damaged = 1});
+  Status forced = fsd->Force();
+  if (forced.ok()) {
+    // The crash is still armed; fire it on the next write.
+    (void)fsd->CreateFile("late", Bytes(5000, 3));
+    (void)fsd->Force();
+  }
+  disk.Reopen();
+
+  auto after = std::make_unique<Fsd>(&disk, Config(true));
+  ASSERT_TRUE(after->Mount().ok());
+  const std::uint32_t free_before_scrub = after->FreeSectors();
+  auto report = after->Scrub();
+  ASSERT_TRUE(report.ok());
+  const std::uint32_t free_after_scrub = after->FreeSectors();
+  EXPECT_EQ(free_after_scrub,
+            free_before_scrub + report->leaked_sectors_reclaimed -
+                report->missing_used_sectors_fixed);
+  ASSERT_TRUE(after->Shutdown().ok());
+
+  // Ground truth: a full rebuild over the settled volume.
+  disk.CrashNow();  // discard the clean flag so Mount rebuilds
+  disk.Reopen();
+  Fsd truth(&disk, Config(/*vam_logging=*/false));
+  ASSERT_TRUE(truth.Mount().ok());
+  EXPECT_EQ(free_after_scrub, truth.FreeSectors())
+      << "scrub did not converge to the rebuild ground truth";
+  EXPECT_TRUE(truth.CheckNameTableInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, FsdScrubConvergenceTest,
+                         ::testing::Range(0, 12, 1));
+
+TEST_F(FsdScrubTest, ScrubIsIdempotent) {
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("i/" + std::to_string(i), Bytes(300, 1)).ok());
+  }
+  ASSERT_TRUE(fsd_->Scrub().ok());
+  auto second = fsd_->Scrub();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->leaders_repaired, 0u);
+  EXPECT_EQ(second->leaked_sectors_reclaimed, 0u);
+  EXPECT_EQ(second->nt_pages_reconciled, 0u);
+}
+
+TEST_F(FsdScrubTest, SurvivesScrubThenRemount) {
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fsd_->CreateFile("s/" + std::to_string(i), Bytes(400, 1)).ok());
+  }
+  ASSERT_TRUE(fsd_->Scrub().ok());
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  Fsd again(&disk_, Config());
+  ASSERT_TRUE(again.Mount().ok());
+  auto list = again.List("s/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 30u);
+}
+
+}  // namespace
+}  // namespace cedar::core

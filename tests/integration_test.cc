@@ -1,0 +1,231 @@
+// Cross-system integration tests: the same logical operation trace must
+// produce the same observable file contents on CFS, FSD, and the BSD
+// baseline — the property that makes the benchmark comparisons meaningful.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bsd/ffs.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/fsapi/file_system.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/random.h"
+
+namespace cedar {
+namespace {
+
+struct Rig {
+  sim::VirtualClock clock;
+  std::unique_ptr<sim::SimDisk> disk;
+  std::unique_ptr<fs::FileSystem> file_system;
+  bool versioned = true;
+};
+
+Rig MakeCfs() {
+  Rig rig;
+  rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
+                                            sim::DiskTimingParams{},
+                                            &rig.clock);
+  cfs::CfsConfig config;
+  config.nt_page_count = 64;
+  auto cfs = std::make_unique<cfs::Cfs>(rig.disk.get(), config);
+  CEDAR_CHECK_OK(cfs->Format());
+  rig.file_system = std::move(cfs);
+  return rig;
+}
+
+Rig MakeFsd() {
+  Rig rig;
+  rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
+                                            sim::DiskTimingParams{},
+                                            &rig.clock);
+  core::FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 256;
+  auto fsd = std::make_unique<core::Fsd>(rig.disk.get(), config);
+  CEDAR_CHECK_OK(fsd->Format());
+  rig.file_system = std::move(fsd);
+  return rig;
+}
+
+Rig MakeBsd() {
+  Rig rig;
+  rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
+                                            sim::DiskTimingParams{},
+                                            &rig.clock);
+  bsd::FfsConfig config;
+  config.cylinders_per_group = 10;
+  config.inodes_per_group = 256;
+  auto ffs = std::make_unique<bsd::Ffs>(rig.disk.get(), config);
+  CEDAR_CHECK_OK(ffs->Format());
+  rig.file_system = std::move(ffs);
+  rig.versioned = false;  // BSD replaces instead of versioning
+  return rig;
+}
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + 3 * i);
+  }
+  return out;
+}
+
+// Applies the same trace to one system and returns name -> contents of the
+// highest version of every surviving file.
+std::map<std::string, std::vector<std::uint8_t>> RunTrace(Rig& rig,
+                                                          std::uint64_t seed) {
+  fs::FileSystem& file_system = *rig.file_system;
+  Rng rng(seed);
+  for (int step = 0; step < 250; ++step) {
+    const std::string name = "x/f" + std::to_string(rng.Below(20));
+    const std::uint64_t op = rng.Below(10);
+    const auto fill = static_cast<std::uint8_t>(rng.Below(256));
+    const std::uint64_t size = rng.Between(1, 12000);
+    if (op < 5) {
+      CEDAR_CHECK_OK(file_system.CreateFile(name, Bytes(size, fill)).status());
+    } else if (op < 7) {
+      Status s = file_system.DeleteFile(name);
+      CEDAR_CHECK(s.ok() || s.code() == ErrorCode::kNotFound);
+    } else if (op < 8) {
+      auto handle = file_system.Open(name);
+      if (handle.ok() && handle->byte_size >= 100) {
+        CEDAR_CHECK_OK(file_system.Write(*handle, 10, Bytes(80, fill)));
+      }
+    } else {
+      Status s = file_system.Touch(name);
+      CEDAR_CHECK(s.ok() || s.code() == ErrorCode::kNotFound);
+    }
+    rig.clock.Advance(40 * sim::kMillisecond);
+  }
+  CEDAR_CHECK_OK(file_system.Force());
+
+  std::map<std::string, std::vector<std::uint8_t>> out;
+  auto list = file_system.List("x/");
+  CEDAR_CHECK_OK(list.status());
+  for (const auto& info : *list) {
+    auto handle = file_system.Open(info.name);
+    if (!handle.ok()) {
+      continue;
+    }
+    // Highest version only (List on Cedar systems returns all versions).
+    std::vector<std::uint8_t> contents(handle->byte_size);
+    CEDAR_CHECK_OK(file_system.Read(*handle, 0, contents));
+    out[info.name] = std::move(contents);
+  }
+  return out;
+}
+
+class CrossSystemTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossSystemTest, SameTraceSameContents) {
+  // Versioned systems (CFS, FSD) must agree exactly.
+  Rig cfs = MakeCfs();
+  Rig fsd = MakeFsd();
+  auto cfs_state = RunTrace(cfs, GetParam());
+  auto fsd_state = RunTrace(fsd, GetParam());
+  EXPECT_EQ(cfs_state.size(), fsd_state.size());
+  for (const auto& [name, contents] : cfs_state) {
+    auto it = fsd_state.find(name);
+    ASSERT_NE(it, fsd_state.end()) << name;
+    EXPECT_EQ(it->second, contents) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, CrossSystemTest,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+TEST(CrossSystemBsdTest, UnversionedTraceMatches) {
+  // A create/read/delete-only trace (no version subtleties) must agree
+  // across all three systems.
+  auto run = [](Rig rig) {
+    fs::FileSystem& file_system = *rig.file_system;
+    Rng rng(55);
+    std::map<std::string, std::vector<std::uint8_t>> oracle;
+    for (int step = 0; step < 150; ++step) {
+      const std::string name = "u/f" + std::to_string(rng.Below(15));
+      const auto fill = static_cast<std::uint8_t>(rng.Below(256));
+      const std::uint64_t size = rng.Between(1, 9000);
+      if (oracle.count(name)) {
+        CEDAR_CHECK_OK(file_system.DeleteFile(name));
+        oracle.erase(name);
+      } else {
+        CEDAR_CHECK_OK(
+            file_system.CreateFile(name, Bytes(size, fill)).status());
+        oracle[name] = Bytes(size, fill);
+      }
+    }
+    CEDAR_CHECK_OK(file_system.Force());
+    for (const auto& [name, contents] : oracle) {
+      auto handle = file_system.Open(name);
+      CEDAR_CHECK_OK(handle.status());
+      std::vector<std::uint8_t> out(handle->byte_size);
+      CEDAR_CHECK_OK(file_system.Read(*handle, 0, out));
+      CEDAR_CHECK(out == contents);
+    }
+    return oracle.size();
+  };
+  const std::size_t cfs_files = run(MakeCfs());
+  const std::size_t fsd_files = run(MakeFsd());
+  const std::size_t bsd_files = run(MakeBsd());
+  EXPECT_EQ(cfs_files, fsd_files);
+  EXPECT_EQ(cfs_files, bsd_files);
+}
+
+TEST(CrossSystemDurabilityTest, ForcedStateSurvivesEverywhere) {
+  // Create + Force + clean shutdown on each system, then remount and check.
+  auto roundtrip = [](Rig rig, auto remake) {
+    CEDAR_CHECK_OK(
+        rig.file_system->CreateFile("keep/me", Bytes(5000, 9)).status());
+    CEDAR_CHECK_OK(rig.file_system->Force());
+    CEDAR_CHECK_OK(rig.file_system->Shutdown());
+    auto again = remake(rig);
+    auto handle = again->Open("keep/me");
+    CEDAR_CHECK_OK(handle.status());
+    std::vector<std::uint8_t> out(handle->byte_size);
+    CEDAR_CHECK_OK(again->Read(*handle, 0, out));
+    return out == Bytes(5000, 9);
+  };
+
+  {
+    Rig rig = MakeCfs();
+    EXPECT_TRUE(roundtrip(std::move(rig), [](Rig& r) {
+      cfs::CfsConfig config;
+      config.nt_page_count = 64;
+      auto cfs = std::make_unique<cfs::Cfs>(r.disk.get(), config);
+      CEDAR_CHECK_OK(cfs->Mount());
+      return cfs;
+    }));
+  }
+  {
+    Rig rig = MakeFsd();
+    EXPECT_TRUE(roundtrip(std::move(rig), [](Rig& r) {
+      core::FsdConfig config;
+      config.log_sectors = 400;
+      config.nt_pages = 256;
+      auto fsd = std::make_unique<core::Fsd>(r.disk.get(), config);
+      CEDAR_CHECK_OK(fsd->Mount());
+      return fsd;
+    }));
+  }
+  {
+    Rig rig = MakeBsd();
+    EXPECT_TRUE(roundtrip(std::move(rig), [](Rig& r) {
+      bsd::FfsConfig config;
+      config.cylinders_per_group = 10;
+      config.inodes_per_group = 256;
+      auto ffs = std::make_unique<bsd::Ffs>(r.disk.get(), config);
+      CEDAR_CHECK_OK(ffs->Mount());
+      return ffs;
+    }));
+  }
+}
+
+}  // namespace
+}  // namespace cedar

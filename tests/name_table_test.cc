@@ -1,0 +1,152 @@
+// Serialization tests for FSD name-table entries, leader pages, and the
+// name-key encoding shared by both systems.
+
+#include <gtest/gtest.h>
+
+#include "src/btree/btree.h"
+#include "src/core/name_table.h"
+#include "src/fsapi/name_key.h"
+
+namespace cedar::core {
+namespace {
+
+FsdEntry SampleEntry() {
+  FsdEntry entry;
+  entry.uid = 0x500000007ull;
+  entry.keep = 2;
+  entry.byte_size = 123456;
+  entry.create_time = 777777;
+  entry.last_used = 888888;
+  entry.leader_lba = 4242;
+  entry.runs = {{.start = 4243, .count = 100}, {.start = 9000, .count = 142}};
+  return entry;
+}
+
+TEST(FsdEntryTest, RoundTrip) {
+  const FsdEntry entry = SampleEntry();
+  auto bytes = SerializeEntry(entry);
+  FsdEntry parsed;
+  ASSERT_TRUE(ParseEntry(bytes, &parsed).ok());
+  EXPECT_EQ(parsed.uid, entry.uid);
+  EXPECT_EQ(parsed.keep, entry.keep);
+  EXPECT_EQ(parsed.byte_size, entry.byte_size);
+  EXPECT_EQ(parsed.create_time, entry.create_time);
+  EXPECT_EQ(parsed.last_used, entry.last_used);
+  EXPECT_EQ(parsed.leader_lba, entry.leader_lba);
+  EXPECT_EQ(parsed.runs, entry.runs);
+}
+
+TEST(FsdEntryTest, TruncatedRejected) {
+  auto bytes = SerializeEntry(SampleEntry());
+  bytes.resize(bytes.size() - 3);
+  FsdEntry parsed;
+  EXPECT_EQ(ParseEntry(bytes, &parsed).code(), ErrorCode::kCorruptMetadata);
+}
+
+TEST(FsdEntryTest, TrailingGarbageRejected) {
+  auto bytes = SerializeEntry(SampleEntry());
+  bytes.push_back(0xFF);
+  FsdEntry parsed;
+  EXPECT_EQ(ParseEntry(bytes, &parsed).code(), ErrorCode::kCorruptMetadata);
+}
+
+TEST(LeaderTest, RoundTripAndVerify) {
+  const FsdEntry entry = SampleEntry();
+  const LeaderPage leader = MakeLeader(entry, /*version=*/3);
+  auto sector = SerializeLeader(leader);
+  ASSERT_EQ(sector.size(), 512u);
+
+  LeaderPage parsed;
+  ASSERT_TRUE(ParseLeader(sector, &parsed).ok());
+  EXPECT_EQ(parsed.uid, entry.uid);
+  EXPECT_EQ(parsed.version, 3u);
+  EXPECT_EQ(parsed.preamble, entry.runs);  // both runs fit the preamble
+
+  EXPECT_TRUE(VerifyLeader(sector, entry, 3).ok());
+}
+
+TEST(LeaderTest, PreambleCapsAtFourRuns) {
+  FsdEntry entry = SampleEntry();
+  entry.runs.clear();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    entry.runs.push_back({.start = 1000 * (i + 1), .count = 5});
+  }
+  const LeaderPage leader = MakeLeader(entry, 1);
+  EXPECT_EQ(leader.preamble.size(), 4u);
+  // Verification checks the crc over the FULL run table.
+  auto sector = SerializeLeader(leader);
+  EXPECT_TRUE(VerifyLeader(sector, entry, 1).ok());
+}
+
+TEST(LeaderTest, VerifyCatchesUidMismatch) {
+  const FsdEntry entry = SampleEntry();
+  auto sector = SerializeLeader(MakeLeader(entry, 1));
+  FsdEntry other = entry;
+  other.uid ^= 1;
+  EXPECT_EQ(VerifyLeader(sector, other, 1).code(),
+            ErrorCode::kCorruptMetadata);
+}
+
+TEST(LeaderTest, VerifyCatchesVersionMismatch) {
+  const FsdEntry entry = SampleEntry();
+  auto sector = SerializeLeader(MakeLeader(entry, 1));
+  EXPECT_EQ(VerifyLeader(sector, entry, 2).code(),
+            ErrorCode::kCorruptMetadata);
+}
+
+TEST(LeaderTest, VerifyCatchesRunTableChange) {
+  const FsdEntry entry = SampleEntry();
+  auto sector = SerializeLeader(MakeLeader(entry, 1));
+  FsdEntry grown = entry;
+  grown.runs.push_back({.start = 20000, .count = 8});
+  EXPECT_EQ(VerifyLeader(sector, grown, 1).code(),
+            ErrorCode::kCorruptMetadata);
+}
+
+TEST(LeaderTest, CorruptSectorRejected) {
+  auto sector = SerializeLeader(MakeLeader(SampleEntry(), 1));
+  sector[10] ^= 0x40;
+  LeaderPage parsed;
+  EXPECT_FALSE(ParseLeader(sector, &parsed).ok());
+}
+
+TEST(NameKeyTest, RoundTrip) {
+  auto key = fs::EncodeNameKey("Compiler.bcd", 37);
+  std::string name;
+  std::uint32_t version = 0;
+  ASSERT_TRUE(fs::DecodeNameKey(key, &name, &version));
+  EXPECT_EQ(name, "Compiler.bcd");
+  EXPECT_EQ(version, 37u);
+}
+
+TEST(NameKeyTest, VersionsSortAscending) {
+  using btree::CompareKeys;
+  EXPECT_LT(CompareKeys(fs::EncodeNameKey("f", 1), fs::EncodeNameKey("f", 2)),
+            0);
+  EXPECT_LT(CompareKeys(fs::EncodeNameKey("f", 9),
+                        fs::EncodeNameKey("f", 10)),
+            0);  // big-endian version bytes keep numeric order
+  EXPECT_LT(CompareKeys(fs::EncodeNameKey("f", 255),
+                        fs::EncodeNameKey("f", 256)),
+            0);
+}
+
+TEST(NameKeyTest, PrefixAndExactMatch) {
+  auto key = fs::EncodeNameKey("proj/sub/file.mesa", 2);
+  EXPECT_TRUE(fs::KeyIsName(key, "proj/sub/file.mesa"));
+  EXPECT_FALSE(fs::KeyIsName(key, "proj/sub/file.mes"));
+  EXPECT_TRUE(fs::KeyHasPrefix(key, "proj/"));
+  EXPECT_TRUE(fs::KeyHasPrefix(key, ""));
+  EXPECT_FALSE(fs::KeyHasPrefix(key, "other/"));
+}
+
+TEST(NameKeyTest, ExtensionNamesDoNotCollide) {
+  // "abc" and "abcd" must never satisfy KeyIsName for each other.
+  auto key = fs::EncodeNameKey("abc", 1);
+  EXPECT_FALSE(fs::KeyIsName(key, "abcd"));
+  auto longer = fs::EncodeNameKey("abcd", 1);
+  EXPECT_FALSE(fs::KeyIsName(longer, "abc"));
+}
+
+}  // namespace
+}  // namespace cedar::core

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/bsd/ffs.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/workload/trace.h"
+
+namespace cedar::workload {
+namespace {
+
+TEST(TraceFormatTest, RoundTrip) {
+  std::vector<TraceEntry> entries = {
+      {TraceOp::kCreate, "a/b.mesa", 1234, 77, 0},
+      {TraceOp::kOpen, "a/b.mesa", 0, 0, 0},
+      {TraceOp::kRead, "a/b.mesa", 100, 200, 0},
+      {TraceOp::kWrite, "a/b.mesa", 50, 60, 9},
+      {TraceOp::kExtend, "a/b.mesa", 4096, 0, 0},
+      {TraceOp::kSetKeep, "a/b.mesa", 2, 0, 0},
+      {TraceOp::kList, "a/", 0, 0, 0},
+      {TraceOp::kTouch, "a/b.mesa", 0, 0, 0},
+      {TraceOp::kForce, "", 0, 0, 0},
+      {TraceOp::kAdvance, "", 500, 0, 0},
+      {TraceOp::kDelete, "a/b.mesa", 0, 0, 0},
+  };
+  const std::string text = FormatTrace(entries);
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].op, entries[i].op) << i;
+    EXPECT_EQ((*parsed)[i].name, entries[i].name) << i;
+    EXPECT_EQ((*parsed)[i].arg0, entries[i].arg0) << i;
+    EXPECT_EQ((*parsed)[i].arg1, entries[i].arg1) << i;
+    EXPECT_EQ((*parsed)[i].arg2, entries[i].arg2) << i;
+  }
+}
+
+TEST(TraceFormatTest, CommentsAndBlanksSkipped) {
+  auto parsed =
+      ParseTrace("# a comment\n\nforce\n  # indented comment too\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].op, TraceOp::kForce);
+}
+
+TEST(TraceFormatTest, ErrorsNameTheLine) {
+  auto parsed = ParseTrace("force\nfrobnicate x\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+
+  parsed = ParseTrace("create name notanumber 0\n");
+  ASSERT_FALSE(parsed.ok());
+
+  parsed = ParseTrace("open\n");
+  ASSERT_FALSE(parsed.ok());
+
+  parsed = ParseTrace("force extra\n");
+  ASSERT_FALSE(parsed.ok());
+}
+
+core::FsdConfig SmallFsd() {
+  core::FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 256;
+  return config;
+}
+
+TEST(TraceReplayTest, ReplayAgainstFsd) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  core::Fsd fsd(&disk, SmallFsd());
+  ASSERT_TRUE(fsd.Format().ok());
+
+  Rng rng(2024);
+  auto entries = GenerateTrace(TraceGenConfig{.operations = 300}, rng);
+  auto stats = ReplayTrace(&fsd, entries, [&](sim::Micros think) {
+    clock.Advance(think);
+    return fsd.Tick();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ops, entries.size());
+  ASSERT_TRUE(fsd.CheckNameTableInvariants().ok());
+}
+
+// The determinism property that makes traces useful for cross-system
+// comparison: the same trace leaves identical contents on CFS and FSD.
+TEST(TraceReplayTest, SameTraceSameContentsAcrossSystems) {
+  Rng rng(31337);
+  auto entries = GenerateTrace(TraceGenConfig{.operations = 250}, rng);
+  // Serialize + reparse to also exercise the text path end to end.
+  auto parsed = ParseTrace(FormatTrace(entries));
+  ASSERT_TRUE(parsed.ok());
+
+  auto run = [&](fs::FileSystem& file_system, sim::VirtualClock& clock,
+                 const std::function<Status()>& tick) {
+    auto stats = ReplayTrace(&file_system, *parsed, [&](sim::Micros think) {
+      clock.Advance(think);
+      return tick();
+    });
+    CEDAR_CHECK_OK(stats.status());
+    std::map<std::string, std::vector<std::uint8_t>> state;
+    auto list = file_system.List("t/");
+    CEDAR_CHECK_OK(list.status());
+    for (const auto& info : *list) {
+      auto handle = file_system.Open(info.name);
+      if (!handle.ok()) {
+        continue;
+      }
+      std::vector<std::uint8_t> contents(handle->byte_size);
+      CEDAR_CHECK_OK(file_system.Read(*handle, 0, contents));
+      state[info.name + "!" + std::to_string(info.version)] = contents;
+    }
+    return state;
+  };
+
+  sim::VirtualClock clock_a;
+  sim::SimDisk disk_a(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_a);
+  core::Fsd fsd(&disk_a, SmallFsd());
+  ASSERT_TRUE(fsd.Format().ok());
+  auto fsd_state = run(fsd, clock_a, [&] { return fsd.Tick(); });
+
+  sim::VirtualClock clock_b;
+  sim::SimDisk disk_b(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_b);
+  cfs::CfsConfig cfs_config;
+  cfs_config.nt_page_count = 64;
+  cfs::Cfs cfs(&disk_b, cfs_config);
+  ASSERT_TRUE(cfs.Format().ok());
+  auto cfs_state = run(cfs, clock_b, [] { return OkStatus(); });
+
+  EXPECT_EQ(fsd_state, cfs_state);
+}
+
+TEST(TraceReplayTest, NotFoundToleratedAndCounted) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  core::Fsd fsd(&disk, SmallFsd());
+  ASSERT_TRUE(fsd.Format().ok());
+  auto parsed = ParseTrace("open ghost\ndelete ghost\ntouch ghost\n");
+  ASSERT_TRUE(parsed.ok());
+  auto stats = ReplayTrace(&fsd, *parsed,
+                           [](sim::Micros) { return OkStatus(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->not_found, 3u);
+}
+
+}  // namespace
+}  // namespace cedar::workload

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace cedar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = MakeError(ErrorCode::kSectorDamaged, "lba 17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kSectorDamaged);
+  EXPECT_EQ(s.ToString(), "SECTOR_DAMAGED: lba 17");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kChecksumMismatch); ++i) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = MakeError(ErrorCode::kNotFound);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+Status ReturnsIfError(bool fail) {
+  CEDAR_RETURN_IF_ERROR(fail ? MakeError(ErrorCode::kInternal) : OkStatus());
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(ReturnsIfError(false).ok());
+  EXPECT_EQ(ReturnsIfError(true).code(), ErrorCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  CEDAR_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(MakeError(ErrorCode::kNotFound)).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32({}), 0u); }
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::vector<std::uint8_t> buf(512, 0xA5);
+  const std::uint32_t base = Crc32(buf);
+  for (int bit : {0, 7, 2048, 4095}) {
+    auto copy = buf;
+    copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(copy), base) << "bit " << bit;
+  }
+}
+
+TEST(Crc32Test, ChainingMatchesWhole) {
+  std::vector<std::uint8_t> buf(100);
+  for (int i = 0; i < 100; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const std::uint32_t whole = Crc32(buf);
+  const std::uint32_t part1 =
+      Crc32(std::span<const std::uint8_t>(buf).subspan(0, 40));
+  const std::uint32_t chained =
+      Crc32(std::span<const std::uint8_t>(buf).subspan(40), part1);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(SerialTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0xCDEF);
+  w.U32(0x12345678);
+  w.U64(0xDEADBEEFCAFEF00Dull);
+  w.Str("hello!file;37");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xCDEF);
+  EXPECT_EQ(r.U32(), 0x12345678u);
+  EXPECT_EQ(r.U64(), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(r.Str(), "hello!file;37");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.U32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(SerialTest, OverrunSetsFailureFlag) {
+  std::vector<std::uint8_t> tiny{1, 2};
+  ByteReader r(tiny);
+  r.U32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U64(), 0u);  // stays failed, returns zeros
+}
+
+TEST(SerialTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.U16(100);  // claims 100 bytes, provides none
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.Between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear in 200 draws
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace cedar

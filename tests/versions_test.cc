@@ -1,0 +1,166 @@
+// Version-retention ("keep") semantics, the Table 1 property both Cedar
+// systems carry per file: after a create, only the newest `keep` versions
+// survive; 0 means unlimited.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+
+namespace cedar {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  return std::vector<std::uint8_t>(n, seed);
+}
+
+template <typename Fs>
+std::vector<std::uint32_t> Versions(Fs& file_system, const std::string& name) {
+  auto list = file_system.List(name);
+  CEDAR_CHECK_OK(list.status());
+  std::vector<std::uint32_t> versions;
+  for (const auto& info : *list) {
+    if (info.name == name) {
+      versions.push_back(info.version);
+    }
+  }
+  return versions;
+}
+
+class FsdKeepTest : public ::testing::Test {
+ protected:
+  FsdKeepTest() : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_),
+                  fsd_(&disk_, Config()) {
+    CEDAR_CHECK_OK(fsd_.Format());
+  }
+  static core::FsdConfig Config() {
+    core::FsdConfig config;
+    config.log_sectors = 400;
+    config.nt_pages = 256;
+    return config;
+  }
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  core::Fsd fsd_;
+};
+
+TEST_F(FsdKeepTest, UnlimitedByDefault) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, i)).ok());
+  }
+  EXPECT_EQ(Versions(fsd_, "v").size(), 5u);
+}
+
+TEST_F(FsdKeepTest, KeepPrunesOldVersionsOnCreate) {
+  ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, 1)).ok());
+  ASSERT_TRUE(fsd_.SetKeep("v", 2).ok());
+  for (int i = 2; i <= 6; ++i) {
+    ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, i)).ok());
+  }
+  const auto versions = Versions(fsd_, "v");
+  EXPECT_EQ(versions, (std::vector<std::uint32_t>{5, 6}));
+  // The newest contents are served.
+  auto handle = fsd_.Open("v");
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::uint8_t> out(100);
+  ASSERT_TRUE(fsd_.Read(*handle, 0, out).ok());
+  EXPECT_EQ(out, Bytes(100, 6));
+}
+
+TEST_F(FsdKeepTest, SetKeepPrunesImmediately) {
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, i)).ok());
+  }
+  ASSERT_TRUE(fsd_.SetKeep("v", 1).ok());
+  EXPECT_EQ(Versions(fsd_, "v"), (std::vector<std::uint32_t>{5}));
+}
+
+TEST_F(FsdKeepTest, PrunedSectorsReturnAfterCommit) {
+  ASSERT_TRUE(fsd_.CreateFile("v", Bytes(8000, 1)).ok());
+  ASSERT_TRUE(fsd_.SetKeep("v", 1).ok());
+  ASSERT_TRUE(fsd_.Force().ok());
+  const std::uint32_t free_one_version = fsd_.FreeSectors();
+  ASSERT_TRUE(fsd_.CreateFile("v", Bytes(8000, 2)).ok());  // prunes v1
+  ASSERT_TRUE(fsd_.Force().ok());
+  EXPECT_EQ(fsd_.FreeSectors(), free_one_version);  // steady state
+}
+
+TEST_F(FsdKeepTest, KeepInheritedByNewVersions) {
+  ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, 1)).ok());
+  ASSERT_TRUE(fsd_.SetKeep("v", 3).ok());
+  for (int i = 2; i <= 10; ++i) {
+    ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, i)).ok());
+  }
+  EXPECT_EQ(Versions(fsd_, "v").size(), 3u);
+  auto info = fsd_.Stat("v");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->keep, 3u);
+}
+
+TEST_F(FsdKeepTest, KeepSurvivesRemountAndCrash) {
+  ASSERT_TRUE(fsd_.CreateFile("v", Bytes(100, 1)).ok());
+  ASSERT_TRUE(fsd_.SetKeep("v", 2).ok());
+  ASSERT_TRUE(fsd_.Force().ok());
+  disk_.CrashNow();
+  disk_.Reopen();
+  core::Fsd again(&disk_, Config());
+  ASSERT_TRUE(again.Mount().ok());
+  for (int i = 2; i <= 5; ++i) {
+    ASSERT_TRUE(again.CreateFile("v", Bytes(100, i)).ok());
+  }
+  EXPECT_EQ(Versions(again, "v").size(), 2u);
+}
+
+class CfsKeepTest : public ::testing::Test {
+ protected:
+  CfsKeepTest() : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_),
+                  cfs_(&disk_, Config()) {
+    CEDAR_CHECK_OK(cfs_.Format());
+  }
+  static cfs::CfsConfig Config() {
+    cfs::CfsConfig config;
+    config.nt_page_count = 64;
+    return config;
+  }
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  cfs::Cfs cfs_;
+};
+
+TEST_F(CfsKeepTest, KeepPrunesOldVersionsOnCreate) {
+  ASSERT_TRUE(cfs_.CreateFile("v", Bytes(100, 1)).ok());
+  ASSERT_TRUE(cfs_.SetKeep("v", 2).ok());
+  for (int i = 2; i <= 6; ++i) {
+    ASSERT_TRUE(cfs_.CreateFile("v", Bytes(100, i)).ok());
+  }
+  EXPECT_EQ(Versions(cfs_, "v"), (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST_F(CfsKeepTest, PrunedVersionsFreeTheirLabels) {
+  ASSERT_TRUE(cfs_.CreateFile("v", Bytes(5000, 1)).ok());
+  ASSERT_TRUE(cfs_.SetKeep("v", 1).ok());
+  const std::uint32_t free_before = cfs_.FreeSectorsHint();
+  ASSERT_TRUE(cfs_.CreateFile("v", Bytes(5000, 2)).ok());
+  // One version's worth of sectors came back when v1 was pruned.
+  EXPECT_EQ(cfs_.FreeSectorsHint(), free_before);
+}
+
+TEST_F(CfsKeepTest, KeepSurvivesScavenge) {
+  ASSERT_TRUE(cfs_.CreateFile("v", Bytes(100, 1)).ok());
+  ASSERT_TRUE(cfs_.SetKeep("v", 2).ok());
+  cfs::Cfs recovered(&disk_, Config());
+  ASSERT_TRUE(recovered.Scavenge().ok());
+  for (int i = 2; i <= 5; ++i) {
+    ASSERT_TRUE(recovered.CreateFile("v", Bytes(100, i)).ok());
+  }
+  EXPECT_EQ(Versions(recovered, "v").size(), 2u);
+}
+
+}  // namespace
+}  // namespace cedar

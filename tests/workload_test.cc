@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/random.h"
+#include "src/workload/workload.h"
+
+namespace cedar::workload {
+namespace {
+
+TEST(SizeDistributionTest, MatchesPaperShape) {
+  // Paper section 5.6: 50% of files < 4000 bytes holding ~8% of the bytes.
+  SizeDistribution sizes;
+  Rng rng(17);
+  std::uint64_t small_count = 0;
+  std::uint64_t small_bytes = 0;
+  std::uint64_t total_bytes = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t size = sizes.Sample(rng);
+    ASSERT_GE(size, 128u);
+    ASSERT_LE(size, 512u * 1024);
+    total_bytes += size;
+    if (size < 4000) {
+      ++small_count;
+      small_bytes += size;
+    }
+  }
+  const double small_fraction =
+      static_cast<double>(small_count) / kSamples;
+  const double small_byte_fraction =
+      static_cast<double>(small_bytes) / static_cast<double>(total_bytes);
+  EXPECT_NEAR(small_fraction, 0.5, 0.03);
+  EXPECT_NEAR(small_byte_fraction, 0.08, 0.03);
+}
+
+class WorkloadFsTest : public ::testing::Test {
+ protected:
+  WorkloadFsTest()
+      : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_),
+        fsd_(&disk_, Config()) {
+    CEDAR_CHECK_OK(fsd_.Format());
+  }
+  static core::FsdConfig Config() {
+    core::FsdConfig config;
+    config.log_sectors = 400;
+    config.nt_pages = 256;
+    return config;
+  }
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  core::Fsd fsd_;
+};
+
+TEST_F(WorkloadFsTest, PopulateCreatesRequestedFiles) {
+  Rng rng(9);
+  SizeDistribution sizes(8000.0);
+  auto total = PopulateVolume(&fsd_, "pop/", 30, sizes, rng);
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(*total, 0u);
+  auto list = fsd_.List("pop/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 30u);
+}
+
+TEST_F(WorkloadFsTest, MakeDoSetupAndBuild) {
+  Rng rng(11);
+  MakeDoConfig config;
+  config.modules = 10;
+  config.stale_fraction = 0.5;
+  config.source_bytes = 2000;
+  config.object_bytes = 3000;
+  ASSERT_TRUE(MakeDoSetup(&fsd_, "mk/", config, rng).ok());
+  auto list = fsd_.List("mk/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 20u);  // source + object per module
+
+  Rng build_rng(12);
+  auto result = MakeDoBuild(&fsd_, "mk/", config, build_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->modules_scanned, 10u);
+  EXPECT_GT(result->modules_rebuilt, 0u);
+  EXPECT_LE(result->modules_rebuilt, 10u);
+  // Rebuilt objects exist as fresh versions.
+  auto after = fsd_.List("mk/");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->size(), 20u);
+}
+
+TEST_F(WorkloadFsTest, BulkUpdateDrivesCommits) {
+  Rng rng(13);
+  BulkUpdateConfig config;
+  config.files = 10;
+  config.rounds = 3;
+  config.touches_per_round = 10;
+  config.rewrites_per_round = 2;
+  config.think_time = 100 * sim::kMillisecond;
+  ASSERT_TRUE(BulkUpdate(&fsd_, "bulk/", config, rng,
+                         [&](sim::Micros think) {
+                           clock_.Advance(think);
+                           return fsd_.Tick();
+                         })
+                  .ok());
+  // The half-second timer fired repeatedly across the bursts.
+  EXPECT_GT(fsd_.stats().forces, 3u);
+  // Rewrites made new versions; the set of distinct names is unchanged.
+  auto list = fsd_.List("bulk/");
+  ASSERT_TRUE(list.ok());
+  std::set<std::string> names;
+  for (const auto& info : *list) {
+    names.insert(info.name);
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cedar::workload

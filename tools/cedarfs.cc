@@ -1,0 +1,281 @@
+// cedarfs — a command-line front end for FSD volumes stored in host-file
+// disk images. Each invocation loads the image, mounts, performs one
+// command, and (for mutating commands) cleanly shuts down and saves the
+// image — unless --crash is given, which skips the shutdown so the next
+// mount exercises log recovery.
+//
+//   cedarfs <image> mkfs [--big] [--vamlog]
+//   cedarfs <image> put <name> <hostfile> [--crash]
+//   cedarfs <image> get <name> <hostfile>
+//   cedarfs <image> ls [prefix]
+//   cedarfs <image> rm <name> [--crash]
+//   cedarfs <image> stat <name>
+//   cedarfs <image> scrub
+//   cedarfs <image> damage <lba> <count>
+//   cedarfs <image> replay <tracefile> [--crash]
+//   cedarfs <image> info
+//
+// The image embeds its geometry; mkfs --big makes a full 300 MB Trident,
+// the default is the small 5.5 MB test geometry (fast to save/load).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/workload/trace.h"
+
+namespace {
+
+using namespace cedar;
+
+struct Options {
+  std::string image;
+  std::string command;
+  std::vector<std::string> args;
+  bool big = false;
+  bool vamlog = false;
+  bool crash = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cedarfs <image> "
+               "{mkfs|put|get|ls|rm|stat|scrub|damage|replay|info} [...]\n"
+               "flags: --big --vamlog (mkfs), --crash (put/rm/replay)\n");
+  return 2;
+}
+
+// The geometry is probed from the image file size at open; mkfs chooses it.
+sim::DiskGeometry GeometryFor(bool big) {
+  return big ? sim::DiskGeometry{} : sim::TestGeometry();
+}
+
+core::FsdConfig ConfigFor(bool big, bool vamlog) {
+  core::FsdConfig config;
+  if (!big) {
+    config.log_sectors = 400;
+    config.nt_pages = 256;
+    config.cache_frames = 1024;
+  }
+  config.vam_logging = vamlog;
+  return config;
+}
+
+Result<std::vector<std::uint8_t>> ReadHostFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return MakeError(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status WriteHostFile(const std::string& path,
+                     std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.flush();
+  return out ? OkStatus() : MakeError(ErrorCode::kInternal, "write failed");
+}
+
+int Run(const Options& options) {
+  sim::VirtualClock clock;
+
+  // mkfs creates a fresh image; everything else loads an existing one,
+  // probing which geometry it was created with.
+  const bool fresh = options.command == "mkfs";
+  bool big = options.big;
+  bool vamlog = options.vamlog;
+  if (!fresh) {
+    // Probe: try the small geometry first, then the big one.
+    sim::SimDisk probe(GeometryFor(false), sim::DiskTimingParams{}, &clock);
+    if (probe.LoadImage(options.image).ok()) {
+      big = false;
+    } else {
+      big = true;
+    }
+  }
+
+  sim::SimDisk disk(GeometryFor(big), sim::DiskTimingParams{}, &clock);
+  if (!fresh) {
+    Status loaded = disk.LoadImage(options.image);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cedarfs: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // `damage` operates below the file system.
+  if (options.command == "damage") {
+    if (options.args.size() != 2) {
+      return Usage();
+    }
+    disk.DamageSectors(
+        static_cast<sim::Lba>(std::stoul(options.args[0])),
+        static_cast<std::uint32_t>(std::stoul(options.args[1])));
+    CEDAR_CHECK_OK(disk.SaveImage(options.image));
+    std::printf("damaged %s sectors at lba %s\n", options.args[1].c_str(),
+                options.args[0].c_str());
+    return 0;
+  }
+
+  core::Fsd fsd(&disk, ConfigFor(big, vamlog));
+  Status mounted = fresh ? fsd.Format() : fsd.Mount();
+  if (!mounted.ok()) {
+    std::fprintf(stderr, "cedarfs: mount: %s\n", mounted.ToString().c_str());
+    return 1;
+  }
+
+  Status result = OkStatus();
+  bool mutated = fresh;
+  if (options.command == "mkfs") {
+    std::printf("formatted %s volume (%u sectors, vam_logging=%s)\n",
+                big ? "300 MB" : "5.5 MB",
+                disk.geometry().TotalSectors(), vamlog ? "on" : "off");
+  } else if (options.command == "put" && options.args.size() == 2) {
+    auto contents = ReadHostFile(options.args[1]);
+    result = contents.status();
+    if (result.ok()) {
+      result = fsd.CreateFile(options.args[0], *contents).status();
+      mutated = true;
+      if (result.ok()) {
+        std::printf("put %s (%zu bytes)\n", options.args[0].c_str(),
+                    contents->size());
+      }
+    }
+  } else if (options.command == "get" && options.args.size() == 2) {
+    auto handle = fsd.Open(options.args[0]);
+    result = handle.status();
+    if (result.ok()) {
+      std::vector<std::uint8_t> out(handle->byte_size);
+      result = fsd.Read(*handle, 0, out);
+      if (result.ok()) {
+        result = WriteHostFile(options.args[1], out);
+        std::printf("got %s!%u (%zu bytes)\n", options.args[0].c_str(),
+                    handle->version, out.size());
+      }
+    }
+  } else if (options.command == "ls") {
+    auto list = fsd.List(options.args.empty() ? "" : options.args[0]);
+    result = list.status();
+    if (result.ok()) {
+      for (const auto& info : *list) {
+        std::printf("%10llu  %s!%u\n", (unsigned long long)info.byte_size,
+                    info.name.c_str(), info.version);
+      }
+      std::printf("%zu files, %u sectors free\n", list->size(),
+                  fsd.FreeSectors());
+    }
+  } else if (options.command == "rm" && options.args.size() == 1) {
+    result = fsd.DeleteFile(options.args[0]);
+    mutated = true;
+  } else if (options.command == "stat" && options.args.size() == 1) {
+    auto info = fsd.Stat(options.args[0]);
+    result = info.status();
+    if (result.ok()) {
+      std::printf("%s!%u  %llu bytes  uid %llx  keep %u\n",
+                  info->name.c_str(), info->version,
+                  (unsigned long long)info->byte_size,
+                  (unsigned long long)info->uid, info->keep);
+    }
+  } else if (options.command == "scrub") {
+    auto report = fsd.Scrub();
+    result = report.status();
+    mutated = true;
+    if (result.ok()) {
+      std::printf("scrub: %llu files, %llu leaders repaired, %llu leaked "
+                  "sectors reclaimed, %llu nt pages reconciled\n",
+                  (unsigned long long)report->files_checked,
+                  (unsigned long long)report->leaders_repaired,
+                  (unsigned long long)report->leaked_sectors_reclaimed,
+                  (unsigned long long)report->nt_pages_reconciled);
+    }
+  } else if (options.command == "replay" && options.args.size() == 1) {
+    auto text = ReadHostFile(options.args[0]);
+    result = text.status();
+    if (result.ok()) {
+      auto entries = workload::ParseTrace(
+          std::string(text->begin(), text->end()));
+      result = entries.status();
+      if (result.ok()) {
+        auto stats = workload::ReplayTrace(
+            &fsd, *entries, [&](sim::Micros think) {
+              clock.Advance(think);
+              return fsd.Tick();
+            });
+        result = stats.status();
+        mutated = true;
+        if (result.ok()) {
+          std::printf("replayed %llu ops (%llu not-found tolerated)\n",
+                      (unsigned long long)stats->ops,
+                      (unsigned long long)stats->not_found);
+        }
+      }
+    }
+  } else if (options.command == "info") {
+    std::printf("geometry: %u cyl x %u heads x %u sectors (%0.1f MB)\n",
+                disk.geometry().cylinders, disk.geometry().heads,
+                disk.geometry().sectors_per_track,
+                disk.geometry().TotalBytes() / 1e6);
+    std::printf("free sectors: %u\n", fsd.FreeSectors());
+    std::printf("log: %llu records so far this mount\n",
+                (unsigned long long)fsd.log_stats().records);
+  } else {
+    return Usage();
+  }
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "cedarfs: %s\n", result.ToString().c_str());
+    return 1;
+  }
+
+  if (options.crash) {
+    std::printf("(crashing without shutdown: next mount will recover)\n");
+  } else if (mutated || fresh) {
+    Status shutdown = fsd.Shutdown();
+    if (!shutdown.ok()) {
+      std::fprintf(stderr, "cedarfs: shutdown: %s\n",
+                   shutdown.ToString().c_str());
+      return 1;
+    }
+  }
+  CEDAR_CHECK_OK(disk.SaveImage(options.image));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--big") {
+      options.big = true;
+    } else if (arg == "--vamlog") {
+      options.vamlog = true;
+    } else if (arg == "--crash") {
+      options.crash = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    return Usage();
+  }
+  options.image = positional[0];
+  options.command = positional[1];
+  options.args.assign(positional.begin() + 2, positional.end());
+  return Run(options);
+}
