@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makedo_build.dir/makedo_build.cpp.o"
+  "CMakeFiles/makedo_build.dir/makedo_build.cpp.o.d"
+  "makedo_build"
+  "makedo_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makedo_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versions.dir/versions.cpp.o"
+  "CMakeFiles/versions.dir/versions.cpp.o.d"
+  "versions"
+  "versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

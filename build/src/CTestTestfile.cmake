@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fsapi")
+subdirs("sim")
+subdirs("btree")
+subdirs("cache")
+subdirs("cfs")
+subdirs("core")
+subdirs("bsd")
+subdirs("model")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_bsd.dir/ffs.cc.o"
+  "CMakeFiles/cedar_bsd.dir/ffs.cc.o.d"
+  "libcedar_bsd.a"
+  "libcedar_bsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_bsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

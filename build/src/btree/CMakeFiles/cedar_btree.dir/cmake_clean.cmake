@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_btree.dir/btree.cc.o"
+  "CMakeFiles/cedar_btree.dir/btree.cc.o.d"
+  "libcedar_btree.a"
+  "libcedar_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

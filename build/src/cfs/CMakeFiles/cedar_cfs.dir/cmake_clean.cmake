@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_cfs.dir/cfs.cc.o"
+  "CMakeFiles/cedar_cfs.dir/cfs.cc.o.d"
+  "libcedar_cfs.a"
+  "libcedar_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/cedar_fsd.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/cedar_fsd.dir/allocator.cc.o.d"
+  "/root/repo/src/core/fsd.cc" "src/core/CMakeFiles/cedar_fsd.dir/fsd.cc.o" "gcc" "src/core/CMakeFiles/cedar_fsd.dir/fsd.cc.o.d"
+  "/root/repo/src/core/log.cc" "src/core/CMakeFiles/cedar_fsd.dir/log.cc.o" "gcc" "src/core/CMakeFiles/cedar_fsd.dir/log.cc.o.d"
+  "/root/repo/src/core/name_table.cc" "src/core/CMakeFiles/cedar_fsd.dir/name_table.cc.o" "gcc" "src/core/CMakeFiles/cedar_fsd.dir/name_table.cc.o.d"
+  "/root/repo/src/core/vam.cc" "src/core/CMakeFiles/cedar_fsd.dir/vam.cc.o" "gcc" "src/core/CMakeFiles/cedar_fsd.dir/vam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cedar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cedar_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_fsd.dir/allocator.cc.o"
+  "CMakeFiles/cedar_fsd.dir/allocator.cc.o.d"
+  "CMakeFiles/cedar_fsd.dir/fsd.cc.o"
+  "CMakeFiles/cedar_fsd.dir/fsd.cc.o.d"
+  "CMakeFiles/cedar_fsd.dir/log.cc.o"
+  "CMakeFiles/cedar_fsd.dir/log.cc.o.d"
+  "CMakeFiles/cedar_fsd.dir/name_table.cc.o"
+  "CMakeFiles/cedar_fsd.dir/name_table.cc.o.d"
+  "CMakeFiles/cedar_fsd.dir/vam.cc.o"
+  "CMakeFiles/cedar_fsd.dir/vam.cc.o.d"
+  "libcedar_fsd.a"
+  "libcedar_fsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_fsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_model.dir/disk_model.cc.o"
+  "CMakeFiles/cedar_model.dir/disk_model.cc.o.d"
+  "CMakeFiles/cedar_model.dir/scripts.cc.o"
+  "CMakeFiles/cedar_model.dir/scripts.cc.o.d"
+  "libcedar_model.a"
+  "libcedar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cedar_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_sim.dir/disk.cc.o"
+  "CMakeFiles/cedar_sim.dir/disk.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/timing.cc.o"
+  "CMakeFiles/cedar_sim.dir/timing.cc.o.d"
+  "libcedar_sim.a"
+  "libcedar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_util.dir/crc32.cc.o"
+  "CMakeFiles/cedar_util.dir/crc32.cc.o.d"
+  "CMakeFiles/cedar_util.dir/status.cc.o"
+  "CMakeFiles/cedar_util.dir/status.cc.o.d"
+  "libcedar_util.a"
+  "libcedar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

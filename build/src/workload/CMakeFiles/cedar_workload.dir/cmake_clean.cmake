@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_workload.dir/trace.cc.o"
+  "CMakeFiles/cedar_workload.dir/trace.cc.o.d"
+  "CMakeFiles/cedar_workload.dir/workload.cc.o"
+  "CMakeFiles/cedar_workload.dir/workload.cc.o.d"
+  "libcedar_workload.a"
+  "libcedar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsd_test.dir/bsd_test.cc.o"
+  "CMakeFiles/bsd_test.dir/bsd_test.cc.o.d"
+  "bsd_test"
+  "bsd_test.pdb"
+  "bsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

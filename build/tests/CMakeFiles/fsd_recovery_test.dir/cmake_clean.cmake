@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsd_recovery_test.dir/fsd_recovery_test.cc.o"
+  "CMakeFiles/fsd_recovery_test.dir/fsd_recovery_test.cc.o.d"
+  "fsd_recovery_test"
+  "fsd_recovery_test.pdb"
+  "fsd_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsd_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

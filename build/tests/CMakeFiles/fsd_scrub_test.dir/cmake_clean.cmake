@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsd_scrub_test.dir/fsd_scrub_test.cc.o"
+  "CMakeFiles/fsd_scrub_test.dir/fsd_scrub_test.cc.o.d"
+  "fsd_scrub_test"
+  "fsd_scrub_test.pdb"
+  "fsd_scrub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsd_scrub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

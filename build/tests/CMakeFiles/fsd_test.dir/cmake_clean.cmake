@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsd_test.dir/fsd_test.cc.o"
+  "CMakeFiles/fsd_test.dir/fsd_test.cc.o.d"
+  "fsd_test"
+  "fsd_test.pdb"
+  "fsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsd_vamlog_test.dir/fsd_vamlog_test.cc.o"
+  "CMakeFiles/fsd_vamlog_test.dir/fsd_vamlog_test.cc.o.d"
+  "fsd_vamlog_test"
+  "fsd_vamlog_test.pdb"
+  "fsd_vamlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsd_vamlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_table_test.dir/name_table_test.cc.o"
+  "CMakeFiles/name_table_test.dir/name_table_test.cc.o.d"
+  "name_table_test"
+  "name_table_test.pdb"
+  "name_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vam_allocator_test.dir/vam_allocator_test.cc.o"
+  "CMakeFiles/vam_allocator_test.dir/vam_allocator_test.cc.o.d"
+  "vam_allocator_test"
+  "vam_allocator_test.pdb"
+  "vam_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vam_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

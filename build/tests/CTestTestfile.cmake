@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/cfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fsd_log_test[1]_include.cmake")
+include("/root/repo/build/tests/fsd_test[1]_include.cmake")
+include("/root/repo/build/tests/fsd_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/bsd_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/vam_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/name_table_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/versions_test[1]_include.cmake")
+include("/root/repo/build/tests/fsd_vamlog_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fsd_scrub_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")

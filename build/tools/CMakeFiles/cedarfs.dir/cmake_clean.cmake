@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedarfs.dir/cedarfs.cc.o"
+  "CMakeFiles/cedarfs.dir/cedarfs.cc.o.d"
+  "cedarfs"
+  "cedarfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedarfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
