@@ -11,6 +11,14 @@
 // logged into, whether it has been re-dirtied since it was last captured,
 // and the exact image that was captured (written home at third-entry so the
 // home never runs ahead of the log).
+//
+// Recency is tracked with an intrusive doubly-linked LRU list threaded
+// through the frames (std::unordered_map nodes are pointer-stable), so
+// Find/Insert/eviction are O(1) instead of the former full-map scan on
+// every eviction. Dirty frames stay in the list — FSD flips dirty bits
+// directly on frames, so the cache cannot maintain a separate pinned list —
+// and eviction walks from the LRU end past them; the walk is O(1) in the
+// common case and bounded by the dirty population in the worst case.
 
 #ifndef CEDAR_CACHE_PAGE_CACHE_H_
 #define CEDAR_CACHE_PAGE_CACHE_H_
@@ -34,7 +42,11 @@ struct Frame {
   std::vector<std::uint8_t> logged_image;  // image captured by that record
   bool is_leader = false;        // leader page (single home, no replica)
 
-  std::uint64_t last_access = 0;  // LRU tick, maintained by the cache
+  // Intrusive LRU links, maintained by the cache. `key` is duplicated here
+  // so eviction can erase the map entry without a search.
+  Frame* lru_prev = nullptr;
+  Frame* lru_next = nullptr;
+  std::uint32_t key = 0;
 };
 
 class PageCache {
@@ -54,28 +66,46 @@ class PageCache {
       return nullptr;
     }
     ++hits_;
-    it->second.last_access = ++tick_;
+    MoveToFront(&it->second);
     return &it->second;
   }
 
   // Inserts (or replaces) the frame for `key`, evicting a clean LRU frame
   // if over capacity.
   Frame& Insert(std::uint32_t key, std::vector<std::uint8_t> data) {
-    MaybeEvict();
-    Frame& frame = frames_[key];
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      MaybeEvict();
+      it = frames_.try_emplace(key).first;
+      it->second.key = key;
+      PushFront(&it->second);
+    } else {
+      MoveToFront(&it->second);
+    }
+    Frame& frame = it->second;
     frame.data = std::move(data);
     frame.dirty = false;
     frame.dirty_since_log = false;
     frame.logged_third = -1;
     frame.logged_image.clear();
     frame.is_leader = false;
-    frame.last_access = ++tick_;
     return frame;
   }
 
-  void Erase(std::uint32_t key) { frames_.erase(key); }
+  void Erase(std::uint32_t key) {
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      return;
+    }
+    Unlink(&it->second);
+    frames_.erase(it);
+  }
 
-  void Clear() { frames_.clear(); }
+  void Clear() {
+    frames_.clear();
+    head_ = nullptr;
+    tail_ = nullptr;
+  }
 
   // Iterates all frames (order unspecified). The visitor may mutate frames
   // but must not insert or erase.
@@ -88,26 +118,65 @@ class PageCache {
   std::size_t size() const { return frames_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  // Frames examined by eviction walks; evictions == steps when every
+  // eviction found a clean frame at the exact LRU tail.
+  std::uint64_t eviction_scan_steps() const { return eviction_scan_steps_; }
 
  private:
+  void PushFront(Frame* frame) {
+    frame->lru_prev = nullptr;
+    frame->lru_next = head_;
+    if (head_ != nullptr) {
+      head_->lru_prev = frame;
+    }
+    head_ = frame;
+    if (tail_ == nullptr) {
+      tail_ = frame;
+    }
+  }
+
+  void Unlink(Frame* frame) {
+    if (frame->lru_prev != nullptr) {
+      frame->lru_prev->lru_next = frame->lru_next;
+    } else {
+      head_ = frame->lru_next;
+    }
+    if (frame->lru_next != nullptr) {
+      frame->lru_next->lru_prev = frame->lru_prev;
+    } else {
+      tail_ = frame->lru_prev;
+    }
+    frame->lru_prev = nullptr;
+    frame->lru_next = nullptr;
+  }
+
+  void MoveToFront(Frame* frame) {
+    if (head_ == frame) {
+      return;
+    }
+    Unlink(frame);
+    PushFront(frame);
+  }
+
   void MaybeEvict() {
     if (frames_.size() < capacity_) {
       return;
     }
-    // Evict the least-recently-used clean frame, if any.
-    std::uint32_t victim = 0;
-    std::uint64_t oldest = ~0ull;
-    bool found = false;
-    for (const auto& [key, frame] : frames_) {
-      if (!frame.dirty && !frame.dirty_since_log &&
-          frame.last_access < oldest) {
-        oldest = frame.last_access;
-        victim = key;
-        found = true;
+    // Walk from the LRU end past dirty frames (which must survive — the log
+    // may hold their only durable copy) to the oldest clean frame.
+    Frame* victim = tail_;
+    while (victim != nullptr) {
+      ++eviction_scan_steps_;
+      if (!victim->dirty && !victim->dirty_since_log) {
+        break;
       }
+      victim = victim->lru_prev;
     }
-    if (found) {
-      frames_.erase(victim);
+    if (victim != nullptr) {
+      Unlink(victim);
+      frames_.erase(victim->key);
+      ++evictions_;
     }
     // If everything is dirty, grow past capacity; the next group commit /
     // third flush will make frames clean again.
@@ -115,9 +184,12 @@ class PageCache {
 
   std::size_t capacity_;
   std::unordered_map<std::uint32_t, Frame> frames_;
-  std::uint64_t tick_ = 0;
+  Frame* head_ = nullptr;  // most recently used
+  Frame* tail_ = nullptr;  // least recently used
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t eviction_scan_steps_ = 0;
 };
 
 }  // namespace cedar::cache

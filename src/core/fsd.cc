@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 #include "src/fsapi/name_key.h"
 #include "src/util/check.h"
@@ -271,17 +272,25 @@ Status Fsd::Format() {
   vam_.nt_free().Set(0, false);  // tree root
 
   CEDAR_RETURN_IF_ERROR(tree_->Create());
-  // Write the fresh root page straight home (both copies) and clear flags;
+  // Write the fresh pages straight home (both copies) and clear flags;
   // nothing needs the log yet.
-  Status flush = OkStatus();
+  std::vector<std::pair<std::uint32_t, cache::Frame*>> fresh;
   cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
-    if (frame.dirty && flush.ok()) {
-      flush = WriteHome(key, frame.data);
-      frame.dirty = false;
-      frame.dirty_since_log = false;
+    if (frame.dirty) {
+      fresh.emplace_back(key, &frame);
     }
   });
-  CEDAR_RETURN_IF_ERROR(flush);
+  sim::IoScheduler primary(disk_, config_.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  for (auto& [key, frame] : fresh) {
+    QueueHome(primary, replica, key, frame->data);
+  }
+  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(primary));
+  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(replica));
+  for (auto& [key, frame] : fresh) {
+    frame->dirty = false;
+    frame->dirty_since_log = false;
+  }
 
   CEDAR_RETURN_IF_ERROR(
       vam_.Save(disk_, layout_.vam_base, layout_.vam_sectors, 0));
@@ -329,41 +338,21 @@ Status Fsd::Mount() {
           return OkStatus();
         },
         boot_count_));
-    // Write the surviving images home, coalescing consecutive sectors into
-    // single requests (name-table pages cluster, so this turns hundreds of
-    // rotational misses into a few streaming writes).
-    auto write_coalesced =
-        [&](std::vector<std::pair<sim::Lba, const PageImage*>>& pages) {
-          std::sort(pages.begin(), pages.end());
-          std::size_t i = 0;
-          while (i < pages.size()) {
-            std::size_t j = i + 1;
-            while (j < pages.size() &&
-                   pages[j].first == pages[j - 1].first + 1) {
-              ++j;
-            }
-            std::vector<std::uint8_t> buf((j - i) * 512);
-            for (std::size_t k = i; k < j; ++k) {
-              std::copy(pages[k].second->data.begin(),
-                        pages[k].second->data.end(),
-                        buf.begin() + (k - i) * 512);
-            }
-            CEDAR_RETURN_IF_ERROR(disk_->Write(pages[i].first, buf));
-            i = j;
-          }
-          return OkStatus();
-        };
-    std::vector<std::pair<sim::Lba, const PageImage*>> primaries;
-    std::vector<std::pair<sim::Lba, const PageImage*>> secondaries;
+    // Write the surviving images home through the elevator scheduler
+    // (name-table pages cluster, so this turns hundreds of rotational
+    // misses into a few streaming writes). Primaries flush before replicas
+    // so the two copies of a page never share a transfer.
+    sim::IoScheduler primaries(disk_, config_.batched_writeback);
+    sim::IoScheduler secondaries(disk_, config_.batched_writeback);
     for (const auto& [lba, page] : replay) {
-      primaries.emplace_back(page.primary, &page);
+      primaries.QueueWrite(page.primary, page.data);
       if (page.secondary != kNoLba) {
-        secondaries.emplace_back(page.secondary, &page);
+        secondaries.QueueWrite(page.secondary, page.data);
       }
       ++stats_.recovery_pages_replayed;
     }
-    CEDAR_RETURN_IF_ERROR(write_coalesced(primaries));
-    CEDAR_RETURN_IF_ERROR(write_coalesced(secondaries));
+    CEDAR_RETURN_IF_ERROR(FlushHomeBatch(primaries));
+    CEDAR_RETURN_IF_ERROR(FlushHomeBatch(secondaries));
 
     // VAM: fast path = last base snapshot + the deltas logged since it
     // (idempotent, applied in LSN order); otherwise scan the name table.
@@ -409,58 +398,69 @@ Status Fsd::PreloadNameTable() {
   const std::uint32_t n = config_.nt_pages;
   std::vector<std::uint8_t> region_a(static_cast<std::size_t>(n) * 512);
   std::vector<std::uint8_t> region_b(static_cast<std::size_t>(n) * 512);
+  constexpr std::uint32_t kChunk = 1024;
+  // Both regions in one elevator sweep; replica B sits below the log and
+  // primary A above it, so the sweep reads B then A with a single crossing
+  // instead of ping-ponging per chunk.
+  const std::uint32_t chunks = (n + kChunk - 1) / kChunk;
+  struct ChunkBad {
+    std::uint32_t off = 0;
+    std::vector<std::uint32_t>* sink = nullptr;
+    std::vector<std::uint32_t> bad;
+  };
   std::vector<std::uint32_t> bad_a;
   std::vector<std::uint32_t> bad_b;
-  constexpr std::uint32_t kChunk = 1024;
-  for (std::uint32_t off = 0; off < n; off += kChunk) {
-    const std::uint32_t take = std::min(kChunk, n - off);
-    std::vector<std::uint32_t> bad;
-    CEDAR_RETURN_IF_ERROR(disk_->Read(
-        layout_.nta_base + off,
-        std::span<std::uint8_t>(region_a.data() +
-                                    static_cast<std::size_t>(off) * 512,
-                                static_cast<std::size_t>(take) * 512),
-        &bad));
-    for (std::uint32_t b : bad) {
-      bad_a.push_back(off + b);
+  std::vector<ChunkBad> chunk_bads;
+  chunk_bads.reserve(2 * static_cast<std::size_t>(chunks));
+  sim::IoScheduler sched(disk_, config_.batched_writeback, kChunk);
+  auto queue_region = [&](std::vector<std::uint8_t>& region, sim::Lba base,
+                          std::vector<std::uint32_t>& sink) {
+    for (std::uint32_t off = 0; off < n; off += kChunk) {
+      const std::uint32_t take = std::min(kChunk, n - off);
+      chunk_bads.push_back(ChunkBad{.off = off, .sink = &sink, .bad = {}});
+      sched.QueueRead(
+          base + off,
+          std::span<std::uint8_t>(region.data() +
+                                      static_cast<std::size_t>(off) * 512,
+                                  static_cast<std::size_t>(take) * 512),
+          &chunk_bads.back().bad);
     }
-    bad.clear();
-    CEDAR_RETURN_IF_ERROR(disk_->Read(
-        layout_.ntb_base + off,
-        std::span<std::uint8_t>(region_b.data() +
-                                    static_cast<std::size_t>(off) * 512,
-                                static_cast<std::size_t>(take) * 512),
-        &bad));
-    for (std::uint32_t b : bad) {
-      bad_b.push_back(off + b);
+  };
+  queue_region(region_a, layout_.nta_base, bad_a);
+  queue_region(region_b, layout_.ntb_base, bad_b);
+  CEDAR_RETURN_IF_ERROR(sched.Flush());
+  for (const ChunkBad& chunk : chunk_bads) {
+    for (std::uint32_t b : chunk.bad) {
+      chunk.sink->push_back(chunk.off + b);
     }
   }
-  auto is_bad = [](const std::vector<std::uint32_t>& bad, std::uint32_t pid) {
-    return std::find(bad.begin(), bad.end(), pid) != bad.end();
-  };
+  const std::unordered_set<std::uint32_t> bad_a_set(bad_a.begin(),
+                                                    bad_a.end());
+  const std::unordered_set<std::uint32_t> bad_b_set(bad_b.begin(),
+                                                    bad_b.end());
+  sim::IoScheduler repairs(disk_, config_.batched_writeback);
   for (std::uint32_t pid = 0; pid < n; ++pid) {
     auto a = std::span<const std::uint8_t>(region_a)
                  .subspan(static_cast<std::size_t>(pid) * 512, 512);
     auto b = std::span<const std::uint8_t>(region_b)
                  .subspan(static_cast<std::size_t>(pid) * 512, 512);
-    const bool ok_a = !is_bad(bad_a, pid);
-    const bool ok_b = !is_bad(bad_b, pid);
+    const bool ok_a = !bad_a_set.contains(pid);
+    const bool ok_b = !bad_b_set.contains(pid);
     if (!ok_a && !ok_b) {
       continue;  // per-page read path will report if the page is live
     }
     // Primary is written first at flushes, so it wins a disagreement.
     auto good = ok_a ? a : b;
     if (ok_a && (!ok_b || !std::equal(a.begin(), a.end(), b.begin()))) {
-      CEDAR_RETURN_IF_ERROR(disk_->Write(
-          layout_.ntb_base + pid, good));
+      repairs.QueueWrite(layout_.ntb_base + pid, good);
       ++stats_.nt_repairs;
     } else if (!ok_a) {
-      CEDAR_RETURN_IF_ERROR(disk_->Write(layout_.nta_base + pid, good));
+      repairs.QueueWrite(layout_.nta_base + pid, good);
       ++stats_.nt_repairs;
     }
     cache_.Insert(pid, std::vector<std::uint8_t>(good.begin(), good.end()));
   }
-  return OkStatus();
+  return FlushHomeBatch(repairs);
 }
 
 Status Fsd::RebuildVolatileState() {
@@ -493,12 +493,26 @@ Status Fsd::RebuildVolatileState() {
   return scan;
 }
 
-Status Fsd::WriteHome(std::uint32_t key, std::span<const std::uint8_t> image) {
+void Fsd::QueueHome(sim::IoScheduler& primary, sim::IoScheduler& replica,
+                    std::uint32_t key, std::span<const std::uint8_t> image) {
   if (key & kLeaderKeyBit) {
-    return disk_->Write(key & ~kLeaderKeyBit, image);
+    primary.QueueWrite(key & ~kLeaderKeyBit, image);
+    return;
   }
-  CEDAR_RETURN_IF_ERROR(disk_->Write(layout_.nta_base + key, image));
-  return disk_->Write(layout_.ntb_base + key, image);
+  primary.QueueWrite(layout_.nta_base + key, image);
+  replica.QueueWrite(layout_.ntb_base + key, image);
+}
+
+Status Fsd::FlushHomeBatch(sim::IoScheduler& sched) {
+  if (sched.pending() == 0) {
+    return OkStatus();
+  }
+  sim::BatchStats batch;
+  Status status = sched.Flush(&batch);
+  ++stats_.home_write_batches;
+  stats_.home_write_requests += batch.requests_queued;
+  stats_.home_writes_coalesced += batch.requests_merged;
+  return status;
 }
 
 Status Fsd::FlushThird(int third) {
@@ -511,10 +525,13 @@ Status Fsd::FlushThird(int third) {
   }
   // Pages whose latest logged image lives in `third` are about to lose it;
   // write that image (not the possibly newer cache contents — those are
-  // covered by the record about to be appended) to the home sectors.
-  Status status = OkStatus();
+  // covered by the record about to be appended) to the home sectors, as
+  // two elevator sweeps: all primaries (and leaders), then all replicas.
+  // A crash anywhere inside the flush is safe — the oldest-third pointer
+  // only advances after this returns, so replay still covers every page.
+  std::vector<std::pair<std::uint32_t, cache::Frame*>> victims;
   cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
-    if (frame.logged_third != third || !status.ok()) {
+    if (frame.logged_third != third) {
       return;
     }
     if (frame.is_leader && !frame.dirty) {
@@ -523,17 +540,36 @@ Status Fsd::FlushThird(int third) {
       frame.logged_image.clear();
       return;
     }
-    status = WriteHome(key, frame.logged_image);
-    if (status.ok()) {
-      ++stats_.third_flush_pages;
-      frame.logged_third = -1;
-      frame.dirty = frame.dirty_since_log;
-      if (!frame.dirty) {
-        frame.logged_image.clear();
-      }
-    }
+    victims.emplace_back(key, &frame);
   });
-  return status;
+  if (victims.empty()) {
+    return OkStatus();
+  }
+  sim::IoScheduler primary(disk_, config_.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  for (auto& [key, frame] : victims) {
+    QueueHome(primary, replica, key, frame->logged_image);
+  }
+  const sim::DiskStats before = disk_->stats();
+  Status status = FlushHomeBatch(primary);
+  if (status.ok()) {
+    status = FlushHomeBatch(replica);
+  }
+  const sim::DiskStats& after = disk_->stats();
+  stats_.third_flush_seek_us += after.seek_us - before.seek_us;
+  stats_.third_flush_rotational_us +=
+      after.rotational_us - before.rotational_us;
+  stats_.third_flush_busy_us += after.busy_us - before.busy_us;
+  CEDAR_RETURN_IF_ERROR(status);
+  for (auto& [key, frame] : victims) {
+    ++stats_.third_flush_pages;
+    frame->logged_third = -1;
+    frame->dirty = frame->dirty_since_log;
+    if (!frame->dirty) {
+      frame->logged_image.clear();
+    }
+  }
+  return OkStatus();
 }
 
 Status Fsd::ForceLog() {
@@ -661,17 +697,26 @@ Status Fsd::Shutdown() {
   }
   CEDAR_RETURN_IF_ERROR(ForceLog());
   // Write every dirty page home (the force above made cache contents equal
-  // to the last logged images).
-  Status status = OkStatus();
+  // to the last logged images): all primaries in one elevator sweep, then
+  // all replicas.
+  std::vector<std::pair<std::uint32_t, cache::Frame*>> dirty;
   cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
-    if (frame.dirty && status.ok()) {
-      status = WriteHome(key, frame.data);
-      frame.dirty = false;
-      frame.logged_third = -1;
-      frame.logged_image.clear();
+    if (frame.dirty) {
+      dirty.emplace_back(key, &frame);
     }
   });
-  CEDAR_RETURN_IF_ERROR(status);
+  sim::IoScheduler primary(disk_, config_.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  for (auto& [key, frame] : dirty) {
+    QueueHome(primary, replica, key, frame->data);
+  }
+  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(primary));
+  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(replica));
+  for (auto& [key, frame] : dirty) {
+    frame->dirty = false;
+    frame->logged_third = -1;
+    frame->logged_image.clear();
+  }
   CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
                                   layout_.vam_sectors, boot_count_,
                                   log_->next_lsn()));
@@ -1221,13 +1266,19 @@ Result<Fsd::ScrubReport> Fsd::Scrub() {
   });
   CEDAR_RETURN_IF_ERROR(scan);
 
-  // Repair stale leaders from the authoritative name-table entries.
+  // Repair stale leaders from the authoritative name-table entries, as one
+  // elevator-ordered batch (leaders scatter across the whole data region,
+  // so unsorted repair writes would seek worst-case per leader).
+  std::vector<std::vector<std::uint8_t>> leader_images;
+  leader_images.reserve(stale_leaders.size());
+  sim::IoScheduler repairs(disk_, config_.batched_writeback);
   for (const Damaged& damaged : stale_leaders) {
-    const std::vector<std::uint8_t> leader =
-        SerializeLeader(MakeLeader(damaged.entry, damaged.version));
-    CEDAR_RETURN_IF_ERROR(disk_->Write(damaged.entry.leader_lba, leader));
+    leader_images.push_back(
+        SerializeLeader(MakeLeader(damaged.entry, damaged.version)));
+    repairs.QueueWrite(damaged.entry.leader_lba, leader_images.back());
     ++report.leaders_repaired;
   }
+  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(repairs));
 
   // Pass 2: reconcile the VAM. A data sector is leaked if it is marked
   // used but nothing references it; it is missing-used (a latent double

@@ -47,6 +47,7 @@
 #include "src/core/vam.h"
 #include "src/fsapi/file_system.h"
 #include "src/sim/disk.h"
+#include "src/sim/scheduler.h"
 
 namespace cedar::core {
 
@@ -60,6 +61,18 @@ struct FsdStats {
   std::uint64_t nt_repairs = 0;        // replica repairs on read
   std::uint64_t recovery_pages_replayed = 0;
   std::uint64_t fast_recoveries = 0;   // VAM-logging fast path taken
+
+  // Writeback scheduler: every home-flush path (third entry, shutdown,
+  // format, recovery replay, repairs) goes through elevator-ordered,
+  // coalesced batches; these prove the batching actually happened.
+  std::uint64_t home_write_batches = 0;     // non-empty scheduler flushes
+  std::uint64_t home_write_requests = 0;    // page writes queued
+  std::uint64_t home_writes_coalesced = 0;  // requests merged away
+  // Disk time spent in third-entry home flushes (the one long synchronous
+  // burst left in FSD), split so benches can see the seek/rotation savings.
+  std::uint64_t third_flush_seek_us = 0;
+  std::uint64_t third_flush_rotational_us = 0;
+  std::uint64_t third_flush_busy_us = 0;
 };
 
 class Fsd : public fs::FileSystem {
@@ -146,8 +159,14 @@ class Fsd : public fs::FileSystem {
   // free-type deltas after, so a torn force can only leak sectors, never
   // double-allocate them.
   void RecordDelta(VamDelta::Op op, std::uint32_t start, std::uint32_t count);
-  // Writes one page image to its home sector(s).
-  Status WriteHome(std::uint32_t key, std::span<const std::uint8_t> image);
+  // Queues one page image for its home sector(s): the single home (leader
+  // keys) or the primary into `primary` and the replica into `replica`.
+  // The two batches are flushed separately so coalescing can never merge a
+  // page's two copies and so every primary is written before any replica.
+  void QueueHome(sim::IoScheduler& primary, sim::IoScheduler& replica,
+                 std::uint32_t key, std::span<const std::uint8_t> image);
+  // Issues a queued batch and folds its counters into stats_.
+  Status FlushHomeBatch(sim::IoScheduler& sched);
 
   Status WriteVolumeRoot(bool clean);
   Status ReadVolumeRoot(bool* clean);

@@ -43,6 +43,11 @@ struct FsdConfig {
   // third entry, so crash recovery skips the name-table scan — "about two
   // seconds" instead of ~25. Off by default, like the original system.
   bool vam_logging = false;
+  // Elevator-order and coalesce home writebacks (third flush, shutdown,
+  // recovery replay, repairs) through the sim::IoScheduler. Off reproduces
+  // the historical one-write-per-page behavior in hash-map order — the
+  // unbatched baseline bench_flush measures against.
+  bool batched_writeback = true;
   // Records per atomic commit group. Forces larger than one record are
   // split into records tagged with group start/end flags; recovery discards
   // incomplete groups, so a multi-record force stays atomic. A group must

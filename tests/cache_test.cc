@@ -79,6 +79,76 @@ TEST(PageCacheTest, EraseAndClear) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(PageCacheTest, EvictionCountersTrackTailWalk) {
+  PageCache cache(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cache.Insert(i, Data(1));
+  }
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Insert(100, Data(2));  // evicts key 0, the exact LRU tail
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.eviction_scan_steps(), 1u);
+  EXPECT_EQ(cache.Find(0), nullptr);
+}
+
+TEST(PageCacheTest, EvictionWalksPastDirtyTail) {
+  PageCache cache(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    Frame& frame = cache.Insert(i, Data(1));
+    frame.dirty = i < 3;  // the three oldest frames are dirty
+  }
+  cache.Insert(100, Data(2));
+  // Keys 0..2 are dirty and protected; key 3 is the oldest clean frame.
+  EXPECT_EQ(cache.Find(3), nullptr);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_NE(cache.Find(i), nullptr) << i;
+  }
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.eviction_scan_steps(), 4u);  // 3 dirty skips + the victim
+}
+
+TEST(PageCacheTest, InsertOfExistingKeyRefreshesRecency) {
+  PageCache cache(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cache.Insert(i, Data(1));
+  }
+  cache.Insert(0, Data(9));  // re-insert the LRU key: now MRU, size stays 8
+  EXPECT_EQ(cache.size(), 8u);
+  cache.Insert(100, Data(2));
+  EXPECT_NE(cache.Find(0), nullptr);  // refreshed, so key 1 was the victim
+  EXPECT_EQ(cache.Find(1), nullptr);
+}
+
+TEST(PageCacheTest, EraseUnlinksFromLruOrder) {
+  PageCache cache(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cache.Insert(i, Data(1));
+  }
+  cache.Erase(0);  // remove the tail
+  cache.Erase(7);  // remove the head
+  cache.Insert(20, Data(2));
+  cache.Insert(21, Data(2));
+  EXPECT_EQ(cache.size(), 8u);
+  cache.Insert(22, Data(2));  // over capacity: evicts key 1, the oldest left
+  EXPECT_EQ(cache.Find(1), nullptr);
+  EXPECT_NE(cache.Find(2), nullptr);
+}
+
+TEST(PageCacheTest, LruOrderSurvivesHeavyChurn) {
+  // Pointer-stability torture: interleave inserts, finds, and erases, then
+  // check the cache still behaves like an LRU.
+  PageCache cache(16);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    cache.Insert(i % 64, Data(static_cast<std::uint8_t>(i)));
+    cache.Find((i * 7) % 64);
+    if (i % 13 == 0) {
+      cache.Erase((i * 3) % 64);
+    }
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
 TEST(PageCacheTest, ForEachVisitsAll) {
   PageCache cache(8);
   for (std::uint32_t i = 0; i < 5; ++i) {
