@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/fsd.h"
+#include "src/obs/trace.h"
 #include "src/util/random.h"
 
 namespace cedar::bench {
@@ -43,6 +44,10 @@ struct FlushResult {
 // commit captures a wide set of pages and the log cycles thirds steadily.
 FlushResult Run(bool batched) {
   Rig rig;
+  // Third-flush disk time comes from the tracer's "fsd.flush_third"
+  // aggregate — the scheduler no longer keeps its own micros accounting.
+  cedar::obs::DiskTracer tracer;
+  rig.disk.set_tracer(&tracer);
   cedar::core::FsdConfig config;
   config.batched_writeback = batched;
   cedar::core::Fsd fsd(&rig.disk, config);
@@ -76,9 +81,11 @@ FlushResult Run(bool batched) {
   FlushResult result;
   result.third_entries = fsd.log_stats().third_entries;
   result.third_flush_pages = fsd.stats().third_flush_pages;
-  result.third_seek_us = fsd.stats().third_flush_seek_us;
-  result.third_rot_us = fsd.stats().third_flush_rotational_us;
-  result.third_busy_us = fsd.stats().third_flush_busy_us;
+  const cedar::obs::OpClassAggregate third =
+      tracer.AggregateFor("fsd.flush_third");
+  result.third_seek_us = third.seek_us;
+  result.third_rot_us = third.rotational_us;
+  result.third_busy_us = third.TotalUs();
   result.home_batches = fsd.stats().home_write_batches;
   result.home_requests = fsd.stats().home_write_requests;
   result.home_coalesced = fsd.stats().home_writes_coalesced;

@@ -5,164 +5,35 @@
 //  benchmarked, the model almost always predicted performance to within
 //  five percent of measured performance."
 //
-// Here each operation script's prediction is compared against the measured
-// virtual time of the real implementation running on the simulator, with
-// the head scrambled to a random cylinder between operations (matching the
-// scripts' average-seek assumption).
+// The measurement side now comes from the observability subsystem: a disk
+// tracer attached to the simulated drive attributes every request's
+// seek/rotation/transfer/controller micros to the FS operation that issued
+// it, so the model's disk terms are compared against *traced disk time* as
+// well as total virtual time. See src/model/validate.h; the same harness
+// runs as a ctest (model_validation_test).
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "bench/bench_common.h"
-#include "src/cfs/cfs.h"
-#include "src/core/fsd.h"
-#include "src/model/disk_model.h"
-#include "src/model/scripts.h"
-#include "src/util/random.h"
-
-namespace cedar::bench {
-namespace {
-
-using cedar::model::DiskModel;
-using cedar::model::OpScript;
-
-constexpr int kOps = 100;
-constexpr std::uint32_t kSmallPages = 2;  // 1000-byte files
-
-struct Measured {
-  double cfs_create = 0;
-  double cfs_open = 0;
-  double cfs_read_page = 0;
-  double cfs_delete = 0;
-  double fsd_create = 0;
-  double fsd_open_hit = 0;
-  double fsd_read_page = 0;
-  double fsd_delete = 0;
-};
-
-std::vector<std::uint8_t> Payload(std::size_t n) {
-  return std::vector<std::uint8_t>(n, 0x5A);
-}
-
-template <typename Fs>
-double AverageOp(Rig& rig, Fs&, int n, Rng& scramble_rng,
-                 const std::function<void(int)>& op) {
-  double total = 0;
-  for (int i = 0; i < n; ++i) {
-    std::vector<std::uint8_t> sector(512);
-    (void)rig.disk.Read(
-        static_cast<cedar::sim::Lba>(
-            scramble_rng.Below(rig.disk.geometry().TotalSectors())),
-        sector);
-    total += TimedMs(rig.clock, [&] { op(i); });
-  }
-  return total / n * 1000.0;  // microseconds
-}
-
-Measured MeasureAll() {
-  Measured m;
-  {
-    Rig rig;
-    cedar::cfs::Cfs cfs(&rig.disk, cedar::cfs::CfsConfig{});
-    CEDAR_CHECK_OK(cfs.Format());
-    Rng rng(3);
-    m.cfs_create = AverageOp(rig, cfs, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(
-          cfs.CreateFile("m/c" + std::to_string(i), Payload(1000)).status());
-    });
-    CEDAR_CHECK_OK(cfs.Shutdown());
-    CEDAR_CHECK_OK(cfs.Mount());
-    m.cfs_open = AverageOp(rig, cfs, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(cfs.Open("m/c" + std::to_string(i)).status());
-    });
-    auto handle = cfs.Open("m/c0");
-    CEDAR_CHECK_OK(handle.status());
-    m.cfs_read_page = AverageOp(rig, cfs, kOps, rng, [&](int) {
-      std::vector<std::uint8_t> out(512);
-      CEDAR_CHECK_OK(cfs.Read(*handle, 0, out));
-    });
-    // Delete files not in the open table (re-mount cleared it; reopen 0).
-    CEDAR_CHECK_OK(cfs.Shutdown());
-    CEDAR_CHECK_OK(cfs.Mount());
-    m.cfs_delete = AverageOp(rig, cfs, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(cfs.DeleteFile("m/c" + std::to_string(i)));
-    });
-  }
-  {
-    Rig rig;
-    cedar::core::FsdConfig config;
-    // The scripts model the synchronous path; disable the timer so the
-    // asynchronous log share isn't charged to individual operations (it is
-    // measured by bench_group_commit instead).
-    config.group_commit_interval = 3600 * cedar::sim::kSecond;
-    cedar::core::Fsd fsd(&rig.disk, config);
-    CEDAR_CHECK_OK(fsd.Format());
-    Rng rng(3);
-    // Warm the tree so creates measure the synchronous path only.
-    CEDAR_CHECK_OK(fsd.CreateFile("m/warm", Payload(100)).status());
-    m.fsd_create = AverageOp(rig, fsd, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(
-          fsd.CreateFile("m/c" + std::to_string(i), Payload(1000)).status());
-    });
-    CEDAR_CHECK_OK(fsd.Force());  // untimed
-    m.fsd_open_hit = AverageOp(rig, fsd, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(fsd.Open("m/c" + std::to_string(i)).status());
-    });
-    auto handle = fsd.Open("m/c0");
-    CEDAR_CHECK_OK(handle.status());
-    {
-      std::vector<std::uint8_t> out(512);
-      CEDAR_CHECK_OK(fsd.Read(*handle, 0, out));  // verify leader once
-    }
-    m.fsd_read_page = AverageOp(rig, fsd, kOps, rng, [&](int) {
-      std::vector<std::uint8_t> out(512);
-      CEDAR_CHECK_OK(fsd.Read(*handle, 0, out));
-    });
-    m.fsd_delete = AverageOp(rig, fsd, kOps, rng, [&](int i) {
-      CEDAR_CHECK_OK(fsd.DeleteFile("m/c" + std::to_string(i)));
-    });
-    CEDAR_CHECK_OK(fsd.Force());  // untimed
-  }
-  return m;
-}
-
-void Report(const DiskModel& model, const OpScript& script, double measured) {
-  const double predicted = static_cast<double>(model.Evaluate(script));
-  const double err = DiskModel::RelativeError(predicted, measured) * 100;
-  std::printf("%-18s predicted %8.1f us   measured %8.1f us   error %5.1f%%\n",
-              script.name.c_str(), predicted, measured, err);
-}
-
-}  // namespace
-}  // namespace cedar::bench
+#include "src/model/validate.h"
 
 int main() {
-  using namespace cedar::bench;
   using namespace cedar::model;
   std::printf(
-      "Section 6: analytical model vs simulator measurement\n"
-      "(paper: predictions within ~5%% of measurement)\n\n");
+      "Section 6: analytical model vs traced simulator measurement\n"
+      "(paper: predictions within ~5%%)\n\n");
+
+  ValidationReport report = RunPaperValidation();
+  std::printf("%s", FormatValidationTable(report).c_str());
+  std::printf("\nmax disk-time error: %.1f%% (bound %.0f%%)\n",
+              report.max_disk_error * 100, ValidationConfig{}.bound * 100);
 
   DiskModel model(cedar::sim::DiskGeometry{}, cedar::sim::DiskTimingParams{});
-  CpuParams cpu;
-  Measured m = MeasureAll();
-
-  Report(model, CfsCreate(kSmallPages, cpu), m.cfs_create);
-  Report(model, CfsOpen(cpu), m.cfs_open);
-  Report(model, CfsReadPage(cpu), m.cfs_read_page);
-  Report(model, CfsDelete(kSmallPages, cpu), m.cfs_delete);
-  Report(model, FsdCreate(kSmallPages, cpu), m.fsd_create);
-  Report(model, FsdOpenHit(cpu), m.fsd_open_hit);
-  Report(model, FsdReadPage(cpu), m.fsd_read_page);
-  Report(model, FsdDelete(cpu), m.fsd_delete);
-
   std::printf(
-      "\nmodel primitives: avg seek %llu us, short seek %llu us, latency "
+      "model primitives: avg seek %llu us, short seek %llu us, latency "
       "%llu us, sector %llu us\n",
       (unsigned long long)model.AverageSeek(),
       (unsigned long long)model.ShortSeek(),
       (unsigned long long)model.Latency(),
       (unsigned long long)model.SectorTime());
-  return 0;
+  return report.AllWithin(ValidationConfig{}.bound) ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "src/bsd/ffs.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -89,6 +91,17 @@ Ffs::Ffs(sim::SimDisk* disk, FfsConfig config)
   CEDAR_CHECK(group_count_ >= 2);
   total_blocks_ = group_count_ * blocks_per_group_;
   cache_ = std::make_unique<BlockCache>(config_.block_cache_frames);
+
+  c_.fscks = metrics_.GetCounter("bsd.fscks");
+  h_.create = metrics_.GetHistogram("op.bsd.create.us");
+  h_.open = metrics_.GetHistogram("op.bsd.open.us");
+  h_.read = metrics_.GetHistogram("op.bsd.read.us");
+  h_.write = metrics_.GetHistogram("op.bsd.write.us");
+  h_.extend = metrics_.GetHistogram("op.bsd.extend.us");
+  h_.del = metrics_.GetHistogram("op.bsd.delete.us");
+  h_.list = metrics_.GetHistogram("op.bsd.list.us");
+  h_.touch = metrics_.GetHistogram("op.bsd.touch.us");
+  disk_->AttachMetrics(&metrics_);
 }
 
 Ffs::~Ffs() = default;
@@ -476,6 +489,7 @@ Status Ffs::LoadGroupHeader(std::uint32_t group) {
 }
 
 Status Ffs::Format() {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.format");
   cache_->Clear();
   groups_.assign(group_count_, Group{});
   for (std::uint32_t g = 0; g < group_count_; ++g) {
@@ -506,6 +520,7 @@ Status Ffs::Format() {
 }
 
 Status Ffs::Mount() {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.mount");
   cache_->Clear();
   CEDAR_RETURN_IF_ERROR(ReadSuperblock());
   groups_.assign(group_count_, Group{});
@@ -520,6 +535,8 @@ Status Ffs::Mount() {
 
 Result<fs::FileUid> Ffs::CreateFile(std::string_view name,
                                     std::span<const std::uint8_t> contents) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.create");
+  obs::ScopedLatency op_latency(h_.create, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -603,6 +620,8 @@ Status Ffs::WriteFileData(Inode* inode, std::uint64_t offset,
 }
 
 Result<fs::FileHandle> Ffs::Open(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.open");
+  obs::ScopedLatency op_latency(h_.open, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -626,8 +645,20 @@ Result<fs::FileHandle> Ffs::Open(std::string_view name) {
   return fs::FileHandle{.uid = uid, .version = 1, .byte_size = inode.size};
 }
 
+Status Ffs::Close(const fs::FileHandle& file) {
+  ChargeOp();
+  auto it = open_files_.find(file.uid);
+  if (it != open_files_.end()) {
+    inode_uid_.erase(it->second);
+    open_files_.erase(it);
+  }
+  return OkStatus();
+}
+
 Status Ffs::Read(const fs::FileHandle& file, std::uint64_t offset,
                  std::span<std::uint8_t> out) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.read");
+  obs::ScopedLatency op_latency(h_.read, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -663,6 +694,8 @@ Status Ffs::Read(const fs::FileHandle& file, std::uint64_t offset,
 
 Status Ffs::Write(const fs::FileHandle& file, std::uint64_t offset,
                   std::span<const std::uint8_t> data) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.write");
+  obs::ScopedLatency op_latency(h_.write, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -680,6 +713,8 @@ Status Ffs::Write(const fs::FileHandle& file, std::uint64_t offset,
 }
 
 Status Ffs::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.extend");
+  obs::ScopedLatency op_latency(h_.extend, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -711,6 +746,8 @@ Status Ffs::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
 }
 
 Status Ffs::DeleteFile(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.delete");
+  obs::ScopedLatency op_latency(h_.del, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -743,6 +780,8 @@ Status Ffs::DeleteFile(std::string_view name) {
 }
 
 Result<std::vector<fs::FileInfo>> Ffs::List(std::string_view prefix) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.list");
+  obs::ScopedLatency op_latency(h_.list, &disk_->clock());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDir(kRootInode));
   std::vector<fs::FileInfo> out;
@@ -769,6 +808,8 @@ Result<std::vector<fs::FileInfo>> Ffs::List(std::string_view prefix) {
 }
 
 Status Ffs::Touch(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.touch");
+  obs::ScopedLatency op_latency(h_.touch, &disk_->clock());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(std::optional<InodeNum> inum,
                          DirLookup(kRootInode, name));
@@ -788,6 +829,7 @@ Status Ffs::Shutdown() {
   if (!mounted_) {
     return OkStatus();
   }
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.shutdown");
   for (std::uint32_t g = 0; g < group_count_; ++g) {
     if (groups_[g].dirty) {
       CEDAR_RETURN_IF_ERROR(WriteGroupHeader(g));
@@ -801,6 +843,8 @@ Status Ffs::Shutdown() {
 }
 
 Status Ffs::Fsck() {
+  obs::ScopedOp op_scope(disk_->tracer(), "bsd.fsck");
+  c_.fscks->Increment();
   cache_->Clear();
   CEDAR_RETURN_IF_ERROR(ReadSuperblock());
   groups_.assign(group_count_, Group{});

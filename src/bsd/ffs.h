@@ -90,8 +90,10 @@ class Ffs : public fs::FileSystem {
   Status SetKeep(std::string_view, std::uint16_t) override {
     return OkStatus();  // BSD has no versions; keep is meaningless
   }
+  Status Close(const fs::FileHandle& file) override;
   Status Force() override;     // no-op: metadata writes are synchronous
   Status Shutdown() override;  // writes back cached bitmaps
+  const obs::MetricsRegistry& Metrics() const override { return metrics_; }
 
   // Full consistency check and bitmap rebuild — the recovery path after an
   // unclean shutdown (Table 2 / section 7: "about seven minutes").
@@ -189,6 +191,22 @@ class Ffs : public fs::FileSystem {
   // Open table: uid -> inode number.
   std::map<fs::FileUid, InodeNum> open_files_;
   std::map<InodeNum, fs::FileUid> inode_uid_;
+
+  // Counters and per-op latency histograms (fs::FileSystem::Metrics()).
+  obs::MetricsRegistry metrics_;
+  struct CounterSet {
+    obs::Counter* fscks = nullptr;
+  } c_;
+  struct HistogramSet {
+    obs::Histogram* create = nullptr;
+    obs::Histogram* open = nullptr;
+    obs::Histogram* read = nullptr;
+    obs::Histogram* write = nullptr;
+    obs::Histogram* extend = nullptr;
+    obs::Histogram* del = nullptr;
+    obs::Histogram* list = nullptr;
+    obs::Histogram* touch = nullptr;
+  } h_;
 };
 
 }  // namespace cedar::bsd

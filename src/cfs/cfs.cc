@@ -1,5 +1,7 @@
 #include "src/cfs/cfs.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -112,6 +114,19 @@ Cfs::Cfs(sim::SimDisk* disk, CfsConfig config)
   CEDAR_CHECK(disk != nullptr);
   nt_store_ = std::make_unique<NtStore>(this);
   name_table_ = std::make_unique<btree::BTree>(nt_store_.get(), /*root=*/0);
+
+  c_.scavenges = metrics_.GetCounter("cfs.scavenges");
+  c_.stale_hint_repairs = metrics_.GetCounter("cfs.stale_hint_repairs");
+  h_.create = metrics_.GetHistogram("op.cfs.create.us");
+  h_.open = metrics_.GetHistogram("op.cfs.open.us");
+  h_.read = metrics_.GetHistogram("op.cfs.read.us");
+  h_.write = metrics_.GetHistogram("op.cfs.write.us");
+  h_.extend = metrics_.GetHistogram("op.cfs.extend.us");
+  h_.del = metrics_.GetHistogram("op.cfs.delete.us");
+  h_.list = metrics_.GetHistogram("op.cfs.list.us");
+  h_.touch = metrics_.GetHistogram("op.cfs.touch.us");
+  h_.setkeep = metrics_.GetHistogram("op.cfs.setkeep.us");
+  disk_->AttachMetrics(&metrics_);
 }
 
 Cfs::~Cfs() = default;
@@ -128,6 +143,7 @@ void Cfs::ChargeSectors(std::uint64_t n) const {
 }
 
 Status Cfs::Format() {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.format");
   const std::uint32_t total = disk_->geometry().TotalSectors();
   if (DataBase() >= total) {
     return MakeError(ErrorCode::kInvalidArgument, "volume too small");
@@ -274,6 +290,7 @@ Status Cfs::LoadVam() {
 }
 
 Status Cfs::Mount() {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.mount");
   CEDAR_RETURN_IF_ERROR(ReadVolumeRoot());
   ++boot_count_;
   uid_counter_ = 0;
@@ -365,6 +382,7 @@ Result<std::vector<Extent>> Cfs::AllocateVerified(std::uint32_t count) {
     for (std::uint32_t i = 0; i < want; ++i) {
       if (labels[i].type != sim::PageType::kFree) {
         vam_.Set(*run + i, false);  // repair the stale hint
+        c_.stale_hint_repairs->Increment();
         all_free = false;
       }
     }
@@ -490,6 +508,8 @@ Status Cfs::WriteData(const FileHeader& header,
 
 Result<fs::FileUid> Cfs::CreateFile(std::string_view name,
                                     std::span<const std::uint8_t> contents) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.create");
+  obs::ScopedLatency op_latency(h_.create, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -575,6 +595,8 @@ Result<fs::FileUid> Cfs::CreateFile(std::string_view name,
 }
 
 Result<fs::FileHandle> Cfs::Open(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.open");
+  obs::ScopedLatency op_latency(h_.open, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -593,6 +615,14 @@ Result<fs::FileHandle> Cfs::Open(std::string_view name) {
   return fs::FileHandle{.uid = entry.uid,
                         .version = it->second.header.version,
                         .byte_size = it->second.header.byte_size};
+}
+
+Status Cfs::Close(const fs::FileHandle& file) {
+  ChargeOp();
+  // Drops the cached header; a later reopen re-reads it from disk. Unknown
+  // handles are fine (remount already invalidated them).
+  open_files_.erase(file.uid);
+  return OkStatus();
 }
 
 Result<std::vector<Extent>> Cfs::MapPages(const FileHeader& header,
@@ -624,6 +654,8 @@ Result<std::vector<Extent>> Cfs::MapPages(const FileHeader& header,
 
 Status Cfs::Read(const fs::FileHandle& file, std::uint64_t offset,
                  std::span<std::uint8_t> out) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.read");
+  obs::ScopedLatency op_latency(h_.read, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -668,6 +700,8 @@ Status Cfs::Read(const fs::FileHandle& file, std::uint64_t offset,
 
 Status Cfs::Write(const fs::FileHandle& file, std::uint64_t offset,
                   std::span<const std::uint8_t> data) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.write");
+  obs::ScopedLatency op_latency(h_.write, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -731,6 +765,8 @@ Status Cfs::Write(const fs::FileHandle& file, std::uint64_t offset,
 }
 
 Status Cfs::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.extend");
+  obs::ScopedLatency op_latency(h_.extend, &disk_->clock());
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -773,6 +809,8 @@ Status Cfs::EraseNameEntry(std::string_view name, std::uint32_t version) {
 }
 
 Status Cfs::DeleteFile(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.delete");
+  obs::ScopedLatency op_latency(h_.del, &disk_->clock());
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -821,6 +859,8 @@ Status Cfs::PruneVersions(std::string_view name, std::uint16_t keep) {
 }
 
 Status Cfs::SetKeep(std::string_view name, std::uint16_t keep) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.setkeep");
+  obs::ScopedLatency op_latency(h_.setkeep, &disk_->clock());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   const NtEntry& entry = found.second;
@@ -888,6 +928,8 @@ Status Cfs::DeleteVersion(std::string_view name, std::uint32_t version,
 }
 
 Result<std::vector<fs::FileInfo>> Cfs::List(std::string_view prefix) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.list");
+  obs::ScopedLatency op_latency(h_.list, &disk_->clock());
   ChargeOp();
   // Collect matching entries from the name table, then read each header for
   // the properties — the cost FSD eliminates by keeping properties in the
@@ -944,6 +986,8 @@ Result<std::vector<fs::FileInfo>> Cfs::List(std::string_view prefix) {
 }
 
 Status Cfs::Touch(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.touch");
+  obs::ScopedLatency op_latency(h_.touch, &disk_->clock());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   const NtEntry& entry = found.second;
@@ -990,6 +1034,7 @@ Status Cfs::Shutdown() {
   if (!mounted_) {
     return OkStatus();
   }
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.shutdown");
   CEDAR_RETURN_IF_ERROR(WriteVam());
   CEDAR_RETURN_IF_ERROR(WriteVolumeRoot());
   open_files_.clear();
@@ -998,6 +1043,8 @@ Status Cfs::Shutdown() {
 }
 
 Status Cfs::Scavenge() {
+  obs::ScopedOp op_scope(disk_->tracer(), "cfs.scavenge");
+  c_.scavenges->Increment();
   // Phase 1: read every label on the volume, one request per track.
   const sim::DiskGeometry& g = disk_->geometry();
   const std::uint32_t total = g.TotalSectors();

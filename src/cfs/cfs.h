@@ -96,8 +96,10 @@ class Cfs : public fs::FileSystem {
   Result<std::vector<fs::FileInfo>> List(std::string_view prefix) override;
   Status Touch(std::string_view name) override;
   Status SetKeep(std::string_view name, std::uint16_t keep) override;
+  Status Close(const fs::FileHandle& file) override;
   Status Force() override;     // no-op: CFS is synchronous
   Status Shutdown() override;  // writes the VAM hint and volume root
+  const obs::MetricsRegistry& Metrics() const override { return metrics_; }
 
   // Full recovery: scans every label on the volume, rebuilds the name table
   // from the headers it finds, validates run tables against labels, and
@@ -184,6 +186,24 @@ class Cfs : public fs::FileSystem {
   std::uint32_t boot_count_ = 0;
   std::uint32_t uid_counter_ = 0;
   bool mounted_ = false;
+
+  // Counters and per-op latency histograms (fs::FileSystem::Metrics()).
+  obs::MetricsRegistry metrics_;
+  struct CounterSet {
+    obs::Counter* scavenges = nullptr;
+    obs::Counter* stale_hint_repairs = nullptr;
+  } c_;
+  struct HistogramSet {
+    obs::Histogram* create = nullptr;
+    obs::Histogram* open = nullptr;
+    obs::Histogram* read = nullptr;
+    obs::Histogram* write = nullptr;
+    obs::Histogram* extend = nullptr;
+    obs::Histogram* del = nullptr;
+    obs::Histogram* list = nullptr;
+    obs::Histogram* touch = nullptr;
+    obs::Histogram* setkeep = nullptr;
+  } h_;
 
   // Open-file table: uid -> header (+ its disk address).
   struct OpenState {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/fsapi/name_key.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/crc32.h"
 #include "src/util/serial.h"
@@ -86,11 +87,11 @@ class Fsd::NtStore : public btree::PageStore {
                                 page_b.begin()))) {
         CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
             fsd_->layout_.ntb_base + pid, good));
-        ++fsd_->stats_.nt_repairs;
+        fsd_->c_.nt_repairs->Increment();
       } else if (!ok_a) {
         CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
             fsd_->layout_.nta_base + pid, good));
-        ++fsd_->stats_.nt_repairs;
+        fsd_->c_.nt_repairs->Increment();
       }
       if (pid == id) {
         std::copy(good.begin(), good.end(), out.begin());
@@ -156,6 +157,50 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   allocator_ = std::make_unique<RunAllocator>(
       &vam_, layout_.data_low, layout_.data_high,
       config_.big_file_threshold_sectors);
+
+  c_.forces = metrics_.GetCounter("fsd.forces");
+  c_.empty_forces = metrics_.GetCounter("fsd.empty_forces");
+  c_.pages_captured = metrics_.GetCounter("fsd.pages_captured");
+  c_.third_flush_pages = metrics_.GetCounter("fsd.third_flush_pages");
+  c_.piggyback_leader_writes =
+      metrics_.GetCounter("fsd.piggyback_leader_writes");
+  c_.piggyback_leader_verifies =
+      metrics_.GetCounter("fsd.piggyback_leader_verifies");
+  c_.nt_repairs = metrics_.GetCounter("fsd.nt_repairs");
+  c_.recovery_pages_replayed =
+      metrics_.GetCounter("fsd.recovery_pages_replayed");
+  c_.fast_recoveries = metrics_.GetCounter("fsd.fast_recoveries");
+  c_.home_write_batches = metrics_.GetCounter("fsd.home_write_batches");
+  c_.home_write_requests = metrics_.GetCounter("fsd.home_write_requests");
+  c_.home_writes_coalesced = metrics_.GetCounter("fsd.home_writes_coalesced");
+  h_.create = metrics_.GetHistogram("op.fsd.create.us");
+  h_.open = metrics_.GetHistogram("op.fsd.open.us");
+  h_.read = metrics_.GetHistogram("op.fsd.read.us");
+  h_.write = metrics_.GetHistogram("op.fsd.write.us");
+  h_.extend = metrics_.GetHistogram("op.fsd.extend.us");
+  h_.del = metrics_.GetHistogram("op.fsd.delete.us");
+  h_.list = metrics_.GetHistogram("op.fsd.list.us");
+  h_.touch = metrics_.GetHistogram("op.fsd.touch.us");
+  h_.setkeep = metrics_.GetHistogram("op.fsd.setkeep.us");
+  h_.force = metrics_.GetHistogram("op.fsd.force.us");
+  disk_->AttachMetrics(&metrics_);
+}
+
+FsdStats Fsd::stats() const {
+  FsdStats s;
+  s.forces = c_.forces->value();
+  s.empty_forces = c_.empty_forces->value();
+  s.pages_captured = c_.pages_captured->value();
+  s.third_flush_pages = c_.third_flush_pages->value();
+  s.piggyback_leader_writes = c_.piggyback_leader_writes->value();
+  s.piggyback_leader_verifies = c_.piggyback_leader_verifies->value();
+  s.nt_repairs = c_.nt_repairs->value();
+  s.recovery_pages_replayed = c_.recovery_pages_replayed->value();
+  s.fast_recoveries = c_.fast_recoveries->value();
+  s.home_write_batches = c_.home_write_batches->value();
+  s.home_write_requests = c_.home_write_requests->value();
+  s.home_writes_coalesced = c_.home_writes_coalesced->value();
+  return s;
 }
 
 Fsd::~Fsd() = default;
@@ -257,9 +302,10 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
 }
 
 Status Fsd::Format() {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.format");
   boot_count_ = 0;
   uid_counter_ = 0;
-  stats_ = FsdStats{};
+  metrics_.Reset();
   cache_.Clear();
   open_files_.clear();
 
@@ -299,6 +345,7 @@ Status Fsd::Format() {
 }
 
 Status Fsd::Mount() {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.mount");
   bool clean = false;
   CEDAR_RETURN_IF_ERROR(ReadVolumeRoot(&clean));
   const std::uint32_t previous_boot = boot_count_;
@@ -349,7 +396,7 @@ Status Fsd::Mount() {
       if (page.secondary != kNoLba) {
         secondaries.QueueWrite(page.secondary, page.data);
       }
-      ++stats_.recovery_pages_replayed;
+      c_.recovery_pages_replayed->Increment();
     }
     CEDAR_RETURN_IF_ERROR(FlushHomeBatch(primaries));
     CEDAR_RETURN_IF_ERROR(FlushHomeBatch(secondaries));
@@ -368,7 +415,7 @@ Status Fsd::Mount() {
           }
         }
         need_rebuild = false;
-        ++stats_.fast_recoveries;
+        c_.fast_recoveries->Increment();
       }
     }
   } else {
@@ -453,10 +500,10 @@ Status Fsd::PreloadNameTable() {
     auto good = ok_a ? a : b;
     if (ok_a && (!ok_b || !std::equal(a.begin(), a.end(), b.begin()))) {
       repairs.QueueWrite(layout_.ntb_base + pid, good);
-      ++stats_.nt_repairs;
+      c_.nt_repairs->Increment();
     } else if (!ok_a) {
       repairs.QueueWrite(layout_.nta_base + pid, good);
-      ++stats_.nt_repairs;
+      c_.nt_repairs->Increment();
     }
     cache_.Insert(pid, std::vector<std::uint8_t>(good.begin(), good.end()));
   }
@@ -509,9 +556,9 @@ Status Fsd::FlushHomeBatch(sim::IoScheduler& sched) {
   }
   sim::BatchStats batch;
   Status status = sched.Flush(&batch);
-  ++stats_.home_write_batches;
-  stats_.home_write_requests += batch.requests_queued;
-  stats_.home_writes_coalesced += batch.requests_merged;
+  c_.home_write_batches->Increment();
+  c_.home_write_requests->Add(batch.requests_queued);
+  c_.home_writes_coalesced->Add(batch.requests_merged);
   return status;
 }
 
@@ -550,19 +597,17 @@ Status Fsd::FlushThird(int third) {
   for (auto& [key, frame] : victims) {
     QueueHome(primary, replica, key, frame->logged_image);
   }
-  const sim::DiskStats before = disk_->stats();
+  // Disk time spent here is attributed to the "fsd.flush_third" op class by
+  // the tracer (with its full seek/rotation/transfer breakdown); the old
+  // before/after DiskStats diff this replaces lived in FsdStats.
+  obs::ScopedOp flush_scope(disk_->tracer(), "fsd.flush_third");
   Status status = FlushHomeBatch(primary);
   if (status.ok()) {
     status = FlushHomeBatch(replica);
   }
-  const sim::DiskStats& after = disk_->stats();
-  stats_.third_flush_seek_us += after.seek_us - before.seek_us;
-  stats_.third_flush_rotational_us +=
-      after.rotational_us - before.rotational_us;
-  stats_.third_flush_busy_us += after.busy_us - before.busy_us;
   CEDAR_RETURN_IF_ERROR(status);
   for (auto& [key, frame] : victims) {
-    ++stats_.third_flush_pages;
+    c_.third_flush_pages->Increment();
     frame->logged_third = -1;
     frame->dirty = frame->dirty_since_log;
     if (!frame->dirty) {
@@ -576,6 +621,7 @@ Status Fsd::ForceLog() {
   if (in_force_) {
     return OkStatus();
   }
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.log_force");
   in_force_ = true;
   last_force_ = disk_->clock().now();
 
@@ -591,7 +637,7 @@ Status Fsd::ForceLog() {
 
   if (keys.empty() && pending_tombstones_.empty() &&
       pending_alloc_deltas_.empty() && pending_free_deltas_.empty()) {
-    ++stats_.empty_forces;
+    c_.empty_forces->Increment();
     vam_.CommitShadow();
     in_force_ = false;
     return OkStatus();
@@ -657,7 +703,7 @@ Status Fsd::ForceLog() {
         frame->dirty = true;
         frame->dirty_since_log = false;
       }
-      stats_.pages_captured += n;
+      c_.pages_captured->Add(n);
     }
     i += n;
   }
@@ -666,7 +712,7 @@ Status Fsd::ForceLog() {
     pending_alloc_deltas_.clear();
     pending_free_deltas_.clear();
     vam_.CommitShadow();
-    ++stats_.forces;
+    c_.forces->Increment();
   }
   in_force_ = false;
   return status;
@@ -685,6 +731,7 @@ Status Fsd::MaybeGroupCommit() {
 Status Fsd::Tick() { return MaybeGroupCommit(); }
 
 Status Fsd::Force() {
+  obs::ScopedLatency op_latency(h_.force, &disk_->clock());
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
@@ -692,6 +739,7 @@ Status Fsd::Force() {
 }
 
 Status Fsd::Shutdown() {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.shutdown");
   if (!mounted_) {
     return OkStatus();
   }
@@ -795,6 +843,8 @@ Result<std::vector<fs::Extent>> Fsd::MapPages(const FsdEntry& entry,
 
 Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
                                     std::span<const std::uint8_t> contents) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.create");
+  obs::ScopedLatency op_latency(h_.create, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   if (!mounted_) {
@@ -875,6 +925,8 @@ Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
 }
 
 Result<fs::FileHandle> Fsd::Open(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.open");
+  obs::ScopedLatency op_latency(h_.open, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   if (!mounted_) {
@@ -894,8 +946,19 @@ Result<fs::FileHandle> Fsd::Open(std::string_view name) {
                         .byte_size = entry.byte_size};
 }
 
+Status Fsd::Close(const fs::FileHandle& file) {
+  ChargeOp();
+  // Dropping the open state forgets the "leader verified" bit; a later
+  // reopen re-verifies by piggybacking on the first read. Unknown handles
+  // are fine: a remount already closed everything implicitly.
+  open_files_.erase(file.uid);
+  return OkStatus();
+}
+
 Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
                  std::span<std::uint8_t> out) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.read");
+  obs::ScopedLatency op_latency(h_.read, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   auto it = open_files_.find(file.uid);
@@ -947,7 +1010,7 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
             std::span<const std::uint8_t>(tmp).subspan(0, 512), entry,
             state.version));
         std::copy(tmp.begin() + 512, tmp.end(), buf.begin() + pos);
-        ++stats_.piggyback_leader_verifies;
+        c_.piggyback_leader_verifies->Increment();
       }
       state.leader_verified = true;
       ChargeDataSectors(1 + run.count);
@@ -967,6 +1030,8 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
 
 Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
                   std::span<const std::uint8_t> data) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.write");
+  obs::ScopedLatency op_latency(h_.write, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   auto it = open_files_.find(file.uid);
@@ -1026,7 +1091,7 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
                 tmp.begin() + 512);
       CEDAR_RETURN_IF_ERROR(disk_->Write(entry.leader_lba, tmp));
       leader_frame->dirty = false;
-      ++stats_.piggyback_leader_writes;
+      c_.piggyback_leader_writes->Increment();
       ChargeDataSectors(1 + run.count);
     } else {
       CEDAR_RETURN_IF_ERROR(disk_->Write(
@@ -1041,6 +1106,8 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
 }
 
 Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.extend");
+  obs::ScopedLatency op_latency(h_.extend, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   auto it = open_files_.find(file.uid);
@@ -1115,6 +1182,8 @@ Status Fsd::DeleteVersion(std::string_view name, std::uint32_t version,
 }
 
 Status Fsd::DeleteFile(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.delete");
+  obs::ScopedLatency op_latency(h_.del, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   if (!mounted_) {
@@ -1158,6 +1227,8 @@ Status Fsd::PruneVersions(std::string_view name, std::uint16_t keep) {
 }
 
 Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.setkeep");
+  obs::ScopedLatency op_latency(h_.setkeep, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
@@ -1171,6 +1242,8 @@ Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
 }
 
 Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.list");
+  obs::ScopedLatency op_latency(h_.list, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   // Properties live in the name table: no per-file I/O (section 5.1).
@@ -1203,6 +1276,8 @@ Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
 }
 
 Status Fsd::Touch(std::string_view name) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.touch");
+  obs::ScopedLatency op_latency(h_.touch, &disk_->clock());
   CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
@@ -1215,6 +1290,7 @@ Status Fsd::Touch(std::string_view name) {
 }
 
 Result<Fsd::ScrubReport> Fsd::Scrub() {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.scrub");
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }

@@ -46,11 +46,17 @@
 #include "src/core/name_table.h"
 #include "src/core/vam.h"
 #include "src/fsapi/file_system.h"
+#include "src/obs/metrics.h"
 #include "src/sim/disk.h"
 #include "src/sim/scheduler.h"
 
 namespace cedar::core {
 
+// A point-in-time view of FSD's counters, materialized from the metrics
+// registry (the registry is the source of truth; this struct survives as a
+// convenience for existing tests and benches). Disk time per phase now
+// comes from the disk tracer's op-class aggregates ("fsd.flush_third",
+// "fsd.log_force") instead of duplicated micros fields here.
 struct FsdStats {
   std::uint64_t forces = 0;            // group commits that wrote the log
   std::uint64_t empty_forces = 0;      // timer fired with nothing dirty
@@ -68,11 +74,6 @@ struct FsdStats {
   std::uint64_t home_write_batches = 0;     // non-empty scheduler flushes
   std::uint64_t home_write_requests = 0;    // page writes queued
   std::uint64_t home_writes_coalesced = 0;  // requests merged away
-  // Disk time spent in third-entry home flushes (the one long synchronous
-  // burst left in FSD), split so benches can see the seek/rotation savings.
-  std::uint64_t third_flush_seek_us = 0;
-  std::uint64_t third_flush_rotational_us = 0;
-  std::uint64_t third_flush_busy_us = 0;
 };
 
 class Fsd : public fs::FileSystem {
@@ -101,8 +102,10 @@ class Fsd : public fs::FileSystem {
   Result<std::vector<fs::FileInfo>> List(std::string_view prefix) override;
   Status Touch(std::string_view name) override;
   Status SetKeep(std::string_view name, std::uint16_t keep) override;
+  Status Close(const fs::FileHandle& file) override;
   Status Force() override;     // client log force
   Status Shutdown() override;  // force, flush home, save VAM, mark clean
+  const obs::MetricsRegistry& Metrics() const override { return metrics_; }
 
   // Drives the half-second group-commit timer; benchmarks and tests call
   // this after advancing virtual time (every public op also checks).
@@ -129,7 +132,7 @@ class Fsd : public fs::FileSystem {
 
   const FsdLayout& layout() const { return layout_; }
   const FsdConfig& config() const { return config_; }
-  const FsdStats& stats() const { return stats_; }
+  FsdStats stats() const;  // registry-backed view
   const LogStats& log_stats() const;
   std::uint32_t FreeSectors() const { return vam_.FreeCount(); }
   std::uint32_t ShadowSectors() const { return vam_.ShadowCount(); }
@@ -223,7 +226,37 @@ class Fsd : public fs::FileSystem {
   sim::Micros last_force_ = 0;
   bool mounted_ = false;
   bool in_force_ = false;  // guards re-entrant commits
-  FsdStats stats_;
+
+  // All counters live in metrics_ (exposed via fs::FileSystem::Metrics());
+  // c_ caches the counter pointers so hot paths skip the name lookup, and
+  // h_ holds per-operation latency histograms ("op.fsd.<name>.us").
+  obs::MetricsRegistry metrics_;
+  struct CounterSet {
+    obs::Counter* forces = nullptr;
+    obs::Counter* empty_forces = nullptr;
+    obs::Counter* pages_captured = nullptr;
+    obs::Counter* third_flush_pages = nullptr;
+    obs::Counter* piggyback_leader_writes = nullptr;
+    obs::Counter* piggyback_leader_verifies = nullptr;
+    obs::Counter* nt_repairs = nullptr;
+    obs::Counter* recovery_pages_replayed = nullptr;
+    obs::Counter* fast_recoveries = nullptr;
+    obs::Counter* home_write_batches = nullptr;
+    obs::Counter* home_write_requests = nullptr;
+    obs::Counter* home_writes_coalesced = nullptr;
+  } c_;
+  struct HistogramSet {
+    obs::Histogram* create = nullptr;
+    obs::Histogram* open = nullptr;
+    obs::Histogram* read = nullptr;
+    obs::Histogram* write = nullptr;
+    obs::Histogram* extend = nullptr;
+    obs::Histogram* del = nullptr;
+    obs::Histogram* list = nullptr;
+    obs::Histogram* touch = nullptr;
+    obs::Histogram* setkeep = nullptr;
+    obs::Histogram* force = nullptr;
+  } h_;
 
   struct OpenState {
     std::string name;

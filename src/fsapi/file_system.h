@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace cedar::fs {
@@ -84,12 +85,28 @@ class FileSystem {
   // versions. Systems without versions treat this as a no-op.
   virtual Status SetKeep(std::string_view name, std::uint16_t keep) = 0;
 
+  // Closes an open handle, releasing the per-open state kept by the file
+  // system (FSD's "leader verified" bit, CFS/BSD open-table entries).
+  // Closing a handle that is not open is not an error: handles are value
+  // types and a crash/remount already invalidates them implicitly.
+  virtual Status Close(const FileHandle& file) = 0;
+
   // Client force: make all completed operations durable before returning
-  // (FSD forces the log; CFS and BSD are already synchronous).
+  // (FSD forces the log; CFS and BSD are already synchronous). Paired with
+  // Close() this lets portable workloads drive group commit: write, force,
+  // close — regardless of which system is underneath.
   virtual Status Force() = 0;
 
   // Orderly unmount: persist volatile state (FSD saves the VAM).
   virtual Status Shutdown() = 0;
+
+  // The metrics registry this file system (and its attached disk) records
+  // into. Benches and tests read counters/histograms through this instead
+  // of reaching into per-system stats structs.
+  virtual const obs::MetricsRegistry& Metrics() const = 0;
+
+  // Convenience: a point-in-time copy of every registered metric.
+  obs::MetricsSnapshot SnapshotMetrics() const { return Metrics().Snapshot(); }
 };
 
 }  // namespace cedar::fs

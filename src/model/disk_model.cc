@@ -45,6 +45,17 @@ sim::Micros DiskModel::SeekToFraction(std::uint32_t permille) const {
   return static_cast<sim::Micros>(sum / samples);
 }
 
+sim::Micros DiskModel::EvaluateDisk(const OpScript& script) const {
+  OpScript disk_only;
+  disk_only.name = script.name;
+  for (const Step& step : script.steps) {
+    if (step.kind != StepKind::kCpu) {
+      disk_only.steps.push_back(step);
+    }
+  }
+  return Evaluate(disk_only);
+}
+
 sim::Micros DiskModel::Evaluate(const OpScript& script) const {
   sim::Micros total = 0;
   for (const Step& step : script.steps) {

@@ -100,6 +100,9 @@ class DiskModel {
   sim::Micros Controller() const { return params_.controller_us; }
 
   sim::Micros Evaluate(const OpScript& script) const;
+  // The script's device time only (kCpu steps skipped) — comparable to the
+  // disk tracer's per-op-class aggregates, which see no CPU charges.
+  sim::Micros EvaluateDisk(const OpScript& script) const;
   double EvaluateWeighted(const WeightedScript& script) const;
 
   // Relative error of a prediction against a measurement (|p-m|/m).

@@ -1,0 +1,75 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace cedar::obs {
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramData* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return &it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = hist.count();
+    data.sum = hist.sum();
+    data.min = hist.min();
+    data.max = hist.max();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (hist.bucket(i) != 0) data.buckets.emplace_back(i, hist.bucket(i));
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, hist] : histograms_) hist.Reset();
+}
+
+}  // namespace cedar::obs

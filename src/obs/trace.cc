@@ -1,0 +1,268 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "src/util/serial.h"
+
+namespace cedar::obs {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '1'};
+constexpr std::string_view kNoContext = "(none)";
+
+}  // namespace
+
+std::string_view DiskOpKindName(DiskOpKind kind) {
+  switch (kind) {
+    case DiskOpKind::kRead:
+      return "read";
+    case DiskOpKind::kWrite:
+      return "write";
+    case DiskOpKind::kLabelRead:
+      return "label_read";
+    case DiskOpKind::kLabelWrite:
+      return "label_write";
+  }
+  return "unknown";
+}
+
+DiskTracer::DiskTracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  op_names_.emplace_back(kNoContext);
+  op_ids_.emplace(std::string(kNoContext), 0u);
+}
+
+std::uint32_t DiskTracer::InternOp(std::string_view name) {
+  auto it = op_ids_.find(name);
+  if (it != op_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(op_names_.size());
+  op_names_.emplace_back(name);
+  op_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void DiskTracer::PushOp(std::string_view name) {
+  op_stack_.push_back(InternOp(name));
+}
+
+void DiskTracer::PopOp() {
+  if (!op_stack_.empty()) op_stack_.pop_back();
+}
+
+std::string_view DiskTracer::CurrentOp() const {
+  return op_stack_.empty() ? kNoContext : op_names_[op_stack_.back()];
+}
+
+void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
+                        DiskOpKind kind, std::uint64_t start_us,
+                        std::uint64_t seek_us, std::uint64_t rotational_us,
+                        std::uint64_t transfer_us,
+                        std::uint64_t controller_us) {
+  TraceEvent ev;
+  ev.seq = next_seq_++;
+  ev.start_us = start_us;
+  ev.lba = lba;
+  ev.sectors = sectors;
+  ev.kind = kind;
+  ev.seek_us = seek_us;
+  ev.rotational_us = rotational_us;
+  ev.transfer_us = transfer_us;
+  ev.controller_us = controller_us;
+  ev.op_id = op_stack_.empty() ? 0 : op_stack_.back();
+
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[ring_head_] = ev;
+    ring_head_ = (ring_head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  OpClassAggregate& agg = aggregates_[op_names_[ev.op_id]];
+  ++agg.requests;
+  agg.sectors += sectors;
+  agg.seek_us += seek_us;
+  agg.rotational_us += rotational_us;
+  agg.transfer_us += transfer_us;
+  agg.controller_us += controller_us;
+}
+
+std::vector<TraceEvent> DiskTracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + ring_head_, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + ring_head_);
+  }
+  return out;
+}
+
+std::string_view DiskTracer::OpName(std::uint32_t op_id) const {
+  return op_id < op_names_.size() ? std::string_view(op_names_[op_id])
+                                  : kNoContext;
+}
+
+OpClassAggregate DiskTracer::AggregateFor(std::string_view op_class) const {
+  auto it = aggregates_.find(op_class);
+  return it == aggregates_.end() ? OpClassAggregate{} : it->second;
+}
+
+std::vector<std::pair<std::string, OpClassAggregate>> DiskTracer::Aggregates()
+    const {
+  std::vector<std::pair<std::string, OpClassAggregate>> out;
+  out.reserve(aggregates_.size());
+  for (const auto& [name, agg] : aggregates_) out.emplace_back(name, agg);
+  return out;
+}
+
+std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
+  ByteWriter w;
+  w.Bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  w.U32(static_cast<std::uint32_t>(op_names_.size()));
+  for (const auto& name : op_names_) w.Str(name);
+
+  const std::vector<TraceEvent> events = Events();
+  w.U64(next_seq_);
+  w.U64(dropped_);
+  w.U32(static_cast<std::uint32_t>(events.size()));
+  for (const TraceEvent& ev : events) {
+    w.U64(ev.seq);
+    w.U64(ev.start_us);
+    w.U32(ev.lba);
+    w.U32(ev.sectors);
+    w.U8(static_cast<std::uint8_t>(ev.kind));
+    w.U64(ev.seek_us);
+    w.U64(ev.rotational_us);
+    w.U64(ev.transfer_us);
+    w.U64(ev.controller_us);
+    w.U32(ev.op_id);
+  }
+  return w.Take();
+}
+
+Result<DiskTracer> DiskTracer::ParseBinary(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::vector<std::uint8_t> magic = r.Bytes(sizeof(kMagic));
+  if (!r.ok() ||
+      !std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const std::uint8_t*>(kMagic))) {
+    return MakeError(ErrorCode::kCorruptMetadata, "bad trace magic");
+  }
+
+  const std::uint32_t num_names = r.U32();
+  std::vector<std::string> names;
+  names.reserve(num_names);
+  for (std::uint32_t i = 0; i < num_names && r.ok(); ++i) {
+    names.push_back(r.Str());
+  }
+  const std::uint64_t total = r.U64();
+  const std::uint64_t dropped = r.U64();
+  const std::uint32_t num_events = r.U32();
+  if (!r.ok() || names.empty()) {
+    return MakeError(ErrorCode::kCorruptMetadata, "truncated trace header");
+  }
+
+  DiskTracer tracer(num_events == 0 ? kDefaultCapacity : num_events);
+  for (std::uint32_t i = 1; i < names.size(); ++i) {
+    tracer.InternOp(names[i]);  // id 0 ("(none)") already present
+  }
+  for (std::uint32_t i = 0; i < num_events; ++i) {
+    TraceEvent ev;
+    ev.seq = r.U64();
+    ev.start_us = r.U64();
+    ev.lba = r.U32();
+    ev.sectors = r.U32();
+    ev.kind = static_cast<DiskOpKind>(r.U8());
+    ev.seek_us = r.U64();
+    ev.rotational_us = r.U64();
+    ev.transfer_us = r.U64();
+    ev.controller_us = r.U64();
+    ev.op_id = r.U32();
+    if (!r.ok()) {
+      return MakeError(ErrorCode::kCorruptMetadata, "truncated trace event");
+    }
+    if (ev.op_id >= tracer.op_names_.size()) ev.op_id = 0;
+    tracer.ring_.push_back(ev);
+    OpClassAggregate& agg = tracer.aggregates_[tracer.op_names_[ev.op_id]];
+    ++agg.requests;
+    agg.sectors += ev.sectors;
+    agg.seek_us += ev.seek_us;
+    agg.rotational_us += ev.rotational_us;
+    agg.transfer_us += ev.transfer_us;
+    agg.controller_us += ev.controller_us;
+  }
+  tracer.next_seq_ = total;
+  tracer.dropped_ = dropped;
+  return tracer;
+}
+
+Status DiskTracer::DumpBinary(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = SerializeBinary();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "cannot open trace file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "short write to trace file");
+  }
+  return OkStatus();
+}
+
+Result<DiskTracer> DiskTracer::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return MakeError(ErrorCode::kNotFound, "cannot open trace file: " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return ParseBinary(bytes);
+}
+
+Status DiskTracer::DumpJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "cannot open trace file for writing: " + path);
+  }
+  char line[512];
+  for (const TraceEvent& ev : Events()) {
+    std::snprintf(
+        line, sizeof(line),
+        "{\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64
+        ",\"op\":\"%s\",\"kind\":\"%s\",\"lba\":%u,\"sectors\":%u,"
+        "\"seek_us\":%" PRIu64 ",\"rot_us\":%" PRIu64 ",\"xfer_us\":%" PRIu64
+        ",\"ctl_us\":%" PRIu64 "}\n",
+        ev.seq, ev.start_us, std::string(OpName(ev.op_id)).c_str(),
+        std::string(DiskOpKindName(ev.kind)).c_str(), ev.lba, ev.sectors,
+        ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us);
+    out << line;
+  }
+  out.flush();
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "short write to trace file");
+  }
+  return OkStatus();
+}
+
+void DiskTracer::Reset() {
+  ring_.clear();
+  ring_head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+  op_stack_.clear();
+  aggregates_.clear();
+}
+
+}  // namespace cedar::obs

@@ -1,0 +1,170 @@
+// Structured disk-request tracing with FS-operation attribution.
+//
+// Every request the simulated disk services is recorded as one TraceEvent:
+// what was transferred (LBA, sector count, read/write/label), how the disk
+// spent its time (seek / rotation / transfer / controller microseconds from
+// the timing model), and which file-system operation caused it. Attribution
+// uses a scoped op-context stack: a public FS entry point pushes a class
+// name like "fsd.create" (via ScopedOp), nested internal phases push their
+// own ("fsd.log_force", "fsd.flush_third"), and each disk request is tagged
+// with the innermost context at issue time.
+//
+// The tracer keeps two things:
+//   - a bounded ring of recent events (overwrite-oldest) for inspection and
+//     dumping — binary (tools/tracedump) or JSONL;
+//   - per-op-class aggregates over ALL events ever recorded (not just the
+//     ring), which is what the model-validation harness and benches read.
+//
+// This is the measurement half of the paper's section 4: the analytic model
+// predicts per-operation disk time, the tracer measures it.
+
+#ifndef CEDAR_OBS_TRACE_H_
+#define CEDAR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cedar::obs {
+
+enum class DiskOpKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kLabelRead = 2,
+  kLabelWrite = 3,
+};
+
+std::string_view DiskOpKindName(DiskOpKind kind);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;       // monotonically increasing event number
+  std::uint64_t start_us = 0;  // virtual time when the request was issued
+  std::uint32_t lba = 0;
+  std::uint32_t sectors = 0;
+  DiskOpKind kind = DiskOpKind::kRead;
+  // Service-time breakdown from the disk timing model.
+  std::uint64_t seek_us = 0;
+  std::uint64_t rotational_us = 0;
+  std::uint64_t transfer_us = 0;
+  std::uint64_t controller_us = 0;
+  // Index into the tracer's op-name table; 0 is the reserved "(none)"
+  // context for requests issued outside any scoped FS operation.
+  std::uint32_t op_id = 0;
+
+  std::uint64_t TotalUs() const {
+    return seek_us + rotational_us + transfer_us + controller_us;
+  }
+};
+
+// Running totals for one op class, accumulated over every recorded event.
+struct OpClassAggregate {
+  std::uint64_t requests = 0;
+  std::uint64_t sectors = 0;
+  std::uint64_t seek_us = 0;
+  std::uint64_t rotational_us = 0;
+  std::uint64_t transfer_us = 0;
+  std::uint64_t controller_us = 0;
+
+  std::uint64_t TotalUs() const {
+    return seek_us + rotational_us + transfer_us + controller_us;
+  }
+  OpClassAggregate operator-(const OpClassAggregate& rhs) const {
+    OpClassAggregate d;
+    d.requests = requests - rhs.requests;
+    d.sectors = sectors - rhs.sectors;
+    d.seek_us = seek_us - rhs.seek_us;
+    d.rotational_us = rotational_us - rhs.rotational_us;
+    d.transfer_us = transfer_us - rhs.transfer_us;
+    d.controller_us = controller_us - rhs.controller_us;
+    return d;
+  }
+};
+
+class DiskTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit DiskTracer(std::size_t capacity = kDefaultCapacity);
+  DiskTracer(const DiskTracer&) = delete;
+  DiskTracer& operator=(const DiskTracer&) = delete;
+  DiskTracer(DiskTracer&&) = default;
+  DiskTracer& operator=(DiskTracer&&) = default;
+
+  // --- op-context stack (use ScopedOp rather than calling these directly)
+  void PushOp(std::string_view name);
+  void PopOp();
+  // Innermost active context, or "(none)".
+  std::string_view CurrentOp() const;
+
+  // Records one serviced disk request under the current op context.
+  void Record(std::uint32_t lba, std::uint32_t sectors, DiskOpKind kind,
+              std::uint64_t start_us, std::uint64_t seek_us,
+              std::uint64_t rotational_us, std::uint64_t transfer_us,
+              std::uint64_t controller_us);
+
+  // Events still in the ring, oldest first.
+  std::vector<TraceEvent> Events() const;
+  std::string_view OpName(std::uint32_t op_id) const;
+  std::uint64_t total_events() const { return next_seq_; }
+  std::uint64_t dropped_events() const { return dropped_; }
+
+  // Aggregate for one op class (zeros if never seen). Aggregates cover all
+  // events since construction/Reset, including ones evicted from the ring.
+  OpClassAggregate AggregateFor(std::string_view op_class) const;
+  // All op classes with at least one request, sorted by name.
+  std::vector<std::pair<std::string, OpClassAggregate>> Aggregates() const;
+
+  // Serialization. The binary format is versioned ("CEDTRC01") and carries
+  // the op-name table plus the ring contents; LoadBinary reconstructs a
+  // tracer whose Events()/Aggregates() reflect the dumped ring.
+  Status DumpBinary(const std::string& path) const;
+  static Result<DiskTracer> LoadBinary(const std::string& path);
+  Status DumpJsonl(const std::string& path) const;
+
+  // Serialized ring + name table as bytes (DumpBinary writes these).
+  std::vector<std::uint8_t> SerializeBinary() const;
+  static Result<DiskTracer> ParseBinary(std::span<const std::uint8_t> bytes);
+
+  // Clears events, aggregates, and the context stack; keeps capacity.
+  void Reset();
+
+ private:
+  std::uint32_t InternOp(std::string_view name);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t ring_head_ = 0;  // next slot to write once the ring is full
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<std::string> op_names_;              // op_id -> name
+  std::map<std::string, std::uint32_t, std::less<>> op_ids_;
+  std::vector<std::uint32_t> op_stack_;            // active context ids
+  std::map<std::string, OpClassAggregate, std::less<>> aggregates_;
+};
+
+// RAII op context. A null tracer makes it a no-op, so instrumented code
+// never has to check whether tracing is attached.
+class ScopedOp {
+ public:
+  ScopedOp(DiskTracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->PushOp(name);
+  }
+  ~ScopedOp() {
+    if (tracer_ != nullptr) tracer_->PopOp();
+  }
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  DiskTracer* tracer_;
+};
+
+}  // namespace cedar::obs
+
+#endif  // CEDAR_OBS_TRACE_H_

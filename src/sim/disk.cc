@@ -33,8 +33,27 @@ Status SimDisk::CheckRange(Lba start, std::size_t count) const {
   return OkStatus();
 }
 
+void SimDisk::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = DeviceMetrics{};
+    return;
+  }
+  metrics_.reads = registry->GetCounter("disk.reads");
+  metrics_.writes = registry->GetCounter("disk.writes");
+  metrics_.label_ops = registry->GetCounter("disk.label_ops");
+  metrics_.sectors_read = registry->GetCounter("disk.sectors_read");
+  metrics_.sectors_written = registry->GetCounter("disk.sectors_written");
+  metrics_.seek_us = registry->GetCounter("disk.seek_us");
+  metrics_.rotational_us = registry->GetCounter("disk.rotational_us");
+  metrics_.transfer_us = registry->GetCounter("disk.transfer_us");
+  metrics_.busy_us = registry->GetCounter("disk.busy_us");
+  metrics_.service_us = registry->GetHistogram("disk.service_us");
+  metrics_.seek_distance_us = registry->GetHistogram("disk.seek_us");
+}
+
 void SimDisk::AccountRequest(Lba start, std::uint32_t count, bool is_write,
                              bool label_only) {
+  const std::uint64_t issued_at = clock_->now();
   const ServiceTime service = timing_.Access(start, count, clock_->now());
   clock_->Advance(service.Total());
   stats_.seek_us += service.seek_us;
@@ -49,6 +68,34 @@ void SimDisk::AccountRequest(Lba start, std::uint32_t count, bool is_write,
   } else {
     ++stats_.reads;
     stats_.sectors_read += count;
+  }
+
+  if (tracer_ != nullptr) {
+    const obs::DiskOpKind kind =
+        label_only ? (is_write ? obs::DiskOpKind::kLabelWrite
+                               : obs::DiskOpKind::kLabelRead)
+                   : (is_write ? obs::DiskOpKind::kWrite
+                               : obs::DiskOpKind::kRead);
+    tracer_->Record(start, count, kind, issued_at, service.seek_us,
+                    service.rotational_us, service.transfer_us,
+                    service.controller_us);
+  }
+  if (metrics_.busy_us != nullptr) {
+    if (label_only) {
+      metrics_.label_ops->Increment();
+    } else if (is_write) {
+      metrics_.writes->Increment();
+      metrics_.sectors_written->Add(count);
+    } else {
+      metrics_.reads->Increment();
+      metrics_.sectors_read->Add(count);
+    }
+    metrics_.seek_us->Add(service.seek_us);
+    metrics_.rotational_us->Add(service.rotational_us);
+    metrics_.transfer_us->Add(service.transfer_us);
+    metrics_.busy_us->Add(service.Total());
+    metrics_.service_us->Record(service.Total());
+    metrics_.seek_distance_us->Record(service.seek_us);
   }
 }
 

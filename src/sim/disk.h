@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/geometry.h"
 #include "src/sim/label.h"
@@ -55,6 +57,20 @@ class SimDisk {
   DiskTimingModel& timing() { return timing_; }
   VirtualClock& clock() { return *clock_; }
   void ResetStats() { stats_ = DiskStats{}; }
+
+  // ---- Observability.
+
+  // Attaches a tracer that records every serviced request (with its
+  // service-time breakdown and the innermost FS op context). Pass nullptr
+  // to detach. The tracer must outlive the disk or be detached first.
+  void set_tracer(obs::DiskTracer* tracer) { tracer_ = tracer; }
+  obs::DiskTracer* tracer() const { return tracer_; }
+
+  // Registers the device counters/histograms ("disk.*") into `registry` and
+  // updates them on every request. Each file system attaches its own
+  // registry at construction; the most recent attach wins (relevant only
+  // when several file systems share one disk, e.g. crash-comparison tests).
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   // ---- Plain (unlabeled) data transfer; used by FSD and the BSD baseline.
 
@@ -138,6 +154,22 @@ class SimDisk {
   DiskTimingModel timing_;
   VirtualClock* clock_;
   DiskStats stats_;
+
+  obs::DiskTracer* tracer_ = nullptr;
+  // Registry-backed mirrors of DiskStats, null until AttachMetrics.
+  struct DeviceMetrics {
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* label_ops = nullptr;
+    obs::Counter* sectors_read = nullptr;
+    obs::Counter* sectors_written = nullptr;
+    obs::Counter* seek_us = nullptr;
+    obs::Counter* rotational_us = nullptr;
+    obs::Counter* transfer_us = nullptr;
+    obs::Counter* busy_us = nullptr;
+    obs::Histogram* service_us = nullptr;
+    obs::Histogram* seek_distance_us = nullptr;
+  } metrics_;
 
   std::vector<std::uint8_t> data_;
   std::vector<Label> labels_;

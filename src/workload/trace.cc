@@ -21,6 +21,8 @@ const char* OpName(TraceOp op) {
       return "create";
     case TraceOp::kOpen:
       return "open";
+    case TraceOp::kClose:
+      return "close";
     case TraceOp::kRead:
       return "read";
     case TraceOp::kWrite:
@@ -54,6 +56,7 @@ Arity OpArity(TraceOp op) {
     case TraceOp::kCreate:
       return {true, 2};
     case TraceOp::kOpen:
+    case TraceOp::kClose:
     case TraceOp::kDelete:
     case TraceOp::kTouch:
       return {true, 0};
@@ -137,9 +140,10 @@ Result<std::vector<TraceEntry>> ParseTrace(std::string_view text) {
     TraceEntry entry;
     bool known = false;
     for (TraceOp op :
-         {TraceOp::kCreate, TraceOp::kOpen, TraceOp::kRead, TraceOp::kWrite,
-          TraceOp::kExtend, TraceOp::kDelete, TraceOp::kList, TraceOp::kTouch,
-          TraceOp::kSetKeep, TraceOp::kForce, TraceOp::kAdvance}) {
+         {TraceOp::kCreate, TraceOp::kOpen, TraceOp::kClose, TraceOp::kRead,
+          TraceOp::kWrite, TraceOp::kExtend, TraceOp::kDelete, TraceOp::kList,
+          TraceOp::kTouch, TraceOp::kSetKeep, TraceOp::kForce,
+          TraceOp::kAdvance}) {
       if (tokens[0] == OpName(op)) {
         entry.op = op;
         known = true;
@@ -200,6 +204,14 @@ Result<ReplayStats> ReplayTrace(
       case TraceOp::kOpen:
         CEDAR_RETURN_IF_ERROR(tolerate(file_system->Open(entry.name).status()));
         break;
+      case TraceOp::kClose: {
+        auto handle = file_system->Open(entry.name);
+        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+        if (handle.ok()) {
+          CEDAR_RETURN_IF_ERROR(file_system->Close(*handle));
+        }
+        break;
+      }
       case TraceOp::kRead: {
         auto handle = file_system->Open(entry.name);
         CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));

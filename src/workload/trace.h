@@ -5,6 +5,7 @@
 //
 //   create <name> <bytes> <seed>
 //   open <name>
+//   close <name>                  # drop the open-file state, if any
 //   read <name> <offset> <length>
 //   write <name> <offset> <length> <seed>
 //   extend <name> <bytes>
@@ -37,6 +38,7 @@ namespace cedar::workload {
 enum class TraceOp : std::uint8_t {
   kCreate,
   kOpen,
+  kClose,
   kRead,
   kWrite,
   kExtend,

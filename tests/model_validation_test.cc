@@ -1,0 +1,44 @@
+// Section 6 as a regression test: the analytic disk model must agree with
+// the traced disk time of the real implementations, per operation class,
+// within the configured bound. The paper's claim is ~5%; we enforce 10% to
+// leave headroom for calibration drift while still catching any change
+// that breaks an operation's I/O script (an extra request, a lost
+// coalesce, a seek to the wrong region).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/model/validate.h"
+
+namespace cedar::model {
+namespace {
+
+TEST(ModelValidationTest, TracedDiskTimeMatchesModelPerOpClass) {
+  ValidationConfig config;
+  const ValidationReport report = RunPaperValidation(config);
+
+  // The comparison table, in the EXPERIMENTS.md format.
+  std::printf("%s", FormatValidationTable(report).c_str());
+  std::printf("max disk-time error: %.1f%% (bound %.0f%%)\n",
+              report.max_disk_error * 100, config.bound * 100);
+
+  ASSERT_EQ(report.rows.size(), 8u);
+  for (const ValidationRow& row : report.rows) {
+    EXPECT_LE(row.disk_error, config.bound)
+        << row.op_class << ": predicted " << row.predicted_disk_us
+        << " us vs measured " << row.measured_disk_us << " us";
+  }
+  EXPECT_TRUE(report.AllWithin(config.bound));
+
+  // The zero-I/O classes really are zero-I/O (the paper's headline): an FSD
+  // open hit and delete issue no synchronous disk requests at all.
+  for (const ValidationRow& row : report.rows) {
+    if (row.op_class == "fsd.open" || row.op_class == "fsd.delete") {
+      EXPECT_EQ(row.requests_per_op, 0.0) << row.op_class;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cedar::model

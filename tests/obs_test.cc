@@ -1,0 +1,409 @@
+// Observability subsystem: histogram bucket math, registry pointer/snapshot
+// stability, disk-trace op-context attribution (including nesting through a
+// real FSD group commit), the ring buffer, serialization roundtrips, and
+// the fs::FileSystem Metrics()/Close() API across all three file systems.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/bsd/ffs.h"
+#include "src/cfs/cfs.h"
+#include "src/core/fsd.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+
+namespace cedar {
+namespace {
+
+using obs::Counter;
+using obs::DiskOpKind;
+using obs::DiskTracer;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ---- Histogram buckets: bucket 0 = {0}, bucket i = [2^(i-1), 2^i).
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}),
+            Histogram::kNumBuckets - 1);
+
+  // Every bucket's bounds agree with its index: values at the inclusive low
+  // and just below the exclusive high land in bucket i, nowhere else.
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLow(i)), i) << i;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketHigh(i) - 1), i) << i;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketHigh(i)), i + 1) << i;
+  }
+}
+
+TEST(HistogramTest, RecordAccumulatesStats) {
+  Histogram hist;
+  hist.Record(0);
+  hist.Record(7);
+  hist.Record(1000);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 1007u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 1007.0 / 3.0);
+  EXPECT_EQ(hist.bucket(0), 1u);  // the zero
+  EXPECT_EQ(hist.bucket(3), 1u);  // 7 -> [4,8)
+  EXPECT_EQ(hist.bucket(10), 1u); // 1000 -> [512,1024)
+}
+
+// ---- Registry: create-on-first-use, stable pointers, reset-keeps-names.
+
+TEST(MetricsRegistryTest, StablePointersAcrossInsertions) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  a->Add(5);
+  // Insert many more names; the first pointer must stay valid & identical.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i))->Increment();
+  }
+  EXPECT_EQ(registry.GetCounter("a"), a);
+  EXPECT_EQ(a->value(), 5u);
+  EXPECT_EQ(registry.FindCounter("a"), a);
+  EXPECT_EQ(registry.FindCounter("never-registered"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("x");
+  Histogram* hist = registry.GetHistogram("h");
+  counter->Add(9);
+  hist->Record(42);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.Reset();
+  const MetricsSnapshot after = registry.Snapshot();
+
+  ASSERT_EQ(before.counters.size(), after.counters.size());
+  ASSERT_EQ(before.histograms.size(), after.histograms.size());
+  EXPECT_EQ(after.CounterValue("x"), 0u);
+  ASSERT_NE(after.FindHistogram("h"), nullptr);
+  EXPECT_EQ(after.FindHistogram("h")->count, 0u);
+  // Pointers survive the reset.
+  EXPECT_EQ(registry.GetCounter("x"), counter);
+  EXPECT_EQ(registry.GetHistogram("h"), hist);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetHistogram("lat")->Record(100);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  EXPECT_EQ(snap.CounterValue("alpha"), 2u);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  const auto* hist = snap.FindHistogram("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_EQ(hist->sum, 100u);
+}
+
+TEST(ScopedLatencyTest, RecordsElapsedVirtualTime) {
+  sim::VirtualClock clock;
+  Histogram hist;
+  {
+    obs::ScopedLatency latency(&hist, &clock);
+    clock.Advance(250);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.sum(), 250u);
+  {
+    obs::ScopedLatency noop(nullptr, &clock);  // null-safe
+    clock.Advance(10);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// ---- Tracer: contexts, ring, serialization.
+
+TEST(DiskTracerTest, NestedContextsAttributeToInnermost) {
+  DiskTracer tracer;
+  EXPECT_EQ(tracer.CurrentOp(), "(none)");
+  tracer.Record(1, 1, DiskOpKind::kRead, 0, 10, 20, 30, 40);
+  {
+    obs::ScopedOp outer(&tracer, "outer");
+    tracer.Record(2, 1, DiskOpKind::kWrite, 100, 1, 2, 3, 4);
+    {
+      obs::ScopedOp inner(&tracer, "inner");
+      EXPECT_EQ(tracer.CurrentOp(), "inner");
+      tracer.Record(3, 2, DiskOpKind::kWrite, 200, 5, 6, 7, 8);
+    }
+    EXPECT_EQ(tracer.CurrentOp(), "outer");
+  }
+  EXPECT_EQ(tracer.CurrentOp(), "(none)");
+
+  EXPECT_EQ(tracer.AggregateFor("(none)").requests, 1u);
+  EXPECT_EQ(tracer.AggregateFor("(none)").TotalUs(), 100u);
+  EXPECT_EQ(tracer.AggregateFor("outer").requests, 1u);
+  const obs::OpClassAggregate inner = tracer.AggregateFor("inner");
+  EXPECT_EQ(inner.requests, 1u);
+  EXPECT_EQ(inner.sectors, 2u);
+  EXPECT_EQ(inner.TotalUs(), 26u);
+  EXPECT_EQ(tracer.AggregateFor("never").requests, 0u);
+}
+
+TEST(DiskTracerTest, RingOverwritesOldestAndCountsDropped) {
+  DiskTracer tracer(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    obs::ScopedOp op(&tracer, "w");
+    tracer.Record(i, 1, DiskOpKind::kWrite, i * 100, 1, 1, 1, 1);
+  }
+  EXPECT_EQ(tracer.total_events(), 10u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  const std::vector<obs::TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the surviving events are 6..9.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.front().lba, 6u);
+  // Aggregates cover all 10 events, not just the ring survivors.
+  EXPECT_EQ(tracer.AggregateFor("w").requests, 10u);
+}
+
+TEST(DiskTracerTest, BinaryRoundtripPreservesEventsAndNames) {
+  DiskTracer tracer;
+  {
+    obs::ScopedOp op(&tracer, "alpha");
+    tracer.Record(11, 2, DiskOpKind::kRead, 1000, 10, 20, 30, 40);
+  }
+  {
+    obs::ScopedOp op(&tracer, "beta");
+    tracer.Record(22, 4, DiskOpKind::kLabelWrite, 2000, 1, 2, 3, 4);
+  }
+  const std::vector<std::uint8_t> bytes = tracer.SerializeBinary();
+  auto loaded = DiskTracer::ParseBinary(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  const auto original = tracer.Events();
+  const auto roundtrip = loaded->Events();
+  ASSERT_EQ(roundtrip.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(roundtrip[i].seq, original[i].seq);
+    EXPECT_EQ(roundtrip[i].lba, original[i].lba);
+    EXPECT_EQ(roundtrip[i].sectors, original[i].sectors);
+    EXPECT_EQ(roundtrip[i].kind, original[i].kind);
+    EXPECT_EQ(roundtrip[i].TotalUs(), original[i].TotalUs());
+    EXPECT_EQ(loaded->OpName(roundtrip[i].op_id),
+              tracer.OpName(original[i].op_id));
+  }
+  EXPECT_EQ(loaded->AggregateFor("beta").sectors, 4u);
+
+  // Corrupt magic is rejected.
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DiskTracer::ParseBinary(bad).ok());
+}
+
+TEST(DiskTracerTest, JsonlDumpWritesOneLinePerEvent) {
+  DiskTracer tracer;
+  {
+    obs::ScopedOp op(&tracer, "j");
+    tracer.Record(1, 1, DiskOpKind::kWrite, 10, 1, 2, 3, 4);
+    tracer.Record(2, 1, DiskOpKind::kRead, 20, 1, 2, 3, 4);
+  }
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.jsonl";
+  ASSERT_TRUE(tracer.DumpJsonl(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  int lines = 0;
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') ++lines;
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 2);
+}
+
+// ---- File-system level: attribution, snapshot stability, Close().
+
+core::FsdConfig SmallFsdConfig() {
+  core::FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 256;
+  config.cache_frames = 1024;
+  return config;
+}
+
+struct FsdRig {
+  sim::VirtualClock clock;
+  sim::SimDisk disk;
+  obs::DiskTracer tracer;
+  std::unique_ptr<core::Fsd> fsd;
+
+  FsdRig() : disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock) {
+    disk.set_tracer(&tracer);
+    fsd = std::make_unique<core::Fsd>(&disk, SmallFsdConfig());
+  }
+};
+
+TEST(FsObservabilityTest, FsdAttributesRequestsToInnermostOp) {
+  FsdRig rig;
+  CEDAR_CHECK_OK(rig.fsd->Format());
+  rig.tracer.Reset();
+
+  // A create's synchronous leader+data write lands in "fsd.create".
+  CEDAR_CHECK_OK(rig.fsd->CreateFile("a/f", std::vector<std::uint8_t>(900, 1))
+                     .status());
+  EXPECT_GT(rig.tracer.AggregateFor("fsd.create").requests, 0u);
+  EXPECT_EQ(rig.tracer.AggregateFor("fsd.log_force").requests, 0u);
+
+  // Let the group-commit timer expire, then issue a Touch: the force fires
+  // *inside* the touch, and its log writes must be attributed to the
+  // innermost context ("fsd.log_force"), not to "fsd.touch".
+  rig.clock.Advance(core::FsdConfig{}.group_commit_interval + 1);
+  CEDAR_CHECK_OK(rig.fsd->Touch("a/f"));
+  EXPECT_GT(rig.tracer.AggregateFor("fsd.log_force").requests, 0u);
+  EXPECT_EQ(rig.tracer.AggregateFor("fsd.touch").requests, 0u);
+}
+
+TEST(FsObservabilityTest, SnapshotKeySetStableAcrossMountCycles) {
+  FsdRig rig;
+  CEDAR_CHECK_OK(rig.fsd->Format());
+  CEDAR_CHECK_OK(rig.fsd->CreateFile("s/f", std::vector<std::uint8_t>(500, 2))
+                     .status());
+
+  auto keys = [](const MetricsSnapshot& snap) {
+    std::set<std::string> out;
+    for (const auto& [name, value] : snap.counters) out.insert(name);
+    for (const auto& hist : snap.histograms) out.insert(hist.name);
+    return out;
+  };
+  const fs::FileSystem* base = rig.fsd.get();
+  const std::set<std::string> before = keys(base->SnapshotMetrics());
+  EXPECT_TRUE(before.count("fsd.forces"));
+  EXPECT_TRUE(before.count("disk.reads"));
+  EXPECT_TRUE(before.count("op.fsd.create.us"));
+
+  CEDAR_CHECK_OK(rig.fsd->Shutdown());
+  CEDAR_CHECK_OK(rig.fsd->Mount());
+  EXPECT_EQ(keys(base->SnapshotMetrics()), before);
+
+  // Format resets values but the registered key set still survives.
+  CEDAR_CHECK_OK(rig.fsd->Format());
+  const MetricsSnapshot reset = base->SnapshotMetrics();
+  EXPECT_EQ(keys(reset), before);
+  EXPECT_EQ(reset.CounterValue("fsd.forces"), 0u);
+}
+
+TEST(FsObservabilityTest, FsdCloseDropsLeaderVerification) {
+  FsdRig rig;
+  CEDAR_CHECK_OK(rig.fsd->Format());
+  CEDAR_CHECK_OK(rig.fsd->CreateFile("c/f", std::vector<std::uint8_t>(900, 3))
+                     .status());
+  CEDAR_CHECK_OK(rig.fsd->Force());
+
+  auto verifies = [&] {
+    return rig.fsd->SnapshotMetrics().CounterValue(
+        "fsd.piggyback_leader_verifies");
+  };
+  auto handle = rig.fsd->Open("c/f");
+  CEDAR_CHECK_OK(handle.status());
+  std::vector<std::uint8_t> out(900);
+  CEDAR_CHECK_OK(rig.fsd->Read(*handle, 0, out));
+  const std::uint64_t after_first = verifies();
+  EXPECT_GT(after_first, 0u);
+  // Still open: a second read skips the piggybacked verify.
+  CEDAR_CHECK_OK(rig.fsd->Read(*handle, 0, out));
+  EXPECT_EQ(verifies(), after_first);
+
+  // Close forgets the verified bit; reopen + read verifies again.
+  CEDAR_CHECK_OK(rig.fsd->Close(*handle));
+  CEDAR_CHECK_OK(rig.fsd->Close(*handle));  // unknown handle: not an error
+  handle = rig.fsd->Open("c/f");
+  CEDAR_CHECK_OK(handle.status());
+  CEDAR_CHECK_OK(rig.fsd->Read(*handle, 0, out));
+  EXPECT_GT(verifies(), after_first);
+}
+
+TEST(FsObservabilityTest, MetricsAndCloseUniformAcrossImplementations) {
+  // One pass of the same base-class-only driver per implementation: the
+  // whole point of the Metrics()/Close() redesign is that callers never
+  // need to know which file system they hold.
+  auto drive = [](sim::SimDisk* disk, fs::FileSystem* file_system,
+                  const char* op_histogram) {
+    (void)disk;
+    auto uid =
+        file_system->CreateFile("u/f", std::vector<std::uint8_t>(400, 4));
+    CEDAR_CHECK_OK(uid.status());
+    auto handle = file_system->Open("u/f");
+    CEDAR_CHECK_OK(handle.status());
+    CEDAR_CHECK_OK(file_system->Close(*handle));
+    CEDAR_CHECK_OK(file_system->Force());
+
+    const MetricsSnapshot snap = file_system->SnapshotMetrics();
+    const auto* hist = snap.FindHistogram(op_histogram);
+    ASSERT_NE(hist, nullptr) << op_histogram;
+    EXPECT_GT(hist->count, 0u) << op_histogram;
+    EXPECT_GT(snap.CounterValue("disk.writes"), 0u) << op_histogram;
+  };
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+    cfs::CfsConfig config;
+    config.nt_page_count = 64;
+    cfs::Cfs cfs(&disk, config);
+    CEDAR_CHECK_OK(cfs.Format());
+    drive(&disk, &cfs, "op.cfs.create.us");
+  }
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+    core::Fsd fsd(&disk, SmallFsdConfig());
+    CEDAR_CHECK_OK(fsd.Format());
+    drive(&disk, &fsd, "op.fsd.create.us");
+  }
+  {
+    sim::VirtualClock clock;
+    sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+    bsd::FfsConfig config;
+    config.cylinders_per_group = 10;
+    config.inodes_per_group = 256;
+    bsd::Ffs ffs(&disk, config);
+    CEDAR_CHECK_OK(ffs.Format());
+    drive(&disk, &ffs, "op.bsd.create.us");
+  }
+}
+
+TEST(FsObservabilityTest, CfsCloseReleasesOpenState) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  cfs::CfsConfig config;
+  config.nt_page_count = 64;
+  cfs::Cfs cfs(&disk, config);
+  CEDAR_CHECK_OK(cfs.Format());
+  CEDAR_CHECK_OK(
+      cfs.CreateFile("x/f", std::vector<std::uint8_t>(300, 5)).status());
+  auto handle = cfs.Open("x/f");
+  CEDAR_CHECK_OK(handle.status());
+  CEDAR_CHECK_OK(cfs.Close(*handle));
+  CEDAR_CHECK_OK(cfs.Close(*handle));  // idempotent
+  // With the open-table entry gone, delete reads the header from disk and
+  // still succeeds; a reopen then reports the file as absent.
+  CEDAR_CHECK_OK(cfs.DeleteFile("x/f"));
+  EXPECT_FALSE(cfs.Open("x/f").ok());
+}
+
+}  // namespace
+}  // namespace cedar

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/fsd.h"
+#include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/disk.h"
 #include "src/sim/scheduler.h"
@@ -256,6 +257,8 @@ TEST(FsdWritebackTest, BatchingReducesThirdFlushDiskTime) {
   auto run = [](bool batched) {
     sim::VirtualClock clock;
     sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+    obs::DiskTracer tracer;
+    disk.set_tracer(&tracer);
     core::FsdConfig config = SmallCfg();
     config.batched_writeback = batched;
     core::Fsd fsd(&disk, config);
@@ -269,8 +272,8 @@ TEST(FsdWritebackTest, BatchingReducesThirdFlushDiskTime) {
       CEDAR_CHECK_OK(fsd.Force());
     }
     CEDAR_CHECK(fsd.stats().third_flush_pages > 0);
-    return fsd.stats().third_flush_seek_us +
-           fsd.stats().third_flush_rotational_us;
+    const obs::OpClassAggregate third = tracer.AggregateFor("fsd.flush_third");
+    return third.seek_us + third.rotational_us;
   };
   const std::uint64_t batched = run(true);
   const std::uint64_t unbatched = run(false);
