@@ -46,12 +46,12 @@ class Fsd::NtStore : public btree::PageStore {
     std::vector<std::uint32_t> bad_a;
     std::vector<std::uint32_t> bad_b;
     CEDAR_RETURN_IF_ERROR(
-        fsd_->disk_->Read(fsd_->layout_.nta_base + first, a, &bad_a));
+        fsd_->ReadWithRetry(fsd_->layout_.nta_base + first, a, &bad_a));
     fsd_->ChargeSectors(count);
     bool read_b = fsd_->config_.double_read_check || !bad_a.empty();
     if (read_b) {
       CEDAR_RETURN_IF_ERROR(
-          fsd_->disk_->Read(fsd_->layout_.ntb_base + first, b, &bad_b));
+          fsd_->ReadWithRetry(fsd_->layout_.ntb_base + first, b, &bad_b));
       fsd_->ChargeSectors(count);
     }
 
@@ -173,6 +173,7 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   c_.home_write_batches = metrics_.GetCounter("fsd.home_write_batches");
   c_.home_write_requests = metrics_.GetCounter("fsd.home_write_requests");
   c_.home_writes_coalesced = metrics_.GetCounter("fsd.home_writes_coalesced");
+  c_.read_retries = metrics_.GetCounter("fsd.read_retries");
   h_.create = metrics_.GetHistogram("op.fsd.create.us");
   h_.open = metrics_.GetHistogram("op.fsd.open.us");
   h_.read = metrics_.GetHistogram("op.fsd.read.us");
@@ -200,7 +201,21 @@ FsdStats Fsd::stats() const {
   s.home_write_batches = c_.home_write_batches->value();
   s.home_write_requests = c_.home_write_requests->value();
   s.home_writes_coalesced = c_.home_writes_coalesced->value();
+  s.read_retries = c_.read_retries->value();
   return s;
+}
+
+Status Fsd::ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
+                          std::vector<std::uint32_t>* bad) {
+  Status status = disk_->Read(start, out, bad);
+  std::uint32_t attempts = 0;
+  while (status.code() == ErrorCode::kReadTransient &&
+         attempts < config_.read_retry_limit) {
+    ++attempts;
+    c_.read_retries->Increment();
+    status = disk_->Read(start, out, bad);
+  }
+  return status;
 }
 
 Fsd::~Fsd() = default;
@@ -288,7 +303,7 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
 
   std::vector<std::uint8_t> buf(3 * 512);
   std::vector<std::uint32_t> bad;
-  CEDAR_RETURN_IF_ERROR(disk_->Read(layout_.root_lba, buf, &bad));
+  CEDAR_RETURN_IF_ERROR(ReadWithRetry(layout_.root_lba, buf, &bad));
   auto span = std::span<const std::uint8_t>(buf);
   const bool bad0 = std::find(bad.begin(), bad.end(), 0u) != bad.end();
   const bool bad2 = std::find(bad.begin(), bad.end(), 2u) != bad.end();
@@ -429,13 +444,17 @@ Status Fsd::Mount() {
     CEDAR_RETURN_IF_ERROR(RebuildVolatileState());
   }
 
-  CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/false));
   if (config_.vam_logging) {
-    // Guarantee a base snapshot exists for the next crash.
+    // Guarantee a base snapshot exists for the next crash. This must land
+    // BEFORE the unclean root is written: a clean boot reformats the log
+    // (LSNs restart at 1), so once the root says "unclean" any stale base
+    // with a large LSN would make recovery skip every new delta — a stale
+    // VAM and double allocation. Saving first closes that crash window.
     CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
                                     layout_.vam_sectors, boot_count_,
                                     log_->next_lsn()));
   }
+  CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/false));
   last_force_ = disk_->clock().now();
   mounted_ = true;
   return OkStatus();
@@ -683,12 +702,22 @@ Status Fsd::ForceLog() {
 
   auto flush_fn = [this](int third) { return FlushThird(third); };
 
+  // The whole force goes out as commit groups: recovery replays a group
+  // only if its final record survived, so a crash mid-force can never
+  // replay a prefix of a multi-page tree update. Forces larger than one
+  // group (rare — the default group holds log_group_records records) split
+  // into maximal groups; the delta ordering above bounds the damage of a
+  // between-groups crash to leaked sectors.
+  const std::size_t group_pages = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          std::max<std::uint32_t>(1, config_.log_group_records)) *
+          FsdLog::kMaxPagesPerRecord,
+      log_->MaxGroupPages());
   Status status = OkStatus();
   std::size_t i = 0;
   while (i < images.size() && status.ok()) {
-    const std::size_t n =
-        std::min<std::size_t>(FsdLog::kMaxPagesPerRecord, images.size() - i);
-    Result<int> third = log_->Append(
+    const std::size_t n = std::min(group_pages, images.size() - i);
+    Result<int> third = log_->AppendGroup(
         std::span<const PageImage>(images.data() + i, n), flush_fn);
     status = third.status();
     if (status.ok()) {
@@ -995,7 +1024,7 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
           frame != nullptr && frame->dirty) {
         CEDAR_RETURN_IF_ERROR(
             VerifyLeader(frame->data, entry, state.version));
-        CEDAR_RETURN_IF_ERROR(disk_->Read(
+        CEDAR_RETURN_IF_ERROR(ReadWithRetry(
             run.start,
             std::span<std::uint8_t>(buf.data() + pos,
                                     static_cast<std::size_t>(run.count) *
@@ -1005,7 +1034,7 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
         // costs only the transfer time for a page to read the leader").
         std::vector<std::uint8_t> tmp(
             static_cast<std::size_t>(1 + run.count) * 512);
-        CEDAR_RETURN_IF_ERROR(disk_->Read(entry.leader_lba, tmp));
+        CEDAR_RETURN_IF_ERROR(ReadWithRetry(entry.leader_lba, tmp));
         CEDAR_RETURN_IF_ERROR(VerifyLeader(
             std::span<const std::uint8_t>(tmp).subspan(0, 512), entry,
             state.version));
@@ -1015,7 +1044,7 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
       state.leader_verified = true;
       ChargeDataSectors(1 + run.count);
     } else {
-      CEDAR_RETURN_IF_ERROR(disk_->Read(
+      CEDAR_RETURN_IF_ERROR(ReadWithRetry(
           run.start,
           std::span<std::uint8_t>(buf.data() + pos,
                                   static_cast<std::size_t>(run.count) * 512)));
@@ -1060,7 +1089,7 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
   if (!aligned) {
     std::size_t pos = 0;
     for (const fs::Extent& run : extents) {
-      CEDAR_RETURN_IF_ERROR(disk_->Read(
+      CEDAR_RETURN_IF_ERROR(ReadWithRetry(
           run.start,
           std::span<std::uint8_t>(buf.data() + pos,
                                   static_cast<std::size_t>(run.count) * 512)));
@@ -1329,8 +1358,8 @@ Result<Fsd::ScrubReport> Fsd::Scrub() {
       ok = VerifyLeader(frame->data, entry, version).ok();
     } else {
       std::vector<std::uint32_t> bad;
-      ok = disk_->Read(entry.leader_lba, sector, &bad).ok() && bad.empty() &&
-           VerifyLeader(sector, entry, version).ok();
+      ok = ReadWithRetry(entry.leader_lba, sector, &bad).ok() &&
+           bad.empty() && VerifyLeader(sector, entry, version).ok();
       ChargeSectors(1);
     }
     if (!ok) {

@@ -74,6 +74,45 @@ struct FsdStats {
   std::uint64_t home_write_batches = 0;     // non-empty scheduler flushes
   std::uint64_t home_write_requests = 0;    // page writes queued
   std::uint64_t home_writes_coalesced = 0;  // requests merged away
+
+  // Soft read errors absorbed by the bounded retry path.
+  std::uint64_t read_retries = 0;
+};
+
+// One finding from Fsd::Fsck(). Warnings are conditions the system repairs
+// in the normal course of operation (a stale leader, a leaked sector, a
+// replica divergence with a readable primary); violations are states that
+// can lose or corrupt data (both copies of a live page unreadable, a
+// referenced sector marked free, a structurally broken tree).
+struct FsckIssue {
+  enum class Severity : std::uint8_t { kWarning = 0, kViolation = 1 };
+  Severity severity = Severity::kWarning;
+  // Machine-readable class, e.g. "nt-both-copies-bad", "vam-referenced-free".
+  std::string code;
+  std::string detail;
+};
+
+struct FsckReport {
+  std::uint64_t files_checked = 0;
+  std::uint64_t nt_pages_checked = 0;
+  std::uint64_t leaders_checked = 0;
+  std::vector<FsckIssue> issues;
+
+  std::uint64_t violations() const {
+    std::uint64_t n = 0;
+    for (const FsckIssue& issue : issues) {
+      if (issue.severity == FsckIssue::Severity::kViolation) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  std::uint64_t warnings() const {
+    return issues.size() - static_cast<std::size_t>(violations());
+  }
+  // No violations (warnings are allowed — they are self-healing states).
+  bool Clean() const { return violations() == 0; }
+  std::string Summary() const;
 };
 
 class Fsd : public fs::FileSystem {
@@ -130,6 +169,14 @@ class Fsd : public fs::FileSystem {
   };
   Result<ScrubReport> Scrub();
 
+  // Read-only fsck-style invariant checker (src/core/fsck.cc): verifies the
+  // name-table A/B copies agree or are repairable, the tree is structurally
+  // sound, every entry's leader cross-checks, the VAM covers exactly the
+  // reachable sectors (modulo repairable leaks), and the log's on-disk
+  // pointer is well-formed. Mutates nothing — the crash harness runs it
+  // after every enumerated recovery and treats violations as failures.
+  Result<FsckReport> Fsck();
+
   const FsdLayout& layout() const { return layout_; }
   const FsdConfig& config() const { return config_; }
   FsdStats stats() const;  // registry-backed view
@@ -170,6 +217,12 @@ class Fsd : public fs::FileSystem {
                  std::uint32_t key, std::span<const std::uint8_t> image);
   // Issues a queued batch and folds its counters into stats_.
   Status FlushHomeBatch(sim::IoScheduler& sched);
+
+  // SimDisk::Read with bounded retry on kReadTransient (satellite of the
+  // paper's section 5.8 transient-error class); every retry is counted in
+  // fsd.read_retries.
+  Status ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
+                       std::vector<std::uint32_t>* bad = nullptr);
 
   Status WriteVolumeRoot(bool clean);
   Status ReadVolumeRoot(bool* clean);
@@ -244,6 +297,7 @@ class Fsd : public fs::FileSystem {
     obs::Counter* home_write_batches = nullptr;
     obs::Counter* home_write_requests = nullptr;
     obs::Counter* home_writes_coalesced = nullptr;
+    obs::Counter* read_retries = nullptr;
   } c_;
   struct HistogramSet {
     obs::Histogram* create = nullptr;

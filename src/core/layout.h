@@ -54,6 +54,10 @@ struct FsdConfig {
   // stay well under a log third; 4 records (~436 sectors) is safe for the
   // default sizing. 1 disables group atomicity (ablation).
   std::uint32_t log_group_records = 4;
+  // Bounded retry for soft (transient) read errors: a sector read that
+  // fails with kReadTransient is reissued up to this many times before the
+  // error is surfaced. Each retry bumps the fsd.read_retries counter.
+  std::uint32_t read_retry_limit = 3;
 
   // CPU cost model (virtual microseconds); calibration in EXPERIMENTS.md.
   std::uint64_t cpu_per_op = 1200;

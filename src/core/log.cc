@@ -211,19 +211,10 @@ Status FsdLog::Format(std::uint32_t boot_count) {
   return disk_->Write(AreaLba(0), zero);
 }
 
-Result<int> FsdLog::Append(std::span<const PageImage> pages,
-                           const ThirdFlushFn& flush, bool group_start,
-                           bool group_end) {
-  CEDAR_CHECK(!pages.empty() && pages.size() <= kMaxPagesPerRecord);
-  for (const PageImage& page : pages) {
-    CEDAR_CHECK(page.data.size() == 512);
-    CEDAR_CHECK(page.primary != kNoLba || page.kind == PageKind::kVamDelta);
-  }
-  const auto len =
-      static_cast<std::uint32_t>(RecordSectors(pages.size()));
+Status FsdLog::PrepareSpace(std::uint32_t len, const ThirdFlushFn& flush) {
   CEDAR_CHECK(len < third_sectors());
 
-  // Skip to the next third (or wrap) if the record would straddle it.
+  // Skip to the next third (or wrap) if the span would straddle it.
   const int pos_third = ThirdOf(pos_);
   const std::uint32_t boundary =
       pos_third < 2 ? ThirdStart(pos_third + 1) : record_area_sectors();
@@ -260,7 +251,14 @@ Result<int> FsdLog::Append(std::span<const PageImage> pages,
     current_third_ = third;
     ++stats_.third_entries;
   }
+  return OkStatus();
+}
 
+Status FsdLog::AppendPrepared(std::span<const PageImage> pages,
+                              bool group_start, bool group_end) {
+  const auto len = static_cast<std::uint32_t>(RecordSectors(
+      static_cast<std::uint32_t>(pages.size())));
+  const int third = ThirdOf(pos_);
   // Assemble the record: H, blank, H', D1..Dn, E, D1'..Dn', E'.
   const std::vector<std::uint8_t> header =
       BuildHeaderSector(pages, group_start, group_end);
@@ -296,8 +294,66 @@ Result<int> FsdLog::Append(std::span<const PageImage> pages,
   stats_.sectors_written += len;
   stats_.total_record_sectors += len;
   stats_.max_record_sectors = std::max(stats_.max_record_sectors, len);
+  return OkStatus();
+}
+
+Result<int> FsdLog::Append(std::span<const PageImage> pages,
+                           const ThirdFlushFn& flush, bool group_start,
+                           bool group_end) {
+  CEDAR_CHECK(!pages.empty() && pages.size() <= kMaxPagesPerRecord);
+  for (const PageImage& page : pages) {
+    CEDAR_CHECK(page.data.size() == 512);
+    CEDAR_CHECK(page.primary != kNoLba || page.kind == PageKind::kVamDelta);
+  }
+  const auto len = static_cast<std::uint32_t>(
+      RecordSectors(static_cast<std::uint32_t>(pages.size())));
+  CEDAR_RETURN_IF_ERROR(PrepareSpace(len, flush));
+  const int third = ThirdOf(pos_);
+  CEDAR_RETURN_IF_ERROR(AppendPrepared(pages, group_start, group_end));
   return third;
 }
+
+std::uint32_t FsdLog::MaxGroupPages() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t n = 1;; ++n) {
+    if (GroupSectors(n) >= third_sectors()) {
+      break;
+    }
+    best = n;
+  }
+  return best;
+}
+
+Result<int> FsdLog::AppendGroup(std::span<const PageImage> pages,
+                                const ThirdFlushFn& flush) {
+  CEDAR_CHECK(!pages.empty());
+  CEDAR_CHECK(pages.size() <= MaxGroupPages());
+  for (const PageImage& page : pages) {
+    CEDAR_CHECK(page.data.size() == 512);
+    CEDAR_CHECK(page.primary != kNoLba || page.kind == PageKind::kVamDelta);
+  }
+  // Reserve room for the whole group, so every record lands in one third
+  // and recovery's all-or-nothing group replay cannot lose a committed
+  // group to third reclamation between its records.
+  const std::uint32_t total =
+      GroupSectors(static_cast<std::uint32_t>(pages.size()));
+  CEDAR_RETURN_IF_ERROR(PrepareSpace(total, flush));
+  const int third = ThirdOf(pos_);
+
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(kMaxPagesPerRecord, pages.size() - i);
+    const bool start = i == 0;
+    const bool end = i + n == pages.size();
+    CEDAR_RETURN_IF_ERROR(
+        AppendPrepared(pages.subspan(i, n), start, end));
+    i += n;
+  }
+  return third;
+}
+
+Status FsdLog::ValidatePointer() { return ReadPointer().status(); }
 
 Status FsdLog::Recover(
     const std::function<Status(std::uint64_t, const std::vector<PageImage>&)>&

@@ -101,6 +101,32 @@ class FsdLog {
                      const ThirdFlushFn& flush, bool group_start = true,
                      bool group_end = true);
 
+  // Appends one whole commit group: the images are chunked into records of
+  // at most kMaxPagesPerRecord, tagged with group start/end flags, and —
+  // the load-bearing part — space for the ENTIRE group is reserved up
+  // front, so a group never straddles a third boundary. That guarantees
+  // recovery sees all of the group's records or none (no orphaned tails
+  // whose start third was reclaimed mid-group), which is what makes a
+  // multi-record force atomic. pages.size() must be <= MaxGroupPages().
+  // Returns the third every record of the group was placed in.
+  Result<int> AppendGroup(std::span<const PageImage> pages,
+                          const ThirdFlushFn& flush);
+
+  // Largest page count AppendGroup accepts: the biggest group whose total
+  // sectors still fit strictly inside one third.
+  std::uint32_t MaxGroupPages() const;
+
+  // Total sectors a group of n pages occupies once chunked into records.
+  static std::uint32_t GroupSectors(std::uint32_t n) {
+    const std::uint32_t records =
+        (n + kMaxPagesPerRecord - 1) / kMaxPagesPerRecord;
+    return 2 * n + 5 * records;
+  }
+
+  // Re-reads and validates the on-disk oldest-record pointer (both copies);
+  // the structural well-formedness probe used by Fsck.
+  Status ValidatePointer();
+
   // Replays the log after a crash: scans records from the oldest-third
   // pointer, repairs single-sector damage from the duplicate copies, stops
   // at the first invalid/torn record, and calls `visit(lsn, pages)` for
@@ -133,6 +159,13 @@ class FsdLog {
 
   Status WritePointer();
   Result<std::uint32_t> ReadPointer();
+  // Skip-marker + third-entry handling for an append of `len` sectors:
+  // ensures [pos_, pos_+len) lies inside one third, invoking `flush` and
+  // advancing the oldest pointer when a new third is entered.
+  Status PrepareSpace(std::uint32_t len, const ThirdFlushFn& flush);
+  // Appends one already-prepared record at pos_ (no boundary handling).
+  Status AppendPrepared(std::span<const PageImage> pages, bool group_start,
+                        bool group_end);
 
   std::vector<std::uint8_t> BuildHeaderSector(std::span<const PageImage> pages,
                                               bool group_start,

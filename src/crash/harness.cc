@@ -1,0 +1,584 @@
+#include "src/crash/harness.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+
+namespace cedar::crash {
+namespace {
+
+constexpr std::size_t kBaselineBytes = 1500;
+constexpr std::uint8_t kBaselineSeed = 101;
+
+ContentVersion VersionOf(int step, std::span<const std::uint8_t> bytes) {
+  return ContentVersion{.step = step,
+                        .crc = Crc32(bytes),
+                        .size = bytes.size()};
+}
+
+std::string PlanLabel(const sim::CrashPlan& plan) {
+  std::string label = "w" + std::to_string(plan.at_write_index);
+  if (plan.sectors_completed != 0 || plan.sectors_damaged != 0) {
+    label += " torn c=" + std::to_string(plan.sectors_completed) +
+             " d=" + std::to_string(plan.sectors_damaged);
+  }
+  if (!plan.drop_writes.empty()) {
+    label += " drop{";
+    for (std::size_t i = 0; i < plan.drop_writes.size(); ++i) {
+      label += (i != 0 ? "," : "") + std::to_string(plan.drop_writes[i]);
+    }
+    label += "}";
+  }
+  return label;
+}
+
+}  // namespace
+
+core::FsdConfig CrashHarness::FsdConfigFor(bool vam_logging) {
+  core::FsdConfig config;
+  // Small log (third = 132 sectors, the smallest FsdLog allows with margin)
+  // so the standard workload crosses log thirds: the schedule then contains
+  // third entries, pointer advances, and real home-flush batches for the
+  // reorder enumerator to cut.
+  config.log_sectors = 400;
+  config.nt_pages = 64;
+  config.cache_frames = 512;
+  config.vam_logging = vam_logging;
+  // Only explicit Force() steps commit. The group-commit timer compares
+  // VIRTUAL timestamps, and the disk's service times depend on head and
+  // rotational position — state that differs between the recording run and
+  // a replay that crashed and remounted. A timer that fired in one run but
+  // not the other would change the write schedule, so it is parked far
+  // beyond the workload's duration.
+  config.group_commit_interval = 3600ull * 1000 * 1000;
+  return config;
+}
+
+CrashHarness::CrashHarness(HarnessOptions options)
+    : options_(std::move(options)),
+      config_(FsdConfigFor(options_.vam_logging)) {}
+
+CrashHarness::~CrashHarness() = default;
+
+Result<HarnessReport> CrashHarness::Run() {
+  clock_ = std::make_unique<sim::VirtualClock>();
+  disk_ = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
+                                         sim::DiskTimingParams{},
+                                         clock_.get());
+
+  // Phase A: a pristine, cleanly-shut-down volume with one baseline file.
+  // Every case replays from this exact image.
+  {
+    core::Fsd fsd(disk_.get(), config_);
+    CEDAR_RETURN_IF_ERROR(fsd.Format());
+    CEDAR_RETURN_IF_ERROR(
+        fsd.CreateFile("base", Pattern(kBaselineBytes, kBaselineSeed))
+            .status());
+    CEDAR_RETURN_IF_ERROR(fsd.Shutdown());
+  }
+  base_ = disk_->Snapshot();
+  if (!disk_->StateEquals(base_)) {
+    return MakeError(ErrorCode::kInternal,
+                     "disk snapshot round-trip mismatch on the base image");
+  }
+
+  HarnessReport report;
+  CEDAR_ASSIGN_OR_RETURN(report.run, Record());
+
+  std::vector<CrashCase> cases = Enumerate(report.run);
+  report.enumerated = cases.size();
+  if (options_.max_cases != 0 && cases.size() > options_.max_cases) {
+    // Deterministic sample. Clean cuts (the cheapest, broadest coverage)
+    // sort first in the enumeration; keep them all if they fit and sample
+    // the torn/reorder tail, else sample uniformly.
+    Rng rng(options_.seed ^ 0xCA5E5A3Du);
+    std::vector<CrashCase> kept;
+    std::vector<CrashCase> pool;
+    for (CrashCase& c : cases) {
+      if (c.variant == "clean" && kept.size() < options_.max_cases) {
+        kept.push_back(std::move(c));
+      } else {
+        pool.push_back(std::move(c));
+      }
+    }
+    while (kept.size() < options_.max_cases && !pool.empty()) {
+      const std::size_t pick = rng.Below(pool.size());
+      kept.push_back(std::move(pool[pick]));
+      pool[pick] = std::move(pool.back());
+      pool.pop_back();
+    }
+    cases = std::move(kept);
+  }
+
+  for (const CrashCase& c : cases) {
+    RunCase(report.run, c, &report);
+  }
+  return report;
+}
+
+Result<RecordedRun> CrashHarness::Record() {
+  RecordedRun run;
+  run.steps = StandardWorkload();
+
+  disk_->Restore(base_);
+  auto fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
+  CEDAR_RETURN_IF_ERROR(fsd->Mount());
+
+  // Everything from here on is schedule: write index 0 is the first write
+  // after Mount() returns, which is exactly where replays arm the crash.
+  obs::DiskTracer tracer(1 << 16);
+  disk_->set_tracer(&tracer);
+  const std::uint64_t writes0 = disk_->stats().writes;
+
+  FileModel model;
+  model.files["base"] = Pattern(kBaselineBytes, kBaselineSeed);
+  ForcePoint baseline;
+  for (const auto& [name, bytes] : model.files) {
+    const ContentVersion version = VersionOf(-1, bytes);
+    baseline.files[name] = version;
+    run.history[name].push_back(version);
+  }
+  run.forces.push_back(std::move(baseline));
+
+  for (std::size_t s = 0; s < run.steps.size(); ++s) {
+    const Step& step = run.steps[s];
+    StepBound bound;
+    bound.writes_before = disk_->stats().writes - writes0;
+    if (Status status = ExecuteStep(fsd.get(), step); !status.ok()) {
+      disk_->set_tracer(nullptr);
+      return MakeError(ErrorCode::kInternal,
+                       "recording run failed at step " + std::to_string(s) +
+                           ": " + std::string(status.message()));
+    }
+    bound.writes_after = disk_->stats().writes - writes0;
+    run.bounds.push_back(bound);
+    model.Apply(step);
+    switch (step.kind) {
+      case Step::Kind::kCreate:
+      case Step::Kind::kOverwrite:
+        run.history[step.name].push_back(
+            VersionOf(static_cast<int>(s), model.files.at(step.name)));
+        break;
+      case Step::Kind::kDelete:
+        run.delete_steps[step.name].push_back(static_cast<int>(s));
+        break;
+      case Step::Kind::kForce:
+      case Step::Kind::kShutdown: {
+        ForcePoint fp;
+        fp.step = static_cast<int>(s);
+        fp.writes = bound.writes_after;
+        for (const auto& [name, bytes] : model.files) {
+          // history.back() is the version that produced the current bytes.
+          fp.files[name] = run.history.at(name).back();
+        }
+        run.forces.push_back(std::move(fp));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  disk_->set_tracer(nullptr);
+
+  const std::uint64_t total_writes = disk_->stats().writes - writes0;
+  for (const obs::TraceEvent& ev : tracer.Events()) {
+    if (ev.kind != obs::DiskOpKind::kWrite) {
+      continue;
+    }
+    run.writes.push_back(ScheduleEntry{
+        .lba = ev.lba,
+        .sectors = ev.sectors,
+        .batch = ev.batch,
+        .op = std::string(tracer.OpName(ev.op_id))});
+  }
+  if (run.writes.size() != total_writes) {
+    return MakeError(ErrorCode::kInternal,
+                     "trace/stats write-count mismatch: traced " +
+                         std::to_string(run.writes.size()) + " counted " +
+                         std::to_string(total_writes));
+  }
+  return run;
+}
+
+std::vector<CrashCase> CrashHarness::Enumerate(const RecordedRun& run) const {
+  std::vector<CrashCase> clean;
+  std::vector<CrashCase> extra;
+  for (std::uint64_t i = 0; i < run.writes.size(); ++i) {
+    const ScheduleEntry& e = run.writes[i];
+    sim::CrashPlan clean_plan;
+    clean_plan.at_write_index = i;
+    clean.push_back(CrashCase{.plan = clean_plan, .variant = "clean"});
+
+    // Torn prefixes: (completed, damaged) cuts of this write.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> cuts;
+    if (options_.exhaustive_torn) {
+      for (std::uint32_t c = 0; c < e.sectors; ++c) {
+        for (std::uint32_t d = 0; d <= 2 && c + d <= e.sectors; ++d) {
+          if (c != 0 || d != 0) {
+            cuts.insert({c, d});
+          }
+        }
+      }
+    } else {
+      cuts.insert({0, 1});
+      if (e.sectors >= 2) {
+        cuts.insert({1, 1});
+        cuts.insert({e.sectors / 2, 1});
+        cuts.insert({e.sectors - 1, 1});
+        cuts.insert({e.sectors - 1, 0});
+        cuts.insert({e.sectors - 2, 2});
+      }
+    }
+    for (const auto& [c, d] : cuts) {
+      sim::CrashPlan plan;
+      plan.at_write_index = i;
+      plan.sectors_completed = c;
+      plan.sectors_damaged = d;
+      extra.push_back(CrashCase{
+          .plan = plan,
+          .variant =
+              "torn c=" + std::to_string(c) + " d=" + std::to_string(d)});
+    }
+
+    // Batch reorders: earlier writes of the same IoScheduler batch acked
+    // but never persisted (the device scheduled them after the cut).
+    if (e.batch != 0) {
+      std::vector<std::uint64_t> peers;
+      for (std::uint64_t j = i; j-- > 0;) {
+        if (run.writes[j].batch != e.batch) {
+          break;  // batches are contiguous in the schedule
+        }
+        peers.push_back(j);
+      }
+      std::reverse(peers.begin(), peers.end());
+      std::vector<std::uint64_t> singles = peers;
+      if (!options_.exhaustive_torn && singles.size() > 3) {
+        Rng rng(options_.seed ^ (i * 0x9E3779B97F4A7C15ull));
+        std::vector<std::uint64_t> sampled;
+        for (int k = 0; k < 3; ++k) {
+          sampled.push_back(singles[rng.Below(singles.size())]);
+        }
+        std::sort(sampled.begin(), sampled.end());
+        sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                      sampled.end());
+        singles = std::move(sampled);
+      }
+      for (std::uint64_t j : singles) {
+        sim::CrashPlan plan;
+        plan.at_write_index = i;
+        plan.drop_writes = {j};
+        extra.push_back(CrashCase{.plan = std::move(plan),
+                                  .variant = "drop{" + std::to_string(j) +
+                                             "}"});
+      }
+      if (peers.size() >= 2) {
+        sim::CrashPlan plan;
+        plan.at_write_index = i;
+        plan.drop_writes = peers;
+        std::string label = "drop{all " + std::to_string(peers.size()) + "}";
+        extra.push_back(
+            CrashCase{.plan = std::move(plan), .variant = std::move(label)});
+      }
+    }
+  }
+  std::vector<CrashCase> cases = std::move(clean);
+  cases.insert(cases.end(), std::make_move_iterator(extra.begin()),
+               std::make_move_iterator(extra.end()));
+  return cases;
+}
+
+void CrashHarness::RunCase(const RecordedRun& run, const CrashCase& c,
+                           HarnessReport* report) {
+  auto fail = [&](std::string why, std::uint64_t recovery_writes = 0) {
+    report->results.push_back(CaseResult{.c = c,
+                                         .pass = false,
+                                         .failure = std::move(why),
+                                         .recovery_writes = recovery_writes});
+  };
+
+  disk_->Restore(base_);
+  auto fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
+  if (Status status = fsd->Mount(); !status.ok()) {
+    fail("pre-crash mount failed: " + std::string(status.message()));
+    return;
+  }
+  disk_->ArmCrash(c.plan);
+  for (const Step& step : run.steps) {
+    if (!ExecuteStep(fsd.get(), step).ok()) {
+      break;
+    }
+  }
+  if (!disk_->crashed()) {
+    fail("armed crash never fired — schedule nondeterminism");
+    return;
+  }
+
+  // Satellite check: cloning a crashed disk must round-trip exactly
+  // (damage map + armed-crash state included).
+  const sim::DiskSnapshot crashed = disk_->Snapshot();
+  if (!disk_->StateEquals(crashed)) {
+    fail("crashed-disk snapshot round-trip mismatch");
+    return;
+  }
+
+  disk_->Reopen();
+  const std::uint64_t writes_before_recovery = disk_->stats().writes;
+  fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
+  Status mounted = fsd->Mount();
+  const std::uint64_t recovery_writes =
+      disk_->stats().writes - writes_before_recovery;
+  std::string failure;
+  if (!mounted.ok()) {
+    failure = "recovery mount failed: " + std::string(mounted.message());
+  } else {
+    failure = VerifyRecovered(*fsd, run, c.plan.at_write_index);
+  }
+  report->results.push_back(CaseResult{.c = c,
+                                       .pass = failure.empty(),
+                                       .failure = failure,
+                                       .recovery_writes = recovery_writes});
+  if (!failure.empty()) {
+    DumpFailure(crashed, run, report->results.back());
+    return;
+  }
+
+  // Double crash: re-crash DURING the recovery just verified, at sampled
+  // recovery-write indices, then recover again. Clean cuts only — they
+  // already cover every schedule position, and recovery's own writes give
+  // the second-crash surface.
+  if (c.variant != "clean" || options_.double_crash_points == 0 ||
+      recovery_writes == 0) {
+    return;
+  }
+  std::set<std::uint64_t> points;
+  if (recovery_writes <= options_.double_crash_points) {
+    for (std::uint64_t r = 0; r < recovery_writes; ++r) {
+      points.insert(r);
+    }
+  } else {
+    Rng rng(options_.seed ^ (c.plan.at_write_index * 0xD1B54A32D192ED03ull));
+    while (points.size() < options_.double_crash_points) {
+      points.insert(rng.Below(recovery_writes));
+    }
+  }
+  for (std::uint64_t r : points) {
+    CrashCase second = c;
+    second.variant = "clean +recrash@" + std::to_string(r);
+    disk_->Restore(crashed);
+    disk_->Reopen();
+    sim::CrashPlan recrash;
+    recrash.at_write_index = r;
+    disk_->ArmCrash(recrash);
+    fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
+    Status first_mount = fsd->Mount();
+    std::string why;
+    if (first_mount.ok() && !disk_->crashed()) {
+      why = "recovery crash never fired — recovery nondeterminism";
+    } else {
+      const sim::DiskSnapshot twice = disk_->Snapshot();
+      disk_->Reopen();
+      fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
+      if (Status status = fsd->Mount(); !status.ok()) {
+        why = "second recovery mount failed: " +
+              std::string(status.message());
+      } else {
+        why = VerifyRecovered(*fsd, run, c.plan.at_write_index);
+      }
+      if (!why.empty()) {
+        DumpFailure(twice, run,
+                    CaseResult{.c = second, .pass = false, .failure = why});
+      }
+    }
+    ++report->double_crash_cases;
+    report->results.push_back(CaseResult{.c = std::move(second),
+                                         .pass = why.empty(),
+                                         .failure = std::move(why),
+                                         .recovery_writes = recovery_writes});
+  }
+}
+
+std::string CrashHarness::VerifyRecovered(core::Fsd& fsd,
+                                          const RecordedRun& run,
+                                          std::uint64_t w) {
+  // 1. Structural invariants.
+  Result<core::FsckReport> fsck = fsd.Fsck();
+  if (!fsck.ok()) {
+    return "fsck failed to run: " + std::string(fsck.status().message());
+  }
+  if (!fsck->Clean()) {
+    std::string why = "fsck violations: ";
+    std::uint32_t listed = 0;
+    for (const core::FsckIssue& issue : fsck->issues) {
+      if (issue.severity != core::FsckIssue::Severity::kViolation) {
+        continue;
+      }
+      if (listed++ == 3) {
+        why += "; ...";
+        break;
+      }
+      why += (listed > 1 ? "; " : "") + issue.code + " (" + issue.detail +
+             ")";
+    }
+    return why;
+  }
+
+  // 2. The durability oracle.
+  int crash_step = static_cast<int>(run.steps.size());
+  for (std::size_t s = 0; s < run.bounds.size(); ++s) {
+    if (run.bounds[s].writes_after > w) {
+      crash_step = static_cast<int>(s);
+      break;
+    }
+  }
+  const ForcePoint* fp = &run.forces.front();
+  for (const ForcePoint& f : run.forces) {
+    if (f.writes <= w) {
+      fp = &f;
+    }
+  }
+  const std::string casualty =
+      crash_step < static_cast<int>(run.steps.size())
+          ? run.steps[static_cast<std::size_t>(crash_step)].name
+          : "";
+
+  auto acceptable = [&](const std::string& name, std::uint32_t crc,
+                        std::uint64_t size) {
+    auto it = run.history.find(name);
+    if (it == run.history.end()) {
+      return false;
+    }
+    for (const ContentVersion& v : it->second) {
+      if (v.step <= crash_step && v.crc == crc && v.size == size) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto read_file =
+      [&](const std::string& name) -> Result<std::pair<std::uint32_t,
+                                                       std::uint64_t>> {
+    CEDAR_ASSIGN_OR_RETURN(fs::FileHandle handle, fsd.Open(name));
+    std::vector<std::uint8_t> buf(handle.byte_size);
+    if (!buf.empty()) {
+      CEDAR_RETURN_IF_ERROR(fsd.Read(handle, 0, buf));
+    }
+    CEDAR_RETURN_IF_ERROR(fsd.Close(handle));
+    return std::make_pair(Crc32(buf), handle.byte_size);
+  };
+  auto deleted_after_force = [&](const std::string& name) {
+    auto it = run.delete_steps.find(name);
+    if (it == run.delete_steps.end()) {
+      return false;
+    }
+    for (int d : it->second) {
+      if (d > fp->step && d <= crash_step) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto check_required = [&](const char* phase) -> std::string {
+    for (const auto& [name, version] : fp->files) {
+      if (name == casualty) {
+        continue;  // the op in flight at the cut may have damaged its file
+      }
+      auto got = read_file(name);
+      if (!got.ok()) {
+        if (deleted_after_force(name)) {
+          continue;  // a later (possibly committed) delete explains absence
+        }
+        return std::string(phase) + ": forced file '" + name +
+               "' unreadable: " + std::string(got.status().message());
+      }
+      if (!acceptable(name, got->first, got->second)) {
+        return std::string(phase) + ": forced file '" + name +
+               "' has unacceptable content (crc " +
+               std::to_string(got->first) + ", size " +
+               std::to_string(got->second) + ")";
+      }
+    }
+    return "";
+  };
+
+  if (std::string why = check_required("durability"); !why.empty()) {
+    return why;
+  }
+  // Files not covered by the force point: allowed to be absent, but when
+  // present they must hold one of the contents the workload actually wrote.
+  for (const auto& [name, versions] : run.history) {
+    if (fp->files.contains(name) || name == casualty) {
+      continue;
+    }
+    bool created_by_now = false;
+    for (const ContentVersion& v : versions) {
+      created_by_now = created_by_now || v.step <= crash_step;
+    }
+    auto got = read_file(name);
+    if (!got.ok()) {
+      continue;
+    }
+    if (!created_by_now) {
+      return "ghost file '" + name + "' exists before its create ran";
+    }
+    if (!acceptable(name, got->first, got->second)) {
+      return "uncommitted file '" + name + "' has unacceptable content";
+    }
+  }
+
+  // 3. The volume still works: create-force-read a probe, then re-verify
+  // the forced files — if recovery left the VAM claiming a live sector
+  // free, the probe's allocation overwrites it and this catches it.
+  const std::vector<std::uint8_t> probe = Pattern(1400, 77);
+  if (Status status = fsd.CreateFile("zz.probe", probe).status();
+      !status.ok()) {
+    return "probe create failed: " + std::string(status.message());
+  }
+  if (Status status = fsd.Force(); !status.ok()) {
+    return "probe force failed: " + std::string(status.message());
+  }
+  auto got = read_file("zz.probe");
+  if (!got.ok()) {
+    return "probe readback failed: " + std::string(got.status().message());
+  }
+  if (got->first != Crc32(probe) || got->second != probe.size()) {
+    return "probe readback corrupt";
+  }
+  return check_required("post-probe");
+}
+
+void CrashHarness::DumpFailure(const sim::DiskSnapshot& crashed,
+                               const RecordedRun& run,
+                               const CaseResult& result) {
+  if (options_.dump_dir.empty()) {
+    return;
+  }
+  const std::string stem =
+      options_.dump_dir + "/case" + std::to_string(dump_counter_++);
+  disk_->Restore(crashed);
+  (void)disk_->SaveImage(stem + ".img");
+
+  std::ofstream txt(stem + ".txt");
+  txt << "variant: " << result.c.variant << "\n";
+  txt << "plan: " << PlanLabel(result.c.plan) << "\n";
+  txt << "failure: " << result.failure << "\n";
+  txt << "schedule (" << run.writes.size() << " writes):\n";
+  for (std::size_t i = 0; i < run.writes.size(); ++i) {
+    const ScheduleEntry& e = run.writes[i];
+    txt << (i == result.c.plan.at_write_index ? " >" : "  ") << i
+        << "\tlba " << e.lba << "\tx" << e.sectors << "\tbatch " << e.batch
+        << "\t" << e.op << "\n";
+  }
+  txt << "steps:\n";
+  for (std::size_t s = 0; s < run.bounds.size(); ++s) {
+    txt << "  step " << s << ": writes [" << run.bounds[s].writes_before
+        << ", " << run.bounds[s].writes_after << ")\n";
+  }
+}
+
+}  // namespace cedar::crash

@@ -1,0 +1,62 @@
+// The scripted workload driven by the crash harness (and the in-memory
+// model of what it does to the file system).
+//
+// The harness needs a DETERMINISTIC op sequence: the recording run and
+// every crash replay must issue bit-identical disk schedules, so the
+// workload is a fixed list of steps rather than a random generator. The
+// standard script exercises the paper's operation mix — create, in-place
+// write, version replacement (Cedar's "rename": create version v+1 with
+// keep=1 so the old version is pruned), delete, touch — with explicit
+// Force() steps marking the durability boundaries the oracle reasons
+// about, and a final orderly Shutdown whose home-flush batch gives the
+// reorder enumerator a big IoScheduler batch to cut.
+
+#ifndef CEDAR_CRASH_WORKLOAD_H_
+#define CEDAR_CRASH_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fsapi/file_system.h"
+#include "src/util/status.h"
+
+namespace cedar::crash {
+
+struct Step {
+  enum class Kind : std::uint8_t {
+    kCreate,     // CreateFile(name, data) — a new highest version
+    kSetKeep,    // SetKeep(name, keep)
+    kOverwrite,  // Open + Write(offset, data) + Close
+    kDelete,     // DeleteFile(name)
+    kTouch,      // Touch(name)
+    kForce,      // Force() — a durability boundary for the oracle
+    kShutdown,   // orderly Shutdown (final step only)
+  };
+  Kind kind = Kind::kForce;
+  std::string name;
+  std::uint16_t keep = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+};
+
+// Deterministic content bytes (same pattern everywhere in the harness).
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed);
+
+// The standard create/write/rename/delete script described above.
+std::vector<Step> StandardWorkload();
+
+// Executes one step against a file system, returning the first error.
+Status ExecuteStep(fs::FileSystem* fs, const Step& step);
+
+// The model state the workload implies: name -> current content. Apply()
+// mirrors exactly what ExecuteStep does to the real file system.
+struct FileModel {
+  std::map<std::string, std::vector<std::uint8_t>> files;
+  void Apply(const Step& step);
+};
+
+}  // namespace cedar::crash
+
+#endif  // CEDAR_CRASH_WORKLOAD_H_

@@ -11,7 +11,7 @@
 namespace cedar::obs {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '1'};
+constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '2'};
 constexpr std::string_view kNoContext = "(none)";
 
 }  // namespace
@@ -60,8 +60,8 @@ std::string_view DiskTracer::CurrentOp() const {
 void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
                         DiskOpKind kind, std::uint64_t start_us,
                         std::uint64_t seek_us, std::uint64_t rotational_us,
-                        std::uint64_t transfer_us,
-                        std::uint64_t controller_us) {
+                        std::uint64_t transfer_us, std::uint64_t controller_us,
+                        std::uint32_t batch) {
   TraceEvent ev;
   ev.seq = next_seq_++;
   ev.start_us = start_us;
@@ -73,6 +73,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   ev.transfer_us = transfer_us;
   ev.controller_us = controller_us;
   ev.op_id = op_stack_.empty() ? 0 : op_stack_.back();
+  ev.batch = batch;
 
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
@@ -143,6 +144,7 @@ std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
     w.U64(ev.transfer_us);
     w.U64(ev.controller_us);
     w.U32(ev.op_id);
+    w.U32(ev.batch);
   }
   return w.Take();
 }
@@ -186,6 +188,7 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     ev.transfer_us = r.U64();
     ev.controller_us = r.U64();
     ev.op_id = r.U32();
+    ev.batch = r.U32();
     if (!r.ok()) {
       return MakeError(ErrorCode::kCorruptMetadata, "truncated trace event");
     }
@@ -243,10 +246,11 @@ Status DiskTracer::DumpJsonl(const std::string& path) const {
         "{\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64
         ",\"op\":\"%s\",\"kind\":\"%s\",\"lba\":%u,\"sectors\":%u,"
         "\"seek_us\":%" PRIu64 ",\"rot_us\":%" PRIu64 ",\"xfer_us\":%" PRIu64
-        ",\"ctl_us\":%" PRIu64 "}\n",
+        ",\"ctl_us\":%" PRIu64 ",\"batch\":%u}\n",
         ev.seq, ev.start_us, std::string(OpName(ev.op_id)).c_str(),
         std::string(DiskOpKindName(ev.kind)).c_str(), ev.lba, ev.sectors,
-        ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us);
+        ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us,
+        ev.batch);
     out << line;
   }
   out.flush();

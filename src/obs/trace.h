@@ -55,6 +55,12 @@ struct TraceEvent {
   // Index into the tracer's op-name table; 0 is the reserved "(none)"
   // context for requests issued outside any scoped FS operation.
   std::uint32_t op_id = 0;
+  // Scheduler-batch identity: requests issued inside one IoScheduler::Flush
+  // share a nonzero id (unique per disk); 0 means the request was issued
+  // directly, outside any batch. Requests within one batch have no ordering
+  // guarantee against each other — the crash harness uses this to enumerate
+  // device-level reorderings a power failure could expose.
+  std::uint32_t batch = 0;
 
   std::uint64_t TotalUs() const {
     return seek_us + rotational_us + transfer_us + controller_us;
@@ -101,11 +107,12 @@ class DiskTracer {
   // Innermost active context, or "(none)".
   std::string_view CurrentOp() const;
 
-  // Records one serviced disk request under the current op context.
+  // Records one serviced disk request under the current op context. `batch`
+  // is the scheduler-batch id (0 = issued outside any batch).
   void Record(std::uint32_t lba, std::uint32_t sectors, DiskOpKind kind,
               std::uint64_t start_us, std::uint64_t seek_us,
               std::uint64_t rotational_us, std::uint64_t transfer_us,
-              std::uint64_t controller_us);
+              std::uint64_t controller_us, std::uint32_t batch = 0);
 
   // Events still in the ring, oldest first.
   std::vector<TraceEvent> Events() const;
@@ -119,7 +126,7 @@ class DiskTracer {
   // All op classes with at least one request, sorted by name.
   std::vector<std::pair<std::string, OpClassAggregate>> Aggregates() const;
 
-  // Serialization. The binary format is versioned ("CEDTRC01") and carries
+  // Serialization. The binary format is versioned ("CEDTRC02") and carries
   // the op-name table plus the ring contents; LoadBinary reconstructs a
   // tracer whose Events()/Aggregates() reflect the dumped ring.
   Status DumpBinary(const std::string& path) const;

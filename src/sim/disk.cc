@@ -78,7 +78,7 @@ void SimDisk::AccountRequest(Lba start, std::uint32_t count, bool is_write,
                                : obs::DiskOpKind::kRead);
     tracer_->Record(start, count, kind, issued_at, service.seek_us,
                     service.rotational_us, service.transfer_us,
-                    service.controller_us);
+                    service.controller_us, current_batch_);
   }
   if (metrics_.busy_us != nullptr) {
     if (label_only) {
@@ -109,12 +109,27 @@ Status SimDisk::CheckLabels(Lba start, std::span<const Label> expected) {
   return OkStatus();
 }
 
+bool SimDisk::ConsumeTransientReadFault(Lba start, std::uint32_t count) {
+  auto it = transient_read_faults_.lower_bound(start);
+  if (it == transient_read_faults_.end() || it->first >= start + count) {
+    return false;
+  }
+  if (--it->second == 0) {
+    transient_read_faults_.erase(it);
+  }
+  return true;
+}
+
 Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
                      std::vector<std::uint32_t>* bad) {
   CEDAR_CHECK(out.size() % kSectorSize == 0);
   const auto count = static_cast<std::uint32_t>(out.size() / kSectorSize);
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
   AccountRequest(start, count, /*is_write=*/false, /*label_only=*/false);
+  if (ConsumeTransientReadFault(start, count)) {
+    return MakeError(ErrorCode::kReadTransient,
+                     "transient read error near lba " + std::to_string(start));
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
     auto dst = out.subspan(static_cast<std::size_t>(i) * kSectorSize,
@@ -135,14 +150,19 @@ Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
   return OkStatus();
 }
 
-bool SimDisk::MaybeCrashOnWrite(Lba start, std::span<const std::uint8_t> data,
-                                std::span<const Label> new_labels) {
+SimDisk::WriteOutcome SimDisk::MaybeCrashOnWrite(
+    Lba start, std::span<const std::uint8_t> data,
+    std::span<const Label> new_labels) {
   if (!crash_plan_.has_value()) {
-    return false;
+    return WriteOutcome::kProceed;
   }
-  if (crash_plan_->at_write_index > 0) {
-    --crash_plan_->at_write_index;
-    return false;
+  const std::uint64_t index = crash_writes_seen_++;
+  if (index != crash_plan_->at_write_index) {
+    const auto& drops = crash_plan_->drop_writes;
+    if (std::find(drops.begin(), drops.end(), index) != drops.end()) {
+      return WriteOutcome::kDropped;
+    }
+    return WriteOutcome::kProceed;
   }
   // Tear the write: a prefix of sectors is transferred, then 0-2 sectors are
   // damaged at the cut, and nothing after the cut is touched.
@@ -165,17 +185,21 @@ bool SimDisk::MaybeCrashOnWrite(Lba start, std::span<const std::uint8_t> data,
   }
   crashed_ = true;
   crash_plan_.reset();
-  return true;
+  return WriteOutcome::kCrashed;
 }
 
 Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
   CEDAR_CHECK(!data.empty() && data.size() % kSectorSize == 0);
   const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
-  if (MaybeCrashOnWrite(start, data, {})) {
+  const WriteOutcome outcome = MaybeCrashOnWrite(start, data, {});
+  if (outcome == WriteOutcome::kCrashed) {
     return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
   }
   AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+  if (outcome == WriteOutcome::kDropped) {
+    return OkStatus();  // acked, but the medium never saw it
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
     std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
@@ -194,6 +218,10 @@ Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
   // Microcode checks the label as each sector arrives; charge one request.
   AccountRequest(start, count, /*is_write=*/false, /*label_only=*/false);
+  if (ConsumeTransientReadFault(start, count)) {
+    return MakeError(ErrorCode::kReadTransient,
+                     "transient read error near lba " + std::to_string(start));
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
     if (damaged_[lba]) {
@@ -229,10 +257,14 @@ Status SimDisk::WriteLabeled(Lba start, std::span<const std::uint8_t> data,
       return check;
     }
   }
-  if (MaybeCrashOnWrite(start, data, new_labels)) {
+  const WriteOutcome outcome = MaybeCrashOnWrite(start, data, new_labels);
+  if (outcome == WriteOutcome::kCrashed) {
     return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
   }
   AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+  if (outcome == WriteOutcome::kDropped) {
+    return OkStatus();  // acked, but the medium never saw it
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
     std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
@@ -291,6 +323,15 @@ void SimDisk::DamageTrack(std::uint32_t cylinder, std::uint32_t head) {
   }
 }
 
+void SimDisk::InjectTransientReadError(Lba lba, std::uint32_t failures) {
+  CEDAR_CHECK(lba < geometry_.TotalSectors());
+  if (failures == 0) {
+    transient_read_faults_.erase(lba);
+    return;
+  }
+  transient_read_faults_[lba] = failures;
+}
+
 void SimDisk::WildWrite(Lba lba, std::uint64_t seed) {
   CEDAR_CHECK(lba < geometry_.TotalSectors());
   Rng rng(seed);
@@ -303,7 +344,27 @@ void SimDisk::WildWrite(Lba lba, std::uint64_t seed) {
 }
 
 namespace {
-constexpr char kImageMagic[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '1'};
+// v02 appends crash/fault-injection state after the damage map so that a
+// crashed disk dumped by the harness replays bit-identically when reloaded.
+constexpr char kImageMagicV1[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '1'};
+constexpr char kImageMagicV2[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '2'};
+
+void PutU32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t GetU32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::uint64_t GetU64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
 }  // namespace
 
 Status SimDisk::SaveImage(const std::string& path) const {
@@ -311,7 +372,7 @@ Status SimDisk::SaveImage(const std::string& path) const {
   if (!out) {
     return MakeError(ErrorCode::kInternal, "cannot open " + path);
   }
-  out.write(kImageMagic, sizeof(kImageMagic));
+  out.write(kImageMagicV2, sizeof(kImageMagicV2));
   const std::uint32_t header[3] = {geometry_.cylinders, geometry_.heads,
                                    geometry_.sectors_per_track};
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
@@ -327,6 +388,25 @@ Status SimDisk::SaveImage(const std::string& path) const {
     const std::uint8_t bad = damaged_[lba] ? 1 : 0;
     out.write(reinterpret_cast<const char*>(&bad), 1);
   }
+  const std::uint8_t crashed = crashed_ ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&crashed), 1);
+  const std::uint8_t has_plan = crash_plan_.has_value() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&has_plan), 1);
+  if (crash_plan_.has_value()) {
+    PutU64(out, crash_plan_->at_write_index);
+    PutU32(out, crash_plan_->sectors_completed);
+    PutU32(out, crash_plan_->sectors_damaged);
+    PutU32(out, static_cast<std::uint32_t>(crash_plan_->drop_writes.size()));
+    for (const std::uint64_t drop : crash_plan_->drop_writes) {
+      PutU64(out, drop);
+    }
+  }
+  PutU64(out, crash_writes_seen_);
+  PutU32(out, static_cast<std::uint32_t>(transient_read_faults_.size()));
+  for (const auto& [lba, failures] : transient_read_faults_) {
+    PutU32(out, lba);
+    PutU32(out, failures);
+  }
   out.flush();
   if (!out) {
     return MakeError(ErrorCode::kInternal, "write failed: " + path);
@@ -341,7 +421,11 @@ Status SimDisk::LoadImage(const std::string& path) {
   }
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0) {
+  const bool is_v1 =
+      in && std::memcmp(magic, kImageMagicV1, sizeof(magic)) == 0;
+  const bool is_v2 =
+      in && std::memcmp(magic, kImageMagicV2, sizeof(magic)) == 0;
+  if (!is_v1 && !is_v2) {
     return MakeError(ErrorCode::kCorruptMetadata, "not a cedar disk image");
   }
   std::uint32_t header[3];
@@ -364,17 +448,105 @@ Status SimDisk::LoadImage(const std::string& path) {
     in.read(reinterpret_cast<char*>(&bad), 1);
     damaged_[lba] = bad != 0;
   }
+  crashed_ = false;
+  crash_plan_.reset();
+  crash_writes_seen_ = 0;
+  transient_read_faults_.clear();
+  if (is_v2) {
+    std::uint8_t crashed = 0;
+    in.read(reinterpret_cast<char*>(&crashed), 1);
+    crashed_ = crashed != 0;
+    std::uint8_t has_plan = 0;
+    in.read(reinterpret_cast<char*>(&has_plan), 1);
+    if (has_plan != 0) {
+      CrashPlan plan;
+      plan.at_write_index = GetU64(in);
+      plan.sectors_completed = GetU32(in);
+      plan.sectors_damaged = GetU32(in);
+      const std::uint32_t ndrops = GetU32(in);
+      if (!in || ndrops > (1u << 20)) {
+        return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
+      }
+      plan.drop_writes.reserve(ndrops);
+      for (std::uint32_t i = 0; i < ndrops; ++i) {
+        plan.drop_writes.push_back(GetU64(in));
+      }
+      crash_plan_ = plan;
+    }
+    crash_writes_seen_ = GetU64(in);
+    const std::uint32_t nfaults = GetU32(in);
+    if (!in || nfaults > geometry_.TotalSectors()) {
+      return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
+    }
+    for (std::uint32_t i = 0; i < nfaults; ++i) {
+      const Lba lba = GetU32(in);
+      const std::uint32_t failures = GetU32(in);
+      transient_read_faults_[lba] = failures;
+    }
+  }
   if (!in) {
     return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
   }
-  crashed_ = false;
-  crash_plan_.reset();
   return OkStatus();
 }
 
 void SimDisk::ArmCrash(const CrashPlan& plan) {
   CEDAR_CHECK(plan.sectors_damaged <= 2);
+  for (const std::uint64_t drop : plan.drop_writes) {
+    CEDAR_CHECK(drop < plan.at_write_index);
+  }
   crash_plan_ = plan;
+  crash_writes_seen_ = 0;
+}
+
+DiskSnapshot SimDisk::Snapshot() const {
+  DiskSnapshot snap;
+  snap.data = data_;
+  snap.labels = labels_;
+  snap.damaged = damaged_;
+  snap.crashed = crashed_;
+  snap.crash_plan = crash_plan_;
+  snap.crash_writes_seen = crash_writes_seen_;
+  snap.transient_read_faults = transient_read_faults_;
+  return snap;
+}
+
+void SimDisk::Restore(const DiskSnapshot& snapshot) {
+  CEDAR_CHECK(snapshot.data.size() == data_.size());
+  CEDAR_CHECK(snapshot.labels.size() == labels_.size());
+  CEDAR_CHECK(snapshot.damaged.size() == damaged_.size());
+  data_ = snapshot.data;
+  labels_ = snapshot.labels;
+  damaged_ = snapshot.damaged;
+  crashed_ = snapshot.crashed;
+  crash_plan_ = snapshot.crash_plan;
+  crash_writes_seen_ = snapshot.crash_writes_seen;
+  transient_read_faults_ = snapshot.transient_read_faults;
+}
+
+bool SimDisk::StateEquals(const DiskSnapshot& snapshot) const {
+  auto labels_equal = [](const std::vector<Label>& a,
+                         const std::vector<Label>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  };
+  auto plans_equal = [](const std::optional<CrashPlan>& a,
+                        const std::optional<CrashPlan>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    if (!a.has_value()) return true;
+    return a->at_write_index == b->at_write_index &&
+           a->sectors_completed == b->sectors_completed &&
+           a->sectors_damaged == b->sectors_damaged &&
+           a->drop_writes == b->drop_writes;
+  };
+  return data_ == snapshot.data && labels_equal(labels_, snapshot.labels) &&
+         damaged_ == snapshot.damaged && crashed_ == snapshot.crashed &&
+         plans_equal(crash_plan_, snapshot.crash_plan) &&
+         crash_writes_seen_ == snapshot.crash_writes_seen &&
+         transient_read_faults_ == snapshot.transient_read_faults;
 }
 
 }  // namespace cedar::sim

@@ -9,6 +9,7 @@
 #define CEDAR_SIM_DISK_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -45,6 +46,26 @@ struct CrashPlan {
   std::uint64_t at_write_index = 0;  // crash during the Nth write from now
   std::uint32_t sectors_completed = 0;  // sectors fully transferred first
   std::uint32_t sectors_damaged = 0;    // 0, 1 or 2 sectors damaged at cut
+  // Write indices (same numbering as at_write_index: 0-based, counted from
+  // ArmCrash) that are ACKNOWLEDGED to the host but never reach the medium.
+  // This models a device that reorders writes internally — a dropped write
+  // was scheduled after the cut, so the power failure discards it even
+  // though the host saw it complete. Every index must be < at_write_index.
+  std::vector<std::uint64_t> drop_writes;
+};
+
+// Complete device state for in-memory cloning: media contents, labels, the
+// damage map, and armed-crash/fault-injection state. The crash harness
+// snapshots a disk once and restores it before every enumerated crash
+// variant, so replays are bit-identical without touching the host FS.
+struct DiskSnapshot {
+  std::vector<std::uint8_t> data;
+  std::vector<Label> labels;
+  std::vector<bool> damaged;
+  bool crashed = false;
+  std::optional<CrashPlan> crash_plan;
+  std::uint64_t crash_writes_seen = 0;
+  std::map<Lba, std::uint32_t> transient_read_faults;
 };
 
 class SimDisk {
@@ -114,6 +135,14 @@ class SimDisk {
   // structures survive anyway thanks to cross-cylinder replication.
   void DamageTrack(std::uint32_t cylinder, std::uint32_t head);
 
+  // Injects a soft (transient) read error: the next `failures` read requests
+  // whose range covers `lba` fail with kReadTransient without transferring
+  // data, then the sector reads normally again. Models recoverable media
+  // glitches (marginal head position, vibration) as opposed to the hard
+  // damage of DamageSectors. Each failing request consumes one count and
+  // still occupies the device for a full rotation's worth of retry time.
+  void InjectTransientReadError(Lba lba, std::uint32_t failures);
+
   // Overwrites a sector's data bytes in place without updating the label —
   // models a wild write / memory smash reaching the device on label-free
   // hardware. (On labeled hardware the microcode label check would have
@@ -131,24 +160,55 @@ class SimDisk {
   void Reopen() {
     crashed_ = false;
     crash_plan_.reset();
+    crash_writes_seen_ = 0;
   }
 
   bool IsDamaged(Lba lba) const { return damaged_[lba]; }
 
+  // ---- Batch identity (set by IoScheduler around a Flush). Requests issued
+  // while a batch is open are tagged with its id in the trace; the id is
+  // unique per disk and 0 means "outside any batch".
+  void BeginBatch() { current_batch_ = ++batch_counter_; }
+  void EndBatch() { current_batch_ = 0; }
+  std::uint32_t current_batch() const { return current_batch_; }
+
+  // ---- In-memory cloning. Snapshot/Restore carry the complete device
+  // state including the damage map and any armed crash plan, so a restored
+  // disk replays the exact same crash deterministically. Restore requires
+  // matching geometry. StateEquals is the round-trip assertion used by the
+  // harness and tests.
+  DiskSnapshot Snapshot() const;
+  void Restore(const DiskSnapshot& snapshot);
+  bool StateEquals(const DiskSnapshot& snapshot) const;
+
   // ---- Image persistence: the full device state (data, labels, damage
-  // map) as a host file, so volumes survive across tool invocations.
+  // map, and crash/fault-injection state) as a host file, so volumes —
+  // including crashed ones dumped by the harness — survive across tool
+  // invocations. Format "CEDIMG02"; v01 images (no crash state) still load.
   Status SaveImage(const std::string& path) const;
   // Loads an image saved with SaveImage; the geometry must match.
   Status LoadImage(const std::string& path);
 
  private:
+  // What an armed crash plan decided about one write request.
+  enum class WriteOutcome {
+    kProceed,  // write goes through normally
+    kDropped,  // acked to the host, never persisted (reordered past the cut)
+    kCrashed,  // torn per the plan; device is now crashed
+  };
+
   Status CheckRange(Lba start, std::size_t count) const;
   Status CheckLabels(Lba start, std::span<const Label> expected);
   void AccountRequest(Lba start, std::uint32_t count, bool is_write,
                       bool label_only);
-  // Returns true if this write request crashes; performs the torn prefix.
-  bool MaybeCrashOnWrite(Lba start, std::span<const std::uint8_t> data,
-                         std::span<const Label> new_labels);
+  // Consults the armed crash plan (without mutating it) for this write
+  // request; on kCrashed the torn prefix has been applied.
+  WriteOutcome MaybeCrashOnWrite(Lba start,
+                                 std::span<const std::uint8_t> data,
+                                 std::span<const Label> new_labels);
+  // Consumes one transient-read fault covering [start, start+count) if any;
+  // returns true if the request should fail with kReadTransient.
+  bool ConsumeTransientReadFault(Lba start, std::uint32_t count);
 
   DiskGeometry geometry_;
   DiskTimingModel timing_;
@@ -177,6 +237,15 @@ class SimDisk {
 
   bool crashed_ = false;
   std::optional<CrashPlan> crash_plan_;
+  // Write requests observed since the plan was armed (the plan itself is
+  // immutable once armed, so snapshots restore an identical countdown).
+  std::uint64_t crash_writes_seen_ = 0;
+
+  // lba -> remaining transient-read failures.
+  std::map<Lba, std::uint32_t> transient_read_faults_;
+
+  std::uint32_t batch_counter_ = 0;  // last batch id handed out
+  std::uint32_t current_batch_ = 0;  // open batch, 0 = none
 };
 
 }  // namespace cedar::sim

@@ -158,6 +158,10 @@ Status IoScheduler::Flush(BatchStats* stats) {
   BatchStats batch;
   batch.requests_queued = requests_.size();
 
+  // Tag everything issued below with one batch id: requests inside a batch
+  // have no mutual ordering guarantee at the device, which is what the
+  // crash harness's reorder variants exploit.
+  disk_->BeginBatch();
   const std::vector<std::size_t> order = ServiceOrder();
   Status status = OkStatus();
   std::size_t i = 0;
@@ -179,6 +183,7 @@ Status IoScheduler::Flush(BatchStats* stats) {
     status = IssueRun(i, j - i, order, &batch);
     i = j;
   }
+  disk_->EndBatch();
   requests_.clear();
 
   batch.requests_merged = batch.requests_queued - batch.device_requests;

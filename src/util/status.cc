@@ -26,6 +26,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "LABEL_MISMATCH";
     case ErrorCode::kDeviceCrashed:
       return "DEVICE_CRASHED";
+    case ErrorCode::kReadTransient:
+      return "READ_TRANSIENT";
     case ErrorCode::kCorruptMetadata:
       return "CORRUPT_METADATA";
     case ErrorCode::kNoFreeSpace:

@@ -34,6 +34,7 @@ enum class ErrorCode : std::uint8_t {
   kSectorDamaged,     // medium error on one or two consecutive sectors
   kLabelMismatch,     // Trident label check failed (CFS robustness check)
   kDeviceCrashed,     // volume is in the post-crash state; remount required
+  kReadTransient,     // soft read error; the same request may succeed retried
 
   // File-system metadata.
   kCorruptMetadata,   // checksum / structural validation failed

@@ -1,0 +1,442 @@
+// Crash-consistency torture tests: the systematic crash-point harness
+// (src/crash) plus the fault-injection paths it leans on, end to end.
+//
+// The bounded sweep here is the tier-1 incarnation of tools/crashtest: it
+// enumerates every clean cut of the standard workload and a sampled set of
+// torn/reorder variants, recovers at each, and requires Fsd::Fsck() plus
+// the durability oracle to pass everywhere (double-crash included). The
+// remaining tests pin the satellite behaviours individually: transient
+// read errors retried then surfaced, crashed-disk snapshot/image fidelity,
+// double crash during replay, Scrub() after track loss, and regression
+// tests for the two bugs the harness work flushed out (multi-record force
+// atomicity; clean-mount VAM-save ordering).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/fsd.h"
+#include "src/core/log.h"
+#include "src/crash/harness.h"
+#include "src/crash/workload.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+
+namespace cedar::crash {
+namespace {
+
+using core::Fsd;
+using core::FsdConfig;
+
+sim::CrashPlan CleanCut(std::uint64_t at_write_index) {
+  sim::CrashPlan plan;
+  plan.at_write_index = at_write_index;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// The harness itself.
+
+TEST(CrashHarnessTest, BoundedSweepPassesPlainMode) {
+  HarnessOptions options;
+  options.vam_logging = false;
+  options.max_cases = 120;
+  options.double_crash_points = 1;
+  CrashHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->enumerated, options.max_cases);
+  EXPECT_GT(report->double_crash_cases, 0u);
+  for (const CaseResult& r : report->results) {
+    EXPECT_TRUE(r.pass) << "w" << r.c.plan.at_write_index << " ["
+                        << r.c.variant << "]: " << r.failure;
+  }
+}
+
+TEST(CrashHarnessTest, BoundedSweepPassesVamLoggingMode) {
+  HarnessOptions options;
+  options.vam_logging = true;
+  options.max_cases = 120;
+  options.double_crash_points = 1;
+  CrashHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->AllPassed()) << report->results.size() << " cases";
+}
+
+// The standard workload must keep giving the enumerator real material:
+// multi-write IoScheduler batches (otherwise the reorder variants are
+// vacuous) and a mid-workload FlushThird (log wrap). A workload or
+// scheduler change that silently loses that coverage fails here.
+TEST(CrashHarnessTest, StandardWorkloadYieldsReorderCoverage) {
+  HarnessOptions options;
+  options.max_cases = 1;  // recording alone decides this test
+  options.double_crash_points = 0;
+  CrashHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  const RecordedRun& run = report->run;
+
+  bool multi_write_batch = false;
+  for (std::size_t i = 1; i < run.writes.size(); ++i) {
+    if (run.writes[i].batch != 0 &&
+        run.writes[i].batch == run.writes[i - 1].batch) {
+      multi_write_batch = true;
+    }
+  }
+  EXPECT_TRUE(multi_write_batch)
+      << "no IoScheduler batch with >= 2 writes in the recorded schedule";
+
+  bool mid_workload_flush = false;
+  for (const ScheduleEntry& e : run.writes) {
+    mid_workload_flush = mid_workload_flush || e.op == "fsd.flush_third";
+  }
+  EXPECT_TRUE(mid_workload_flush)
+      << "the workload no longer wraps the log (no FlushThird recorded)";
+}
+
+// ---------------------------------------------------------------------------
+// Transient (soft) read errors: bounded retry, then surfaced.
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  return Pattern(n, seed);
+}
+
+FsdConfig SmallConfig() {
+  FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 64;
+  config.cache_frames = 512;
+  return config;
+}
+
+TEST(TransientReadErrorTest, RetriedWithinLimitAndCounted) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  {
+    Fsd fsd(&disk, SmallConfig());
+    ASSERT_TRUE(fsd.Format().ok());
+    ASSERT_TRUE(fsd.CreateFile("glitch", Bytes(900, 9)).ok());
+    ASSERT_TRUE(fsd.Shutdown().ok());
+  }
+  // Two soft failures on the volume root: Mount's first read hits them and
+  // must retry (limit is 3) rather than fail.
+  disk.InjectTransientReadError(/*lba=*/0, /*failures=*/2);
+  Fsd fsd(&disk, SmallConfig());
+  ASSERT_TRUE(fsd.Mount().ok());
+  EXPECT_EQ(fsd.stats().read_retries, 2u);
+  auto handle = fsd.Open("glitch");
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::uint8_t> out(handle->byte_size);
+  EXPECT_TRUE(fsd.Read(*handle, 0, out).ok());
+  EXPECT_EQ(out, Bytes(900, 9));
+}
+
+TEST(TransientReadErrorTest, ExhaustedRetriesSurfaceTheError) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  {
+    Fsd fsd(&disk, SmallConfig());
+    ASSERT_TRUE(fsd.Format().ok());
+    ASSERT_TRUE(fsd.Shutdown().ok());
+  }
+  // More failures than 1 + read_retry_limit attempts: the error surfaces.
+  disk.InjectTransientReadError(/*lba=*/0, /*failures=*/10);
+  Fsd fsd(&disk, SmallConfig());
+  Status mounted = fsd.Mount();
+  ASSERT_FALSE(mounted.ok());
+  EXPECT_EQ(mounted.code(), ErrorCode::kReadTransient);
+  EXPECT_EQ(fsd.stats().read_retries, SmallConfig().read_retry_limit);
+}
+
+// ---------------------------------------------------------------------------
+// Crashed-disk snapshot / image fidelity (the clone the harness replays
+// from must preserve damage and armed-crash state bit-for-bit).
+
+TEST(CrashedDiskCloneTest, SnapshotAndImageRoundTripPreserveCrashState) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  std::vector<std::uint8_t> sector(512, 0xAB);
+
+  sim::CrashPlan plan;
+  plan.at_write_index = 3;
+  plan.sectors_completed = 1;
+  plan.sectors_damaged = 1;
+  plan.drop_writes = {1};
+  disk.ArmCrash(plan);
+  disk.InjectTransientReadError(/*lba=*/40, /*failures=*/2);
+
+  // Writes 0..2 (write 1 dropped), then write 3 tears and crashes.
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    ASSERT_TRUE(disk.Write(10 + 2 * w, sector).ok());
+  }
+  std::vector<std::uint8_t> torn(2 * 512, 0xCD);
+  ASSERT_FALSE(disk.Write(30, torn).ok());
+  ASSERT_TRUE(disk.crashed());
+
+  const sim::DiskSnapshot snapshot = disk.Snapshot();
+  ASSERT_TRUE(disk.StateEquals(snapshot));
+
+  // In-memory restore round-trips onto a disturbed disk.
+  disk.Reopen();
+  std::vector<std::uint8_t> scratch(512);
+  ASSERT_TRUE(disk.Read(10, scratch).ok());
+  disk.Restore(snapshot);
+  EXPECT_TRUE(disk.StateEquals(snapshot));
+
+  // The on-disk image format round-trips the same state into a new device.
+  const std::string path = ::testing::TempDir() + "/crashed.img";
+  ASSERT_TRUE(disk.SaveImage(path).ok());
+  sim::SimDisk copy(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  ASSERT_TRUE(copy.LoadImage(path).ok());
+  EXPECT_TRUE(copy.StateEquals(snapshot));
+
+  // And the copy honours the restored damage map: the sector the torn cut
+  // destroyed stays unreadable after the clone.
+  copy.Reopen();  // clear crashed() but keep the damage map
+  Status read = copy.Read(31, std::span<std::uint8_t>(scratch.data(), 512));
+  EXPECT_FALSE(read.ok()) << "sector damaged by the torn cut must stay bad";
+}
+
+// ---------------------------------------------------------------------------
+// Double crash: a second cut during log replay, then recovery again.
+
+TEST(DoubleCrashTest, CrashDuringReplayThenRecoverAgain) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  {
+    Fsd fsd(&disk, SmallConfig());
+    ASSERT_TRUE(fsd.Format().ok());
+    ASSERT_TRUE(fsd.CreateFile("stable", Bytes(1300, 21)).ok());
+    ASSERT_TRUE(fsd.Force().ok());
+    // Unforced tail whose log records the first recovery replays.
+    ASSERT_TRUE(fsd.CreateFile("tail1", Bytes(800, 23)).ok());
+    ASSERT_TRUE(fsd.CreateFile("tail2", Bytes(600, 25)).ok());
+    ASSERT_TRUE(fsd.Force().ok());
+    // Crash on the in-flight create's first write.
+    disk.ArmCrash(CleanCut(0));
+    (void)fsd.CreateFile("doomed", Bytes(700, 27));
+    (void)fsd.Force();
+  }
+  ASSERT_TRUE(disk.crashed());
+
+  // First recovery, itself cut short at each of its first few writes; each
+  // truncated attempt must leave a volume the NEXT recovery fully heals.
+  for (std::uint64_t recrash = 0; recrash < 3; ++recrash) {
+    const sim::DiskSnapshot crashed = disk.Snapshot();
+    disk.Reopen();
+    disk.ArmCrash(CleanCut(recrash));
+    {
+      Fsd fsd(&disk, SmallConfig());
+      (void)fsd.Mount();  // may fail — the cut may land mid-replay
+    }
+    if (disk.crashed()) {
+      disk.Reopen();
+      Fsd fsd(&disk, SmallConfig());
+      ASSERT_TRUE(fsd.Mount().ok()) << "recrash@" << recrash;
+      auto fsck = fsd.Fsck();
+      ASSERT_TRUE(fsck.ok());
+      EXPECT_TRUE(fsck->Clean()) << fsck->Summary();
+      auto handle = fsd.Open("stable");
+      ASSERT_TRUE(handle.ok()) << "forced file lost after double crash";
+      std::vector<std::uint8_t> out(handle->byte_size);
+      ASSERT_TRUE(fsd.Read(*handle, 0, out).ok());
+      EXPECT_EQ(out, Bytes(1300, 21));
+    }
+    disk.Restore(crashed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scrub() after DamageTrack(): reconcile a volume that lost a whole track.
+
+TEST(ScrubAfterDamageTest, ScrubHealsTrackLossEndToEnd) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  {
+    Fsd setup(&disk, SmallConfig());
+    ASSERT_TRUE(setup.Format().ok());
+    for (int i = 0; i < 30; ++i) {
+      // Whole-sector sizes so the in-place restore below never needs a
+      // read-modify-write against a still-damaged sector.
+      ASSERT_TRUE(
+          setup.CreateFile("t/f" + std::to_string(i), Bytes(1024, 31)).ok());
+    }
+    ASSERT_TRUE(setup.Shutdown().ok());
+  }
+
+  // Lose the whole first track of the PRIMARY name table: Mount's preload
+  // repairs it from the replica region.
+  Fsd fsd(&disk, SmallConfig());
+  const auto nt_chs = disk.geometry().ToChs(fsd.layout().nta_base);
+  disk.DamageTrack(nt_chs.cylinder, nt_chs.head);
+  ASSERT_TRUE(fsd.Mount().ok());
+
+  // Then lose a track of the small-file area (leader pages + data) and let
+  // Scrub rebuild the leaders from the surviving name-table entries.
+  const auto data_chs = disk.geometry().ToChs(fsd.layout().data_low);
+  disk.DamageTrack(data_chs.cylinder, data_chs.head);
+  auto report = fsd.Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GE(report->leaders_repaired, 1u);
+
+  // Every file opens again (metadata healed); restore the lost data bytes
+  // in place, after which contents verify and fsck finds nothing.
+  for (int i = 0; i < 30; ++i) {
+    auto handle = fsd.Open("t/f" + std::to_string(i));
+    ASSERT_TRUE(handle.ok()) << i;
+    ASSERT_TRUE(fsd.Write(*handle, 0, Bytes(1024, 31)).ok()) << i;
+    std::vector<std::uint8_t> out(handle->byte_size);
+    ASSERT_TRUE(fsd.Read(*handle, 0, out).ok()) << i;
+    EXPECT_EQ(out, Bytes(1024, 31)) << i;
+  }
+  auto fsck = fsd.Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->Clean()) << fsck->Summary();
+
+  // And the healed volume survives a clean restart.
+  ASSERT_TRUE(fsd.Shutdown().ok());
+  Fsd again(&disk, SmallConfig());
+  ASSERT_TRUE(again.Mount().ok());
+  auto fsck2 = again.Fsck();
+  ASSERT_TRUE(fsck2.ok());
+  EXPECT_TRUE(fsck2->Clean()) << fsck2->Summary();
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a force spanning several log records must be atomic. Before
+// the AppendGroup rework each record was its own commit group, so a crash
+// between a group's records replayed a prefix of the force — exactly the
+// torn multi-page B-tree update the log exists to prevent.
+
+core::PageImage GroupPage(sim::Lba primary, std::uint8_t fill) {
+  core::PageImage page;
+  page.primary = primary;
+  page.secondary = primary + 4096;
+  page.data.assign(512, fill);
+  return page;
+}
+
+TEST(ForceGroupAtomicityTest, CrashBetweenGroupRecordsReplaysNothing) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  core::FsdLog log(&disk, /*base=*/100, /*size_sectors=*/400);
+  ASSERT_TRUE(log.Format(1).ok());
+
+  // 60 pages = two records (52 + 8). The group append issues one disk
+  // write per record; cutting cleanly at the second (write index 1 after
+  // arming) leaves record 1 of 2 on disk.
+  std::vector<core::PageImage> group;
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    group.push_back(GroupPage(1000 + 2 * p, static_cast<std::uint8_t>(p)));
+  }
+  ASSERT_LE(group.size(), log.MaxGroupPages());
+  disk.ArmCrash(CleanCut(1));
+  auto third = log.AppendGroup(group, [](int) { return OkStatus(); });
+  ASSERT_FALSE(third.ok());
+  ASSERT_TRUE(disk.crashed());
+
+  disk.Reopen();
+  core::FsdLog recovered(&disk, /*base=*/100, /*size_sectors=*/400);
+  std::uint64_t pages_delivered = 0;
+  ASSERT_TRUE(recovered
+                  .Recover(
+                      [&](std::uint64_t,
+                          const std::vector<core::PageImage>& pages) {
+                        pages_delivered += pages.size();
+                        return OkStatus();
+                      },
+                      /*boot_count=*/2)
+                  .ok());
+  EXPECT_EQ(pages_delivered, 0u)
+      << "a partial commit group must be discarded, not replayed";
+}
+
+TEST(ForceGroupAtomicityTest, IntactGroupReplaysEveryPage) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  core::FsdLog log(&disk, /*base=*/100, /*size_sectors=*/400);
+  ASSERT_TRUE(log.Format(1).ok());
+  std::vector<core::PageImage> group;
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    group.push_back(GroupPage(1000 + 2 * p, static_cast<std::uint8_t>(p)));
+  }
+  ASSERT_TRUE(log.AppendGroup(group, [](int) { return OkStatus(); }).ok());
+
+  core::FsdLog recovered(&disk, /*base=*/100, /*size_sectors=*/400);
+  std::uint64_t pages_delivered = 0;
+  std::uint64_t records = 0;
+  ASSERT_TRUE(recovered
+                  .Recover(
+                      [&](std::uint64_t,
+                          const std::vector<core::PageImage>& pages) {
+                        ++records;
+                        pages_delivered += pages.size();
+                        return OkStatus();
+                      },
+                      /*boot_count=*/2)
+                  .ok());
+  EXPECT_EQ(records, 2u);
+  EXPECT_EQ(pages_delivered, 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: the clean-mount crash window with VAM logging. Mount used to
+// write the unclean volume root BEFORE saving the fresh VAM base, so a
+// crash between the two left a stale base whose LSN exceeded every delta
+// the new boot would log — recovery then skipped those deltas and the VAM
+// could hand out live sectors. Every write of the clean-mount sequence is
+// a crash point here; each must recover to a volume that fsck passes and
+// that allocates fresh space correctly.
+
+TEST(CleanMountCrashWindowTest, EveryMountWriteIsASafeCrashPoint) {
+  FsdConfig config = SmallConfig();
+  config.vam_logging = true;
+
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  {
+    Fsd fsd(&disk, config);
+    ASSERT_TRUE(fsd.Format().ok());
+    ASSERT_TRUE(fsd.CreateFile("keep", Bytes(1100, 41)).ok());
+    ASSERT_TRUE(fsd.Shutdown().ok());
+  }
+  const sim::DiskSnapshot clean = disk.Snapshot();
+
+  for (std::uint64_t w = 0;; ++w) {
+    disk.Restore(clean);
+    disk.Reopen();
+    disk.ArmCrash(CleanCut(w));
+    {
+      Fsd fsd(&disk, config);
+      Status mounted = fsd.Mount();
+      if (mounted.ok() && !disk.crashed()) {
+        // Past the end of the mount sequence; also run the workload's
+        // first steps so a crash point just after mount is covered too.
+        break;
+      }
+    }
+    ASSERT_TRUE(disk.crashed());
+    disk.Reopen();
+    Fsd fsd(&disk, config);
+    ASSERT_TRUE(fsd.Mount().ok()) << "w" << w;
+    auto fsck = fsd.Fsck();
+    ASSERT_TRUE(fsck.ok()) << "w" << w;
+    EXPECT_TRUE(fsck->Clean()) << "w" << w << ": " << fsck->Summary();
+
+    // The allocation probe: if the VAM resurrected stale state, this
+    // create lands on live sectors and corrupts "keep".
+    ASSERT_TRUE(fsd.CreateFile("probe", Bytes(1500, 43)).ok()) << "w" << w;
+    ASSERT_TRUE(fsd.Force().ok());
+    auto handle = fsd.Open("keep");
+    ASSERT_TRUE(handle.ok()) << "w" << w;
+    std::vector<std::uint8_t> out(handle->byte_size);
+    ASSERT_TRUE(fsd.Read(*handle, 0, out).ok()) << "w" << w;
+    EXPECT_EQ(out, Bytes(1100, 41)) << "w" << w;
+  }
+}
+
+}  // namespace
+}  // namespace cedar::crash
