@@ -61,14 +61,19 @@ ColdScanCost MeasureColdScan(std::uint32_t read_ahead, bool double_read) {
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  const bool smoke = SmokeMode(argc, argv);
+  const std::vector<std::uint32_t> read_aheads =
+      smoke ? std::vector<std::uint32_t>{1u, 8u}
+            : std::vector<std::uint32_t>{1u, 4u, 8u, 16u};
+  const int burst = smoke ? 120 : 500;
   std::printf("FSD design-choice ablations\n\n");
 
   std::printf("Cold name-table scans (100 files, 512-byte tree pages):\n");
   std::printf("%12s %12s %10s %10s %12s\n", "read-ahead", "double-read",
               "list I/Os", "list ms", "100-open I/Os");
-  for (std::uint32_t read_ahead : {1u, 4u, 8u, 16u}) {
+  for (std::uint32_t read_ahead : read_aheads) {
     for (bool double_read : {true, false}) {
       ColdScanCost cost = MeasureColdScan(read_ahead, double_read);
       std::printf("%12u %12s %10llu %10.1f %12llu\n", read_ahead,
@@ -82,7 +87,7 @@ int main() {
       "the double-read check on; read-ahead 1 shows the one-sector-page\n"
       "penalty the clustering hides.)\n\n");
 
-  std::printf("Commit-group overhead (same 500-create burst):\n");
+  std::printf("Commit-group overhead (same %d-create burst):\n", burst);
   std::printf("%14s %12s %12s\n", "group records", "log sectors",
               "log records");
   for (std::uint32_t group : {1u, 2u, 4u}) {
@@ -92,7 +97,7 @@ int main() {
     config.group_commit_interval = 3600 * cedar::sim::kSecond;
     cedar::core::Fsd fsd(&rig.disk, config);
     CEDAR_CHECK_OK(fsd.Format());
-    for (int i = 0; i < 500; ++i) {
+    for (int i = 0; i < burst; ++i) {
       CEDAR_CHECK_OK(
           fsd.CreateFile("g/s" + std::to_string(i),
                          std::vector<std::uint8_t>(500, 1))

@@ -23,6 +23,11 @@
 namespace cedar::bench {
 namespace {
 
+// Churn scale; main() shrinks these together under --smoke so the volume
+// still reaches the same relative fullness.
+int g_steps = 40000;
+std::size_t g_target_files = 9300;
+
 struct FragResult {
   std::uint32_t largest_free_run = 0;
   double avg_big_file_extents = 0;
@@ -52,9 +57,10 @@ FragResult RunChurn(bool split_enabled) {
 
   // Churn: create and delete with the paper's size distribution, holding
   // the volume close to full so free space must be reused.
-  constexpr int kSteps = 40000;
+  const int kSteps = g_steps;
   for (int step = 0; step < kSteps; ++step) {
-    if (live.size() < 9300 || (live.size() < 9500 && rng.Chance(0.5))) {
+    if (live.size() < g_target_files ||
+        (live.size() < g_target_files + 200 && rng.Chance(0.5))) {
       const std::uint64_t size = sizes.Sample(rng);
       const std::string name = "churn/f" + std::to_string(step);
       auto created =
@@ -143,8 +149,12 @@ FragResult RunChurn(bool split_enabled) {
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_steps = 5000;
+    g_target_files = 2000;
+  }
   std::printf("Section 5.6: allocator fragmentation ablation\n\n");
 
   FragResult with_split = RunChurn(/*split_enabled=*/true);

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -18,6 +20,44 @@
 #include "src/util/check.h"
 
 namespace cedar::bench {
+
+// ---- Command-line helpers shared by every bench binary. ----
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses `--name N` or `--name=N`; returns `fallback` when absent.
+inline int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return std::atoi(argv[i] + flag_len + 1);
+    }
+  }
+  return fallback;
+}
+
+// Every bench binary accepts --smoke: a reduced workload that exercises the
+// same code paths in a couple of seconds, so CI can run the whole bench
+// suite as a build-health check. Smoke numbers are NOT the paper
+// reproduction — run without the flag for the real tables.
+inline bool SmokeMode(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  if (smoke) {
+    std::printf("[smoke mode: reduced workload, not the paper numbers]\n");
+  }
+  return smoke;
+}
 
 // The simulated "Dorado with a Trident-class 300 MB drive".
 struct Rig {

@@ -39,6 +39,12 @@ struct FlushResult {
   std::uint64_t shutdown_writes = 0;
 };
 
+// Churn scale; main() shrinks these under --smoke.
+int g_files = 1200;
+int g_rounds = 30;
+int g_touches = 400;
+int g_recreates = 60;
+
 // A dirty-page-heavy churn: a working set of files spread over many
 // name-table pages, re-touched and re-created every round so each group
 // commit captures a wide set of pages and the log cycles thirds steadily.
@@ -53,7 +59,7 @@ FlushResult Run(bool batched) {
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
 
-  constexpr int kFiles = 1200;
+  const int kFiles = g_files;
   constexpr int kDirs = 40;
   auto name = [](int i) {
     return "d" + std::to_string(i % kDirs) + "/f" + std::to_string(i);
@@ -65,11 +71,11 @@ FlushResult Run(bool batched) {
   CEDAR_CHECK_OK(fsd.Force());
 
   Rng rng(17);
-  for (int round = 0; round < 30; ++round) {
-    for (int i = 0; i < 400; ++i) {
+  for (int round = 0; round < g_rounds; ++round) {
+    for (int i = 0; i < g_touches; ++i) {
       CEDAR_CHECK_OK(fsd.Touch(name(static_cast<int>(rng.Next() % kFiles))));
     }
-    for (int i = 0; i < 60; ++i) {
+    for (int i = 0; i < g_recreates; ++i) {
       const int victim = static_cast<int>(rng.Next() % kFiles);
       CEDAR_CHECK_OK(
           fsd.CreateFile(name(victim), std::vector<std::uint8_t>(900, 4))
@@ -112,8 +118,14 @@ void PrintMode(const char* label, const FlushResult& r) {
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_files = 300;
+    g_rounds = 8;
+    g_touches = 120;
+    g_recreates = 20;
+  }
   std::printf(
       "Writeback scheduler: third-flush + shutdown cost, batched vs "
       "unbatched\n\n");

@@ -15,7 +15,12 @@
 // interval, i.e. logging without group commit (every operation forces its
 // own record) — the comparison that isolates the batching effect.
 
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/fsd.h"
@@ -73,11 +78,130 @@ BulkResult RunBulk(cedar::sim::Micros interval) {
   return result;
 }
 
+// ---- Concurrent clients: the amortization curve. ----
+//
+// The paper's argument for group commit is that one log write commits the
+// work of *many* clients: "the log force that commits one client's update
+// commits everyone's". With the commit daemon enabled, N client threads
+// that each update a file and then demand durability should rendezvous on
+// a shared force, so forces-per-metadata-update falls like 1/N as N grows.
+
+class RoundBarrier {
+ public:
+  explicit RoundBarrier(int parties) : parties_(parties) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t round = round_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++round_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return round_ != round; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+struct CurvePoint {
+  int threads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t forces = 0;          // log-writing group commits
+  std::uint64_t force_requests = 0;  // waits that had to flag new work
+  std::uint64_t piggybacked = 0;     // waits satisfied by a shared force
+  double forces_per_update = 0;
+};
+
+// Each of `threads` clients runs `rounds` iterations of: update my file,
+// wait for everyone, Force(). The barrier models the bursty multi-client
+// pattern (a build system's parallel compile steps finishing together);
+// without it the threads drift apart and the rendezvous is less sharp.
+CurvePoint RunConcurrent(int threads, int rounds) {
+  Rig rig;
+  cedar::core::FsdConfig config;
+  config.commit_daemon = true;
+  cedar::core::Fsd fsd(&rig.disk, config);
+  CEDAR_CHECK_OK(fsd.Format());
+  for (int t = 0; t < threads; ++t) {
+    CEDAR_CHECK_OK(fsd.CreateFile("amo.t" + std::to_string(t),
+                                  std::vector<std::uint8_t>(600, 0x5A))
+                       .status());
+  }
+  CEDAR_CHECK_OK(fsd.Force());
+  const cedar::core::FsdStats before = fsd.stats();
+
+  RoundBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string name = "amo.t" + std::to_string(t);
+      for (int r = 0; r < rounds; ++r) {
+        CEDAR_CHECK_OK(fsd.Touch(name));
+        barrier.Wait();  // every client has an update outstanding
+        CEDAR_CHECK_OK(fsd.Force());
+        barrier.Wait();  // round boundary
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  const cedar::core::FsdStats after = fsd.stats();
+  CurvePoint point;
+  point.threads = threads;
+  point.updates = static_cast<std::uint64_t>(threads) * rounds;
+  point.forces = after.forces - before.forces;
+  point.force_requests = after.force_requests - before.force_requests;
+  point.piggybacked = after.piggybacked - before.piggybacked;
+  point.forces_per_update =
+      static_cast<double>(point.forces) / static_cast<double>(point.updates);
+  CEDAR_CHECK_OK(fsd.Shutdown());
+  return point;
+}
+
+void PrintCurveHeader() {
+  std::printf("%8s %8s %8s %10s %12s %14s\n", "threads", "updates",
+              "forces", "requests", "piggybacked", "forces/update");
+}
+
+void PrintCurvePoint(const CurvePoint& p) {
+  std::printf("%8d %8llu %8llu %10llu %12llu %14.3f\n", p.threads,
+              (unsigned long long)p.updates, (unsigned long long)p.forces,
+              (unsigned long long)p.force_requests,
+              (unsigned long long)p.piggybacked, p.forces_per_update);
+}
+
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  const bool smoke = SmokeMode(argc, argv);
+  const int curve_rounds = smoke ? 10 : 40;
+
+  // --threads N: just the concurrent amortization measurement for one N,
+  // with the commit daemon on. Used by CI and for plotting the curve.
+  const int threads_flag = IntFlag(argc, argv, "--threads", 0);
+  if (threads_flag > 0) {
+    std::printf("Group commit amortization, %d concurrent clients\n\n",
+                threads_flag);
+    CurvePoint point = RunConcurrent(threads_flag, curve_rounds);
+    PrintCurveHeader();
+    PrintCurvePoint(point);
+    std::printf("\nforces-per-metadata-update: %.3f\n",
+                point.forces_per_update);
+    return 0;
+  }
+
   std::printf("Section 5.4: group commit (bulk subdirectory updates)\n\n");
 
   BulkResult batched = RunBulk(500 * cedar::sim::kMillisecond);
@@ -111,11 +235,18 @@ int main() {
   std::printf("Ablation: commit interval sweep\n");
   std::printf("%-12s %10s %10s %12s %10s\n", "interval", "meta I/O",
               "total I/O", "log records", "avg rec");
-  for (cedar::sim::Micros interval :
-       {cedar::sim::Micros{0}, 50 * cedar::sim::kMillisecond,
-        100 * cedar::sim::kMillisecond, 250 * cedar::sim::kMillisecond,
-        500 * cedar::sim::kMillisecond, 1000 * cedar::sim::kMillisecond,
-        2000 * cedar::sim::kMillisecond}) {
+  const std::vector<cedar::sim::Micros> intervals =
+      smoke ? std::vector<cedar::sim::Micros>{cedar::sim::Micros{0},
+                                              500 * cedar::sim::kMillisecond,
+                                              2000 * cedar::sim::kMillisecond}
+            : std::vector<cedar::sim::Micros>{
+                  cedar::sim::Micros{0}, 50 * cedar::sim::kMillisecond,
+                  100 * cedar::sim::kMillisecond,
+                  250 * cedar::sim::kMillisecond,
+                  500 * cedar::sim::kMillisecond,
+                  1000 * cedar::sim::kMillisecond,
+                  2000 * cedar::sim::kMillisecond};
+  for (cedar::sim::Micros interval : intervals) {
     BulkResult r = RunBulk(interval);
     std::printf("%8llu ms %10llu %10llu %12llu %9.1fs\n",
                 (unsigned long long)(interval / 1000),
@@ -123,5 +254,22 @@ int main() {
                 (unsigned long long)r.total_ios,
                 (unsigned long long)r.log_records, r.avg_record_sectors);
   }
-  return 0;
+
+  std::printf(
+      "\nConcurrent clients: amortization via the commit daemon\n"
+      "(each client: update own file -> rendezvous -> Force)\n");
+  PrintCurveHeader();
+  std::vector<CurvePoint> curve;
+  for (int threads : {1, 4, 16}) {
+    curve.push_back(RunConcurrent(threads, curve_rounds));
+    PrintCurvePoint(curve.back());
+  }
+  bool strictly_decreasing = true;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    strictly_decreasing &=
+        curve[i].forces_per_update < curve[i - 1].forces_per_update;
+  }
+  std::printf("forces-per-metadata-update strictly decreasing: %s\n",
+              strictly_decreasing ? "yes" : "NO");
+  return strictly_decreasing ? 0 : 1;
 }

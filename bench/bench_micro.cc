@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -141,4 +142,24 @@ BENCHMARK(BM_FsdOpenWarm);
 }  // namespace
 }  // namespace cedar
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a --smoke flag: CI runs every benchmark
+// for a hundredth of a second just to prove the hot paths still work.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.01";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.erase(args.begin() + i);
+      args.push_back(min_time);
+      break;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

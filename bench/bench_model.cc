@@ -14,10 +14,13 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/model/validate.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::model;
+  // The validation suite is already small; --smoke runs it unchanged.
+  (void)cedar::bench::SmokeMode(argc, argv);
   std::printf(
       "Section 6: analytical model vs traced simulator measurement\n"
       "(paper: predictions within ~5%%)\n\n");

@@ -13,6 +13,7 @@
 // untenable "as disk capacity continues to grow".
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/bsd/ffs.h"
@@ -59,14 +60,25 @@ double FsdRecoverySeconds(std::uint32_t files, double* replay_s,
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  const bool smoke = SmokeMode(argc, argv);
+  // Smoke mode shrinks populations ~10x; recovery still exercises log
+  // replay, VAM rebuild, scavenge, and fsck.
+  const std::vector<std::uint32_t> sweep =
+      smoke ? std::vector<std::uint32_t>{300u, 1000u}
+            : std::vector<std::uint32_t>{1000u, 3000u, 6000u, 10000u};
+  const std::vector<std::uint32_t> ablation =
+      smoke ? std::vector<std::uint32_t>{1000u}
+            : std::vector<std::uint32_t>{3000u, 10000u};
+  const std::uint32_t scavenge_files = smoke ? 600u : 6000u;
+
   std::printf("Recovery benchmarks (300 MB simulated volume)\n\n");
 
   std::printf("FSD crash recovery vs population:\n");
   std::printf("%8s %10s %10s %10s\n", "files", "replay s", "rebuild s",
               "total s");
-  for (std::uint32_t files : {1000u, 3000u, 6000u, 10000u}) {
+  for (std::uint32_t files : sweep) {
     double replay = 0;
     double rebuild = 0;
     const double total = FsdRecoverySeconds(files, &replay, &rebuild);
@@ -79,7 +91,7 @@ int main() {
               "recovery time from about twenty five seconds to about two\n"
               "seconds\"):\n");
   std::printf("%8s %10s %10s\n", "files", "rebuild s", "vamlog s");
-  for (std::uint32_t files : {3000u, 10000u}) {
+  for (std::uint32_t files : ablation) {
     double replay = 0;
     double rebuild = 0;
     const double slow = FsdRecoverySeconds(files, &replay, &rebuild, false);
@@ -95,7 +107,8 @@ int main() {
     cedar::Rng rng(5);
     cedar::workload::SizeDistribution sizes;
     CEDAR_CHECK_OK(
-        cedar::workload::PopulateVolume(&cfs, "v/", 6000, sizes, rng)
+        cedar::workload::PopulateVolume(&cfs, "v/", scavenge_files, sizes,
+                                        rng)
             .status());
     const double seconds = TimedMs(rig.clock, [&] {
                              cedar::cfs::Cfs recovered(
@@ -103,8 +116,8 @@ int main() {
                              CEDAR_CHECK_OK(recovered.Scavenge());
                            }) /
                            1000.0;
-    std::printf("CFS scavenge, 6000 files: %.0f s (paper: 3600+ s)\n",
-                seconds);
+    std::printf("CFS scavenge, %u files: %.0f s (paper: 3600+ s)\n",
+                scavenge_files, seconds);
   }
   {
     Rig rig;
@@ -113,7 +126,8 @@ int main() {
     cedar::Rng rng(5);
     cedar::workload::SizeDistribution sizes;
     CEDAR_CHECK_OK(
-        cedar::workload::PopulateVolume(&ffs, "v/", 6000, sizes, rng)
+        cedar::workload::PopulateVolume(&ffs, "v/", scavenge_files, sizes,
+                                        rng)
             .status());
     const double seconds =
         TimedMs(rig.clock,
@@ -123,8 +137,8 @@ int main() {
                   CEDAR_CHECK_OK(recovered.Fsck());
                 }) /
         1000.0;
-    std::printf("4.3 BSD fsck, 6000 files: %.0f s (paper: ~420 s)\n",
-                seconds);
+    std::printf("4.3 BSD fsck, %u files: %.0f s (paper: ~420 s)\n",
+                scavenge_files, seconds);
   }
   return 0;
 }

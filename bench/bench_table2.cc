@@ -26,9 +26,17 @@
 namespace cedar::bench {
 namespace {
 
-constexpr int kOps = 100;
 constexpr std::size_t kSmallBytes = 1000;
 constexpr std::size_t kLargeBytes = 1024 * 1024;
+
+// Workload scale; main() shrinks these under --smoke.
+struct Scale {
+  int ops = 100;        // timed repetitions of the small operations
+  int large_ops = 8;    // timed repetitions of the 1 MB operations
+  std::uint32_t pre_files = 300;   // volume population before timing
+  std::uint32_t fill_files = 6000; // population for the recovery row
+};
+Scale g_scale;
 
 std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t seed) {
   std::vector<std::uint8_t> out(n);
@@ -78,14 +86,14 @@ OpTimes RunOps(Rig& rig, Fs& file_system, const std::function<void()>& between,
   };
 
   // Small creates.
-  times.small_create = average(kOps, [&](int i) {
+  times.small_create = average(g_scale.ops, [&](int i) {
     CEDAR_CHECK_OK(file_system
                        .CreateFile("bench/s" + std::to_string(i),
                                    Payload(kSmallBytes, 1))
                        .status());
   });
   // Large creates (fewer: they are slow).
-  times.large_create = average(8, [&](int i) {
+  times.large_create = average(g_scale.large_ops, [&](int i) {
     CEDAR_CHECK_OK(file_system
                        .CreateFile("bench/L" + std::to_string(i),
                                    Payload(kLargeBytes, 2))
@@ -94,11 +102,11 @@ OpTimes RunOps(Rig& rig, Fs& file_system, const std::function<void()>& between,
   // Cold caches for the open/read phase.
   freshen();
   // Opens of distinct existing files.
-  times.open = average(kOps, [&](int i) {
+  times.open = average(g_scale.ops, [&](int i) {
     CEDAR_CHECK_OK(file_system.Open("bench/s" + std::to_string(i)).status());
   });
   // Open + read first page, distinct files (fresh handles, cold leaders).
-  times.open_read = average(kOps, [&](int i) {
+  times.open_read = average(g_scale.ops, [&](int i) {
     auto handle = file_system.Open("bench/s" + std::to_string(i));
     CEDAR_CHECK_OK(handle.status());
     std::vector<std::uint8_t> out(512);
@@ -108,16 +116,16 @@ OpTimes RunOps(Rig& rig, Fs& file_system, const std::function<void()>& between,
   auto big = file_system.Open("bench/L0");
   CEDAR_CHECK_OK(big.status());
   Rng rng(7);
-  times.read_page = average(kOps, [&](int) {
+  times.read_page = average(g_scale.ops, [&](int) {
     std::vector<std::uint8_t> out(512);
     const std::uint64_t page = rng.Below(kLargeBytes / 512);
     CEDAR_CHECK_OK(file_system.Read(*big, page * 512, out));
   });
   // Deletes.
-  times.small_delete = average(kOps, [&](int i) {
+  times.small_delete = average(g_scale.ops, [&](int i) {
     CEDAR_CHECK_OK(file_system.DeleteFile("bench/s" + std::to_string(i)));
   });
-  times.large_delete = average(8, [&](int i) {
+  times.large_delete = average(g_scale.large_ops, [&](int i) {
     CEDAR_CHECK_OK(file_system.DeleteFile("bench/L" + std::to_string(i)));
   });
   return times;
@@ -131,7 +139,8 @@ OpTimes BenchCfs() {
   Rng rng(42);
   workload::SizeDistribution sizes;
   CEDAR_CHECK_OK(
-      workload::PopulateVolume(&cfs, "pre/", 300, sizes, rng).status());
+      workload::PopulateVolume(&cfs, "pre/", g_scale.pre_files, sizes, rng)
+          .status());
 
   OpTimes times = RunOps(rig, cfs, [] {}, [&] {
     CEDAR_CHECK_OK(cfs.Shutdown());
@@ -140,7 +149,8 @@ OpTimes BenchCfs() {
 
   // Crash recovery = scavenge of a moderately full volume.
   CEDAR_CHECK_OK(
-      workload::PopulateVolume(&cfs, "fill/", 6000, sizes, rng).status());
+      workload::PopulateVolume(&cfs, "fill/", g_scale.fill_files, sizes, rng)
+          .status());
   times.recovery_ms = TimedMs(rig.clock, [&] {
     cfs::Cfs recovered(&rig.disk, cfs::CfsConfig{});
     CEDAR_CHECK_OK(recovered.Scavenge());
@@ -155,7 +165,8 @@ OpTimes BenchFsd() {
   Rng rng(42);
   workload::SizeDistribution sizes;
   CEDAR_CHECK_OK(
-      workload::PopulateVolume(&fsd, "pre/", 300, sizes, rng).status());
+      workload::PopulateVolume(&fsd, "pre/", g_scale.pre_files, sizes, rng)
+          .status());
 
   // Between ops: 20 ms of user think time so the half-second group commit
   // fires at its natural rate during the run.
@@ -171,7 +182,8 @@ OpTimes BenchFsd() {
       });
 
   CEDAR_CHECK_OK(
-      workload::PopulateVolume(&fsd, "fill/", 6000, sizes, rng).status());
+      workload::PopulateVolume(&fsd, "fill/", g_scale.fill_files, sizes, rng)
+          .status());
   // Crash (no shutdown): log replay + VAM reconstruction.
   rig.disk.CrashNow();
   rig.disk.Reopen();
@@ -185,8 +197,12 @@ OpTimes BenchFsd() {
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_scale = Scale{.ops = 15, .large_ops = 2, .pre_files = 60,
+                    .fill_files = 600};
+  }
   std::printf("Table 2: CFS to FSD, wall clock ms (simulated Dorado)\n");
   OpTimes cfs = BenchCfs();
   OpTimes fsd = BenchFsd();

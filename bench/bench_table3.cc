@@ -22,6 +22,9 @@
 namespace cedar::bench {
 namespace {
 
+// main() shrinks this under --smoke.
+int g_files = 100;  // files per phase (also the MakeDo module count)
+
 std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t seed) {
   std::vector<std::uint8_t> out(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -43,7 +46,7 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
   IoCounts counts;
 
   counts.creates = CountedIos(rig.disk, [&] {
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0; i < g_files; ++i) {
       CEDAR_CHECK_OK(file_system
                          .CreateFile("dir/s" + std::to_string(i),
                                      Payload(1000, 1))
@@ -59,12 +62,12 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
   counts.list = CountedIos(rig.disk, [&] {
     auto list = file_system.List("dir/");
     CEDAR_CHECK_OK(list.status());
-    CEDAR_CHECK(list->size() == 100);
+    CEDAR_CHECK(list->size() == static_cast<std::size_t>(g_files));
   });
 
   freshen();  // cold caches: reading files is a separate benchmark run
   counts.reads = CountedIos(rig.disk, [&] {
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0; i < g_files; ++i) {
       auto handle = file_system.Open("dir/s" + std::to_string(i));
       CEDAR_CHECK_OK(handle.status());
       std::vector<std::uint8_t> out(1000);
@@ -76,7 +79,7 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
   // MakeDo: a metadata-intensive build pass over 100 modules.
   Rng rng(7);
   workload::MakeDoConfig makedo;
-  makedo.modules = 100;
+  makedo.modules = static_cast<std::uint32_t>(g_files);
   makedo.stale_fraction = 0.2;
   CEDAR_CHECK_OK(workload::MakeDoSetup(&file_system, "build/", makedo, rng));
   CEDAR_CHECK_OK(file_system.Force());
@@ -94,8 +97,11 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_files = 25;
+  }
   std::printf("Table 3: CFS to FSD, disk I/O's (simulated Dorado)\n");
 
   IoCounts cfs_counts;

@@ -22,6 +22,9 @@
 namespace cedar::bench {
 namespace {
 
+// main() shrinks this under --smoke.
+int g_files = 100;
+
 std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t seed) {
   std::vector<std::uint8_t> out(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -41,7 +44,7 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
              const std::function<void()>& freshen) {
   IoCounts counts;
   counts.creates = CountedIos(rig.disk, [&] {
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0; i < g_files; ++i) {
       CEDAR_CHECK_OK(file_system
                          .CreateFile("dir/s" + std::to_string(i),
                                      Payload(1000, 1))
@@ -54,11 +57,11 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
   counts.list = CountedIos(rig.disk, [&] {
     auto list = file_system.List("dir/");
     CEDAR_CHECK_OK(list.status());
-    CEDAR_CHECK(list->size() == 100);
+    CEDAR_CHECK(list->size() == static_cast<std::size_t>(g_files));
   });
   freshen();
   counts.reads = CountedIos(rig.disk, [&] {
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0; i < g_files; ++i) {
       auto handle = file_system.Open("dir/s" + std::to_string(i));
       CEDAR_CHECK_OK(handle.status());
       std::vector<std::uint8_t> out(1000);
@@ -71,8 +74,11 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_files = 25;
+  }
   std::printf("Table 4: FSD and 4.3 BSD, disk I/O's (simulated hardware)\n");
 
   IoCounts fsd_counts;

@@ -27,7 +27,8 @@
 namespace cedar::bench {
 namespace {
 
-constexpr std::size_t kFileBytes = 2 * 1024 * 1024;
+// main() shrinks the transfer under --smoke.
+std::size_t g_file_bytes = 2 * 1024 * 1024;
 constexpr std::size_t kChunk = 64 * 1024;
 
 struct Utilization {
@@ -62,7 +63,7 @@ template <typename Fs>
 std::pair<Utilization, Utilization> RunTransfer(Rig& rig, Fs& file_system) {
   Utilization write_util = Measure(rig, [&] {
     CEDAR_CHECK_OK(
-        file_system.CreateFile("big.data", Payload(kFileBytes)).status());
+        file_system.CreateFile("big.data", Payload(g_file_bytes)).status());
   });
   auto handle = file_system.Open("big.data");
   CEDAR_CHECK_OK(handle.status());
@@ -72,7 +73,7 @@ std::pair<Utilization, Utilization> RunTransfer(Rig& rig, Fs& file_system) {
 
   Utilization read_util = Measure(rig, [&] {
     std::vector<std::uint8_t> chunk(kChunk);
-    for (std::size_t off = 0; off < kFileBytes; off += kChunk) {
+    for (std::size_t off = 0; off < g_file_bytes; off += kChunk) {
       CEDAR_CHECK_OK(file_system.Read(*handle, off, chunk));
     }
   });
@@ -82,12 +83,15 @@ std::pair<Utilization, Utilization> RunTransfer(Rig& rig, Fs& file_system) {
 }  // namespace
 }  // namespace cedar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (SmokeMode(argc, argv)) {
+    g_file_bytes = 512 * 1024;
+  }
   std::printf(
       "Table 5: FSD and 4.2 BSD, %% CPU and %% disk bandwidth "
       "(sequential %zu KB transfer)\n",
-      kFileBytes / 1024);
+      g_file_bytes / 1024);
 
   Utilization fsd_read;
   Utilization fsd_write;

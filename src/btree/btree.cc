@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <string>
 
 #include "src/util/check.h"
@@ -273,6 +274,7 @@ std::uint32_t BTree::MaxEntrySize() const {
 }
 
 Status BTree::Create() {
+  std::unique_lock<std::shared_mutex> lock(tree_mu_);
   std::vector<std::uint8_t> buf(page_size_);
   Node node(&buf);
   node.Init(/*leaf=*/true);
@@ -296,6 +298,7 @@ Status BTree::StoreNode(PageId id, std::span<const std::uint8_t> buf) const {
 
 Status BTree::Insert(std::span<const std::uint8_t> key,
                      std::span<const std::uint8_t> value) {
+  std::unique_lock<std::shared_mutex> lock(tree_mu_);
   if (key.empty() || key.size() + value.size() > MaxEntrySize()) {
     return MakeError(ErrorCode::kInvalidArgument, "entry too large for page");
   }
@@ -456,6 +459,7 @@ Status BTree::InsertRec(PageId page, std::span<const std::uint8_t> key,
 }
 
 Result<Value> BTree::Lookup(std::span<const std::uint8_t> key) {
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
   PageId page = root_;
   for (;;) {
     std::vector<std::uint8_t> buf;
@@ -474,6 +478,7 @@ Result<Value> BTree::Lookup(std::span<const std::uint8_t> key) {
 }
 
 Status BTree::Erase(std::span<const std::uint8_t> key) {
+  std::unique_lock<std::shared_mutex> lock(tree_mu_);
   EraseResult result;
   return EraseRec(root_, key, /*is_root=*/true, &result);
 }
@@ -549,6 +554,7 @@ Status BTree::EraseRec(PageId page, std::span<const std::uint8_t> key,
 
 Status BTree::Scan(std::span<const std::uint8_t> from,
                    const ScanVisitor& visit) {
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
   bool keep_going = true;
   return ScanRec(root_, from, visit, &keep_going);
 }
@@ -583,6 +589,7 @@ Status BTree::ScanRec(PageId page, std::span<const std::uint8_t> from,
 }
 
 Result<std::uint64_t> BTree::Count() {
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
   std::uint64_t count = 0;
   CEDAR_RETURN_IF_ERROR(CountRec(root_, &count));
   return count;
@@ -604,6 +611,7 @@ Status BTree::CountRec(PageId page, std::uint64_t* count) {
 }
 
 Status BTree::CollectPages(std::vector<PageId>* out) {
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
   out->clear();
   return CollectRec(root_, out);
 }
@@ -624,6 +632,7 @@ Status BTree::CollectRec(PageId page, std::vector<PageId>* out) {
 }
 
 Status BTree::CheckInvariants() {
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
   int leaf_depth = -1;
   return CheckRec(root_, std::nullopt, std::nullopt, 0, &leaf_depth);
 }

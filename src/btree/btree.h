@@ -16,6 +16,12 @@
 //   - Deletion removes empty leaves and collapses internal nodes that lose
 //     all separators; there is no eager rebalancing (matching the original
 //     Cedar B-tree package's behaviour, which tolerated slack).
+//   - Thread safety: a tree-level reader/writer lock. Mutators (Create,
+//     Insert, Erase) take it exclusively; Lookup/Scan/Count/CollectPages/
+//     CheckInvariants take it shared, so concurrent readers proceed in
+//     parallel. Page-level latching is not needed: the backing PageStore is
+//     itself thread-safe, and FSD additionally shards name-table operations
+//     by name hash above this layer (DESIGN.md section 4e).
 
 #ifndef CEDAR_BTREE_BTREE_H_
 #define CEDAR_BTREE_BTREE_H_
@@ -23,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -107,6 +114,9 @@ class BTree {
                   int* leaf_depth);
   Status CountRec(PageId page, std::uint64_t* count);
 
+  // Exclusive for mutators, shared for read paths; the *Rec helpers run
+  // with it held by the public entry point.
+  mutable std::shared_mutex tree_mu_;
   PageStore* store_;
   PageId root_;
   std::uint32_t page_size_;

@@ -19,12 +19,22 @@
 // directly on frames, so the cache cannot maintain a separate pinned list —
 // and eviction walks from the LRU end past them; the walk is O(1) in the
 // common case and bounded by the dirty population in the worst case.
+//
+// Thread safety: an internal mutex guards the map, the LRU list, and the
+// hit/miss/eviction counters, so structural operations are safe from any
+// thread. The *contents* of a returned Frame are NOT covered — callers
+// mutate frames under their file system's own operation lock (for FSD,
+// every Find/Insert and subsequent frame access happens inside the core
+// lock; the cache mutex only keeps structure and stats coherent with
+// observers like Stats()). Returned Frame pointers stay valid until the
+// frame is erased, which the owning file system also serializes.
 
 #ifndef CEDAR_CACHE_PAGE_CACHE_H_
 #define CEDAR_CACHE_PAGE_CACHE_H_
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +70,7 @@ class PageCache {
 
   // Returns the frame for `key`, or nullptr on miss. Bumps LRU.
   Frame* Find(std::uint32_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = frames_.find(key);
     if (it == frames_.end()) {
       ++misses_;
@@ -73,6 +84,7 @@ class PageCache {
   // Inserts (or replaces) the frame for `key`, evicting a clean LRU frame
   // if over capacity.
   Frame& Insert(std::uint32_t key, std::vector<std::uint8_t> data) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = frames_.find(key);
     if (it == frames_.end()) {
       MaybeEvict();
@@ -93,6 +105,7 @@ class PageCache {
   }
 
   void Erase(std::uint32_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = frames_.find(key);
     if (it == frames_.end()) {
       return;
@@ -102,28 +115,47 @@ class PageCache {
   }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     frames_.clear();
     head_ = nullptr;
     tail_ = nullptr;
   }
 
-  // Iterates all frames (order unspecified). The visitor may mutate frames
-  // but must not insert or erase.
+  // Iterates all frames (order unspecified) with the cache lock held. The
+  // visitor may mutate frames but must not insert, erase, or reenter the
+  // cache.
   void ForEach(const std::function<void(std::uint32_t, Frame&)>& visit) {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [key, frame] : frames_) {
       visit(key, frame);
     }
   }
 
-  std::size_t size() const { return frames_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
   // Frames examined by eviction walks; evictions == steps when every
   // eviction found a clean frame at the exact LRU tail.
-  std::uint64_t eviction_scan_steps() const { return eviction_scan_steps_; }
+  std::uint64_t eviction_scan_steps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return eviction_scan_steps_;
+  }
 
  private:
+  // LRU/eviction helpers run with mu_ held by the public entry point.
   void PushFront(Frame* frame) {
     frame->lru_prev = nullptr;
     frame->lru_next = head_;
@@ -182,6 +214,7 @@ class PageCache {
     // third flush will make frames clean again.
   }
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::unordered_map<std::uint32_t, Frame> frames_;
   Frame* head_ = nullptr;  // most recently used

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -55,6 +56,10 @@ std::string FsckReport::Summary() const {
 }
 
 Result<FsckReport> Fsd::Fsck() {
+  // Serialize against client operations (and the commit daemon): the audit
+  // must see a consistent cache/VAM/tree snapshot, and the self-repairing
+  // reads below share the disk with everyone else.
+  std::lock_guard<std::mutex> lock(op_mu_);
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }

@@ -202,6 +202,10 @@ FsdStats Fsd::stats() const {
   s.home_write_requests = c_.home_write_requests->value();
   s.home_writes_coalesced = c_.home_writes_coalesced->value();
   s.read_retries = c_.read_retries->value();
+  const CommitQueue::Stats queue_stats = log_->commit_queue().stats();
+  s.force_requests = queue_stats.force_requests;
+  s.piggybacked = queue_stats.piggybacked;
+  s.daemon_forces = queue_stats.daemon_forces;
   return s;
 }
 
@@ -218,11 +222,12 @@ Status Fsd::ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
   return status;
 }
 
-Fsd::~Fsd() = default;
+Fsd::~Fsd() { StopDaemon(); }
 
 const LogStats& Fsd::log_stats() const { return log_->stats(); }
 
 bool Fsd::HasPendingUpdates() const {
+  std::lock_guard<std::mutex> lock(op_mu_);
   bool pending = false;
   const_cast<cache::PageCache&>(cache_).ForEach(
       [&](std::uint32_t, cache::Frame& frame) {
@@ -317,6 +322,19 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
 }
 
 Status Fsd::Format() {
+  StopDaemon();
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    status = FormatLocked();
+  }
+  if (status.ok()) {
+    StartDaemon();
+  }
+  return status;
+}
+
+Status Fsd::FormatLocked() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.format");
   boot_count_ = 0;
   uid_counter_ = 0;
@@ -326,7 +344,7 @@ Status Fsd::Format() {
 
   CEDAR_RETURN_IF_ERROR(log_->Format(0));
 
-  vam_ = Vam(disk_->geometry().TotalSectors(), config_.nt_pages);
+  vam_.Reset(disk_->geometry().TotalSectors(), config_.nt_pages);
   vam_.free().SetRange(0, vam_.free().size(), true);
   CEDAR_RETURN_IF_ERROR(MarkSystemRegionsUsed());
   vam_.nt_free().SetRange(0, config_.nt_pages, true);
@@ -356,10 +374,23 @@ Status Fsd::Format() {
   CEDAR_RETURN_IF_ERROR(
       vam_.Save(disk_, layout_.vam_base, layout_.vam_sectors, 0));
   CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/true));
-  return Mount();
+  return MountLocked();
 }
 
 Status Fsd::Mount() {
+  StopDaemon();
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    status = MountLocked();
+  }
+  if (status.ok()) {
+    StartDaemon();
+  }
+  return status;
+}
+
+Status Fsd::MountLocked() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.mount");
   bool clean = false;
   CEDAR_RETURN_IF_ERROR(ReadVolumeRoot(&clean));
@@ -368,7 +399,7 @@ Status Fsd::Mount() {
   uid_counter_ = 0;
   cache_.Clear();
   open_files_.clear();
-  vam_ = Vam(disk_->geometry().TotalSectors(), config_.nt_pages);
+  vam_.Reset(disk_->geometry().TotalSectors(), config_.nt_pages);
 
   bool need_rebuild = false;
   if (!clean) {
@@ -747,27 +778,109 @@ Status Fsd::ForceLog() {
   return status;
 }
 
-Status Fsd::MaybeGroupCommit() {
+Status Fsd::MaybeGroupCommit(std::uint64_t* await_seq) {
   if (!mounted_ || in_force_) {
     return OkStatus();
   }
-  if (disk_->clock().now() - last_force_ >= config_.group_commit_interval) {
+  if (disk_->clock().now() - last_force_ < config_.group_commit_interval) {
+    return OkStatus();
+  }
+  if (!config_.commit_daemon || await_seq == nullptr) {
     return ForceLog();
   }
+  // Daemon mode: hand the expired deadline to the flusher thread. The
+  // wrapper blocks on the commit queue AFTER dropping every lock, so the
+  // daemon (which needs op_mu_) can run, and concurrent ops that hit the
+  // same deadline piggyback on the one force.
+  CommitQueue& queue = log_->commit_queue();
+  const std::uint64_t latest = queue.latest_update();
+  if (latest <= queue.durable_seq()) {
+    // Nothing new since the last force — the inline path would have been
+    // an empty force. Shadow sectors can't be pending either: a delete
+    // always bumps the update sequence, so anything shadowed is already
+    // covered by a completed force (which committed it). Restart the timer.
+    c_.empty_forces->Increment();
+    vam_.CommitShadow();
+    last_force_ = disk_->clock().now();
+    return OkStatus();
+  }
+  *await_seq = latest;
   return OkStatus();
 }
 
-Status Fsd::Tick() { return MaybeGroupCommit(); }
+Status Fsd::Tick() {
+  std::uint64_t await_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(&await_seq));
+  }
+  return AwaitCommit(await_seq);
+}
 
 Status Fsd::Force() {
   obs::ScopedLatency op_latency(h_.force, &disk_->clock());
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
-  return ForceLog();
+  if (!config_.commit_daemon) {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    if (!mounted_) {
+      return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+    }
+    return ForceLog();
+  }
+  // Group commit (paper section 3.2): block until a daemon force covers
+  // every update recorded so far. If a force already in flight covers the
+  // sequence, this wait rides on it — one log write commits them all.
+  CommitQueue& queue = log_->commit_queue();
+  return queue.AwaitDurable(queue.latest_update());
+}
+
+void Fsd::StartDaemon() {
+  if (!config_.commit_daemon || commit_daemon_.joinable()) {
+    return;
+  }
+  log_->commit_queue().Restart();
+  commit_daemon_ = std::thread([this] { DaemonLoop(); });
+}
+
+void Fsd::StopDaemon() {
+  if (!commit_daemon_.joinable()) {
+    return;
+  }
+  log_->commit_queue().Stop();
+  commit_daemon_.join();
+}
+
+void Fsd::DaemonLoop() {
+  CommitQueue& queue = log_->commit_queue();
+  while (queue.AwaitWork()) {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    // Mutators hold op_mu_, so this capture is exact: every update numbered
+    // <= seq is in the dirty set the force below writes to the log.
+    const std::uint64_t seq = queue.latest_update();
+    queue.BeginForce(seq);
+    Status status = mounted_ ? ForceLog()
+                             : MakeError(ErrorCode::kFailedPrecondition,
+                                         "not mounted");
+    queue.Publish(seq, status);
+  }
+}
+
+Status Fsd::AwaitCommit(std::uint64_t seq) {
+  if (seq == 0) {
+    return OkStatus();
+  }
+  return log_->commit_queue().AwaitDurable(seq);
 }
 
 Status Fsd::Shutdown() {
+  StopDaemon();
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return ShutdownLocked();
+}
+
+Status Fsd::ShutdownLocked() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.shutdown");
   if (!mounted_) {
     return OkStatus();
@@ -874,7 +987,22 @@ Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
                                     std::span<const std::uint8_t> contents) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.create");
   obs::ScopedLatency op_latency(h_.create, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  auto result = [&]() -> Result<fs::FileUid> {
+    std::scoped_lock locks(NameShard(name), op_mu_);
+    return CreateFileLocked(name, contents, &await_seq);
+  }();
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Result<fs::FileUid> Fsd::CreateFileLocked(
+    std::string_view name, std::span<const std::uint8_t> contents,
+    std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -950,13 +1078,28 @@ Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
   if (keep > 0) {
     CEDAR_RETURN_IF_ERROR(PruneVersions(name, keep));
   }
+  BumpUpdateSeq();
   return entry.uid;
 }
 
 Result<fs::FileHandle> Fsd::Open(std::string_view name) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.open");
   obs::ScopedLatency op_latency(h_.open, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  auto result = [&]() -> Result<fs::FileHandle> {
+    std::scoped_lock locks(NameShard(name), op_mu_);
+    return OpenLocked(name, &await_seq);
+  }();
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Result<fs::FileHandle> Fsd::OpenLocked(std::string_view name,
+                                       std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -977,6 +1120,7 @@ Result<fs::FileHandle> Fsd::Open(std::string_view name) {
 
 Status Fsd::Close(const fs::FileHandle& file) {
   ChargeOp();
+  std::lock_guard<std::mutex> lock(op_mu_);
   // Dropping the open state forgets the "leader verified" bit; a later
   // reopen re-verifies by piggybacking on the first read. Unknown handles
   // are fine: a remount already closed everything implicitly.
@@ -988,7 +1132,23 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
                  std::span<std::uint8_t> out) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.read");
   obs::ScopedLatency op_latency(h_.read, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    result = ReadLocked(file, offset, out, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
+                       std::span<std::uint8_t> out,
+                       std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -1061,7 +1221,23 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
                   std::span<const std::uint8_t> data) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.write");
   obs::ScopedLatency op_latency(h_.write, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    result = WriteLocked(file, offset, data, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::WriteLocked(const fs::FileHandle& file, std::uint64_t offset,
+                        std::span<const std::uint8_t> data,
+                        std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -1137,7 +1313,22 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
 Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.extend");
   obs::ScopedLatency op_latency(h_.extend, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    result = ExtendLocked(file, bytes, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
+                         std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   auto it = open_files_.find(file.uid);
   if (it == open_files_.end()) {
@@ -1185,7 +1376,11 @@ Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
     frame.dirty_since_log = true;
   }
   entry.byte_size = new_size;
-  return PutEntry(state.name, state.version, entry);
+  Status status = PutEntry(state.name, state.version, entry);
+  if (status.ok()) {
+    BumpUpdateSeq();
+  }
+  return status;
 }
 
 Status Fsd::DeleteVersion(std::string_view name, std::uint32_t version,
@@ -1213,13 +1408,32 @@ Status Fsd::DeleteVersion(std::string_view name, std::uint32_t version,
 Status Fsd::DeleteFile(std::string_view name) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.delete");
   obs::ScopedLatency op_latency(h_.del, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::scoped_lock locks(NameShard(name), op_mu_);
+    result = DeleteFileLocked(name, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::DeleteFileLocked(std::string_view name,
+                             std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
-  return DeleteVersion(name, found.first, found.second);
+  Status status = DeleteVersion(name, found.first, found.second);
+  if (status.ok()) {
+    BumpUpdateSeq();
+  }
+  return status;
 }
 
 Result<std::vector<std::pair<std::uint32_t, FsdEntry>>> Fsd::ListVersions(
@@ -1258,22 +1472,55 @@ Status Fsd::PruneVersions(std::string_view name, std::uint16_t keep) {
 Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.setkeep");
   obs::ScopedLatency op_latency(h_.setkeep, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::scoped_lock locks(NameShard(name), op_mu_);
+    result = SetKeepLocked(name, keep, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::SetKeepLocked(std::string_view name, std::uint16_t keep,
+                          std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
   entry.keep = keep;
   CEDAR_RETURN_IF_ERROR(PutEntry(name, version, entry));
+  Status status = OkStatus();
   if (keep > 0) {
-    return PruneVersions(name, keep);
+    status = PruneVersions(name, keep);
   }
-  return OkStatus();
+  if (status.ok()) {
+    BumpUpdateSeq();
+  }
+  return status;
 }
 
 Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.list");
   obs::ScopedLatency op_latency(h_.list, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  auto result = [&]() -> Result<std::vector<fs::FileInfo>> {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    return ListLocked(prefix, &await_seq);
+  }();
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Result<std::vector<fs::FileInfo>> Fsd::ListLocked(std::string_view prefix,
+                                                  std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   // Properties live in the name table: no per-file I/O (section 5.1).
   std::vector<fs::FileInfo> out;
@@ -1307,7 +1554,21 @@ Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
 Status Fsd::Touch(std::string_view name) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.touch");
   obs::ScopedLatency op_latency(h_.touch, &disk_->clock());
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit());
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    std::scoped_lock locks(NameShard(name), op_mu_);
+    result = TouchLocked(name, &await_seq);
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::TouchLocked(std::string_view name, std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
@@ -1315,11 +1576,20 @@ Status Fsd::Touch(std::string_view name) {
   // A pure hot-spot update: dirties a cached page, no synchronous I/O; the
   // last-used-time of cached remote files is the paper's example of data
   // that tolerates half a second of uncertainty.
-  return PutEntry(name, version, entry);
+  Status status = PutEntry(name, version, entry);
+  if (status.ok()) {
+    BumpUpdateSeq();
+  }
+  return status;
 }
 
 Result<Fsd::ScrubReport> Fsd::Scrub() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.scrub");
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return ScrubLocked();
+}
+
+Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
@@ -1430,6 +1700,11 @@ Result<Fsd::ScrubReport> Fsd::Scrub() {
 
 Result<fs::FileInfo> Fsd::Stat(std::string_view name) {
   ChargeOp();
+  std::scoped_lock locks(NameShard(name), op_mu_);
+  return StatLocked(name);
+}
+
+Result<fs::FileInfo> Fsd::StatLocked(std::string_view name) {
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
   return fs::FileInfo{.name = std::string(name),

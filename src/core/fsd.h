@@ -30,11 +30,16 @@
 #ifndef CEDAR_CORE_FSD_H_
 #define CEDAR_CORE_FSD_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/btree/btree.h"
@@ -77,6 +82,14 @@ struct FsdStats {
 
   // Soft read errors absorbed by the bounded retry path.
   std::uint64_t read_retries = 0;
+
+  // Group-commit daemon rendezvous (commit_daemon mode only; all zero when
+  // forces run inline). force_requests counts AwaitDurable calls that had
+  // to flag new work; piggybacked counts waits satisfied by a force already
+  // in flight — the paper's "one log write commits them all".
+  std::uint64_t force_requests = 0;
+  std::uint64_t piggybacked = 0;
+  std::uint64_t daemon_forces = 0;
 };
 
 // One finding from Fsd::Fsck(). Warnings are conditions the system repairs
@@ -115,6 +128,15 @@ struct FsckReport {
   std::string Summary() const;
 };
 
+// Thread safety (DESIGN.md section 4e): every public operation is safe to
+// call from any number of client threads. Name-keyed mutators first take
+// the shard mutex for their name (serializing same-name races with a
+// stable order), then the core lock `op_mu_`, which serializes all
+// file-system state: the name table, VAM, allocator, open-file table,
+// pending force sets, and all disk traffic. With commit_daemon enabled, a
+// background thread performs log forces; clients block on the log's
+// CommitQueue holding NO locks, so a force in flight commits every waiter
+// it covers with a single log write (group commit, paper section 3.2).
 class Fsd : public fs::FileSystem {
  public:
   explicit Fsd(sim::SimDisk* disk, FsdConfig config = {});
@@ -201,7 +223,56 @@ class Fsd : public fs::FileSystem {
     disk_->clock().AdvanceCpu(config_.cpu_per_data_sector * n);
   }
 
-  Status MaybeGroupCommit();
+  // Locked bodies of the public lifecycle entry points. Format/Mount/
+  // Shutdown wrappers stop the commit daemon first, then run these under
+  // op_mu_ (FormatLocked ends by calling MountLocked).
+  Status FormatLocked();
+  Status MountLocked();
+  Status ShutdownLocked();
+
+  // Locked bodies of the public file operations; each runs with op_mu_
+  // (and, for name-keyed ops, the name's shard mutex) held by its wrapper.
+  // `await_seq` (daemon mode): set non-zero when the half-second deadline
+  // expired, telling the wrapper to block on the commit queue AFTER
+  // releasing all locks.
+  Result<fs::FileUid> CreateFileLocked(std::string_view name,
+                                       std::span<const std::uint8_t> contents,
+                                       std::uint64_t* await_seq);
+  Result<fs::FileHandle> OpenLocked(std::string_view name,
+                                    std::uint64_t* await_seq);
+  Status ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
+                    std::span<std::uint8_t> out, std::uint64_t* await_seq);
+  Status WriteLocked(const fs::FileHandle& file, std::uint64_t offset,
+                     std::span<const std::uint8_t> data,
+                     std::uint64_t* await_seq);
+  Status ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
+                      std::uint64_t* await_seq);
+  Status DeleteFileLocked(std::string_view name, std::uint64_t* await_seq);
+  Result<std::vector<fs::FileInfo>> ListLocked(std::string_view prefix,
+                                               std::uint64_t* await_seq);
+  Status TouchLocked(std::string_view name, std::uint64_t* await_seq);
+  Status SetKeepLocked(std::string_view name, std::uint16_t keep,
+                       std::uint64_t* await_seq);
+  Result<fs::FileInfo> StatLocked(std::string_view name);
+  Result<ScrubReport> ScrubLocked();
+
+  // Commit daemon plumbing. StartDaemon spawns the flusher thread when
+  // config_.commit_daemon is set; StopDaemon stops the queue and joins —
+  // always called while NOT holding op_mu_ (the daemon takes it per round).
+  void StartDaemon();
+  void StopDaemon();
+  void DaemonLoop();
+  // Wrapper tail: blocks on the commit queue when a locked body deferred a
+  // deadline force (no-op for seq 0 / inline mode).
+  Status AwaitCommit(std::uint64_t seq);
+  // Marks one durable-metadata mutation for the group-commit rendezvous.
+  void BumpUpdateSeq() { log_->commit_queue().RecordUpdate(); }
+  // Shard mutex for a file name (taken before op_mu_; never two at once).
+  std::mutex& NameShard(std::string_view name) {
+    return name_mu_[std::hash<std::string_view>{}(name) % kNameShards];
+  }
+
+  Status MaybeGroupCommit(std::uint64_t* await_seq = nullptr);
   Status ForceLog();
   Status FlushThird(int third);
   // Queues an allocation-map delta for the next log record (VAM logging).
@@ -277,8 +348,16 @@ class Fsd : public fs::FileSystem {
   std::vector<VamDelta> pending_alloc_deltas_;
   std::vector<VamDelta> pending_free_deltas_;
   sim::Micros last_force_ = 0;
-  bool mounted_ = false;
+  std::atomic<bool> mounted_{false};  // written under op_mu_; read lock-free
   bool in_force_ = false;  // guards re-entrant commits
+
+  // Locking hierarchy (DESIGN.md section 4e): name shard -> op_mu_ ->
+  // structure mutexes (cache/VAM/tree) -> disk -> clock/tracer/metrics.
+  // The commit queue's mutex is a leaf waited on with nothing held.
+  static constexpr std::size_t kNameShards = 16;
+  mutable std::array<std::mutex, kNameShards> name_mu_;
+  mutable std::mutex op_mu_;
+  std::thread commit_daemon_;
 
   // All counters live in metrics_ (exposed via fs::FileSystem::Metrics());
   // c_ caches the counter pointers so hot paths skip the name lookup, and

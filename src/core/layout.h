@@ -48,6 +48,14 @@ struct FsdConfig {
   // the historical one-write-per-page behavior in hash-map order — the
   // unbatched baseline bench_flush measures against.
   bool batched_writeback = true;
+  // Run group commit as a real background daemon thread: Force() and the
+  // half-second deadline enqueue on the log's CommitQueue and block until
+  // the daemon's log write covers them, so concurrent clients share one
+  // write (paper section 3.2). Off (the default) keeps the historical
+  // inline force — single-threaded tests, benches, and the crash harness
+  // are unchanged. Both modes issue identical disk traffic for the same
+  // serialized operation order.
+  bool commit_daemon = false;
   // Records per atomic commit group. Forces larger than one record are
   // split into records tagged with group start/end flags; recovery discards
   // incomplete groups, so a multi-record force stays atomic. A group must

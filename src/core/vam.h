@@ -8,11 +8,18 @@
 // The map is saved to its disk region only on orderly shutdown, stamped with
 // the boot count; at mount a stamp mismatch means the save is stale and the
 // map must be reconstructed from the name table (the caller does the scan).
+//
+// Thread safety: the bitmap mutators and point queries take a short internal
+// mutex so allocation state stays coherent under concurrent FSD clients. The
+// raw `free()` / `nt_free()` bitmap accessors bypass the lock and are only
+// safe under the owning file system's core lock (allocator scans, VAM
+// reconstruction, Fsck — all already serialized there).
 
 #ifndef CEDAR_CORE_VAM_H_
 #define CEDAR_CORE_VAM_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/fsapi/extent.h"
 #include "src/sim/disk.h"
@@ -51,29 +58,54 @@ class Vam {
         shadow_(total_sectors, false),
         nt_free_(nt_pages, false) {}
 
-  // ---- Free map.
+  // Reinitializes all three maps to the all-used state for a volume with
+  // these dimensions (what the constructor builds). Mount/Format use this
+  // instead of replacing the Vam object, so the mutex stays put.
+  void Reset(std::uint32_t total_sectors, std::uint32_t nt_pages) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_ = Bitmap(total_sectors, false);
+    shadow_ = Bitmap(total_sectors, false);
+    nt_free_ = Bitmap(nt_pages, false);
+  }
+
+  // ---- Free map. The raw bitmap accessors bypass the internal lock: core
+  // lock only (see header comment).
   Bitmap& free() { return free_; }
   const Bitmap& free() const { return free_; }
-  bool IsFree(std::uint32_t lba) const { return free_.Get(lba); }
+  bool IsFree(std::uint32_t lba) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.Get(lba);
+  }
   void MarkUsed(const fs::Extent& run) {
+    std::lock_guard<std::mutex> lock(mu_);
     free_.SetRange(run.start, run.count, false);
   }
   void MarkFree(const fs::Extent& run) {
+    std::lock_guard<std::mutex> lock(mu_);
     free_.SetRange(run.start, run.count, true);
   }
-  std::uint32_t FreeCount() const { return free_.Count(); }
+  std::uint32_t FreeCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.Count();
+  }
 
   // ---- Shadow map for uncommitted deletes.
   void MarkFreeShadow(const fs::Extent& run) {
+    std::lock_guard<std::mutex> lock(mu_);
     shadow_.SetRange(run.start, run.count, true);
   }
   void CommitShadow() {
+    std::lock_guard<std::mutex> lock(mu_);
     free_.OrWith(shadow_);
     shadow_.Clear();
   }
-  std::uint32_t ShadowCount() const { return shadow_.Count(); }
+  std::uint32_t ShadowCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shadow_.Count();
+  }
 
   // ---- Name-table page allocation map (piggybacks on the VAM save).
+  // Raw accessors: core lock only.
   Bitmap& nt_free() { return nt_free_; }
   const Bitmap& nt_free() const { return nt_free_; }
 
@@ -97,6 +129,7 @@ class Vam {
   void Apply(const VamDelta& delta);
 
  private:
+  mutable std::mutex mu_;
   Bitmap free_;
   Bitmap shadow_;
   Bitmap nt_free_;

@@ -20,32 +20,37 @@ const MetricsSnapshot::HistogramData* MetricsSnapshot::FindHistogram(
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -68,6 +73,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter.Reset();
   for (auto& [name, hist] : histograms_) hist.Reset();
 }

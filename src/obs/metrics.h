@@ -16,13 +16,19 @@
 //     full-volume scan (~10 s) without per-metric configuration.
 //   - Reset() zeroes values but keeps every registered name, so snapshots
 //     taken across Format/Mount/Shutdown expose a stable key set.
+//   - Thread safety: counters are relaxed atomics (concurrent client
+//     threads bump them lock-free), histograms and the registry maps take
+//     short internal locks. Relaxed ordering is fine — values are summed
+//     observations, never used to synchronize.
 
 #ifndef CEDAR_OBS_METRICS_H_
 #define CEDAR_OBS_METRICS_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,21 +37,26 @@
 
 namespace cedar::obs {
 
-// A monotonic 64-bit counter. Cheap enough to bump on every disk request.
+// A monotonic 64-bit counter. Cheap enough to bump on every disk request,
+// from any thread.
 class Counter {
  public:
-  void Increment() { ++value_; }
-  void Add(std::uint64_t n) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Log2-bucketed histogram of non-negative integer samples (microseconds,
 // sector counts, ...). Bucket index = bit_width(value): bucket 0 holds only
-// zero, bucket i (i >= 1) holds [2^(i-1), 2^i).
+// zero, bucket i (i >= 1) holds [2^(i-1), 2^i). Record() and the readers
+// serialize on an internal mutex; samples arrive per FS operation, not per
+// sector, so the lock is never hot.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
@@ -66,6 +77,7 @@ class Histogram {
   }
 
   void Record(std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++buckets_[BucketIndex(value)];
     ++count_;
     sum_ += value;
@@ -73,18 +85,42 @@ class Histogram {
     if (value > max_) max_ = value;
   }
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return max_; }
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  std::uint64_t sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  std::uint64_t min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ ? min_ : 0;
+  }
+  std::uint64_t max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
   double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
   }
-  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  std::uint64_t bucket(int i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_[i];
+  }
 
-  void Reset() { *this = Histogram{}; }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& bucket : buckets_) bucket = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::uint64_t buckets_[kNumBuckets] = {};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -131,6 +167,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };

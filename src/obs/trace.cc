@@ -36,6 +36,34 @@ DiskTracer::DiskTracer(std::size_t capacity)
   op_ids_.emplace(std::string(kNoContext), 0u);
 }
 
+DiskTracer::DiskTracer(DiskTracer&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  capacity_ = other.capacity_;
+  ring_ = std::move(other.ring_);
+  ring_head_ = other.ring_head_;
+  next_seq_ = other.next_seq_;
+  dropped_ = other.dropped_;
+  op_names_ = std::move(other.op_names_);
+  op_ids_ = std::move(other.op_ids_);
+  op_stacks_ = std::move(other.op_stacks_);
+  aggregates_ = std::move(other.aggregates_);
+}
+
+DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  capacity_ = other.capacity_;
+  ring_ = std::move(other.ring_);
+  ring_head_ = other.ring_head_;
+  next_seq_ = other.next_seq_;
+  dropped_ = other.dropped_;
+  op_names_ = std::move(other.op_names_);
+  op_ids_ = std::move(other.op_ids_);
+  op_stacks_ = std::move(other.op_stacks_);
+  aggregates_ = std::move(other.aggregates_);
+  return *this;
+}
+
 std::uint32_t DiskTracer::InternOp(std::string_view name) {
   auto it = op_ids_.find(name);
   if (it != op_ids_.end()) return it->second;
@@ -45,16 +73,30 @@ std::uint32_t DiskTracer::InternOp(std::string_view name) {
   return id;
 }
 
+std::vector<std::uint32_t>& DiskTracer::ThreadStack() {
+  return op_stacks_[std::this_thread::get_id()];
+}
+
 void DiskTracer::PushOp(std::string_view name) {
-  op_stack_.push_back(InternOp(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadStack().push_back(InternOp(name));
 }
 
 void DiskTracer::PopOp() {
-  if (!op_stack_.empty()) op_stack_.pop_back();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = op_stacks_.find(std::this_thread::get_id());
+  if (it == op_stacks_.end()) return;
+  if (!it->second.empty()) it->second.pop_back();
+  if (it->second.empty()) op_stacks_.erase(it);
 }
 
 std::string_view DiskTracer::CurrentOp() const {
-  return op_stack_.empty() ? kNoContext : op_names_[op_stack_.back()];
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = op_stacks_.find(std::this_thread::get_id());
+  if (it == op_stacks_.end() || it->second.empty()) return kNoContext;
+  // op_names_ is a deque of strings: both survive concurrent interning, so
+  // the returned view stays valid for the tracer's lifetime.
+  return op_names_[it->second.back()];
 }
 
 void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
@@ -62,6 +104,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
                         std::uint64_t seek_us, std::uint64_t rotational_us,
                         std::uint64_t transfer_us, std::uint64_t controller_us,
                         std::uint32_t batch) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent ev;
   ev.seq = next_seq_++;
   ev.start_us = start_us;
@@ -72,7 +115,9 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   ev.rotational_us = rotational_us;
   ev.transfer_us = transfer_us;
   ev.controller_us = controller_us;
-  ev.op_id = op_stack_.empty() ? 0 : op_stack_.back();
+  auto it = op_stacks_.find(std::this_thread::get_id());
+  ev.op_id = (it == op_stacks_.end() || it->second.empty()) ? 0
+                                                            : it->second.back();
   ev.batch = batch;
 
   if (ring_.size() < capacity_) {
@@ -92,7 +137,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   agg.controller_us += controller_us;
 }
 
-std::vector<TraceEvent> DiskTracer::Events() const {
+std::vector<TraceEvent> DiskTracer::EventsLocked() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -104,18 +149,36 @@ std::vector<TraceEvent> DiskTracer::Events() const {
   return out;
 }
 
+std::vector<TraceEvent> DiskTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EventsLocked();
+}
+
 std::string_view DiskTracer::OpName(std::uint32_t op_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return op_id < op_names_.size() ? std::string_view(op_names_[op_id])
                                   : kNoContext;
 }
 
+std::uint64_t DiskTracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t DiskTracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 OpClassAggregate DiskTracer::AggregateFor(std::string_view op_class) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = aggregates_.find(op_class);
   return it == aggregates_.end() ? OpClassAggregate{} : it->second;
 }
 
 std::vector<std::pair<std::string, OpClassAggregate>> DiskTracer::Aggregates()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, OpClassAggregate>> out;
   out.reserve(aggregates_.size());
   for (const auto& [name, agg] : aggregates_) out.emplace_back(name, agg);
@@ -123,13 +186,14 @@ std::vector<std::pair<std::string, OpClassAggregate>> DiskTracer::Aggregates()
 }
 
 std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   ByteWriter w;
   w.Bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
   w.U32(static_cast<std::uint32_t>(op_names_.size()));
   for (const auto& name : op_names_) w.Str(name);
 
-  const std::vector<TraceEvent> events = Events();
+  const std::vector<TraceEvent> events = EventsLocked();
   w.U64(next_seq_);
   w.U64(dropped_);
   w.U32(static_cast<std::uint32_t>(events.size()));
@@ -172,6 +236,7 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     return MakeError(ErrorCode::kCorruptMetadata, "truncated trace header");
   }
 
+  // The tracer under construction is thread-confined; no locking needed.
   DiskTracer tracer(num_events == 0 ? kDefaultCapacity : num_events);
   for (std::uint32_t i = 1; i < names.size(); ++i) {
     tracer.InternOp(names[i]);  // id 0 ("(none)") already present
@@ -239,15 +304,19 @@ Status DiskTracer::DumpJsonl(const std::string& path) const {
     return MakeError(ErrorCode::kInvalidArgument,
                      "cannot open trace file for writing: " + path);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   char line[512];
-  for (const TraceEvent& ev : Events()) {
+  for (const TraceEvent& ev : EventsLocked()) {
+    const std::string_view op =
+        ev.op_id < op_names_.size() ? std::string_view(op_names_[ev.op_id])
+                                    : kNoContext;
     std::snprintf(
         line, sizeof(line),
         "{\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64
         ",\"op\":\"%s\",\"kind\":\"%s\",\"lba\":%u,\"sectors\":%u,"
         "\"seek_us\":%" PRIu64 ",\"rot_us\":%" PRIu64 ",\"xfer_us\":%" PRIu64
         ",\"ctl_us\":%" PRIu64 ",\"batch\":%u}\n",
-        ev.seq, ev.start_us, std::string(OpName(ev.op_id)).c_str(),
+        ev.seq, ev.start_us, std::string(op).c_str(),
         std::string(DiskOpKindName(ev.kind)).c_str(), ev.lba, ev.sectors,
         ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us,
         ev.batch);
@@ -261,11 +330,12 @@ Status DiskTracer::DumpJsonl(const std::string& path) const {
 }
 
 void DiskTracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   ring_head_ = 0;
   next_seq_ = 0;
   dropped_ = 0;
-  op_stack_.clear();
+  op_stacks_.clear();
   aggregates_.clear();
 }
 

@@ -17,15 +17,26 @@
 //
 // This is the measurement half of the paper's section 4: the analytic model
 // predicts per-operation disk time, the tracer measures it.
+//
+// Thread safety: the op-context stack is kept PER THREAD (keyed by
+// std::thread::id), so concurrent client threads each carry their own
+// attribution context — a request issued by the group-commit daemon is
+// tagged "fsd.log_force" even while client threads are inside "fsd.create".
+// The ring, the name table, and the aggregates are guarded by one internal
+// mutex; Record() is called with the disk's lock held, making the tracer a
+// leaf in the locking hierarchy (see DESIGN.md section 4e).
 
 #ifndef CEDAR_OBS_TRACE_H_
 #define CEDAR_OBS_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/util/status.h"
@@ -98,13 +109,16 @@ class DiskTracer {
   explicit DiskTracer(std::size_t capacity = kDefaultCapacity);
   DiskTracer(const DiskTracer&) = delete;
   DiskTracer& operator=(const DiskTracer&) = delete;
-  DiskTracer(DiskTracer&&) = default;
-  DiskTracer& operator=(DiskTracer&&) = default;
+  // Moves are for construction-time plumbing (LoadBinary/ParseBinary return
+  // by value); the source must not be in concurrent use.
+  DiskTracer(DiskTracer&& other) noexcept;
+  DiskTracer& operator=(DiskTracer&& other) noexcept;
 
-  // --- op-context stack (use ScopedOp rather than calling these directly)
+  // --- op-context stack (use ScopedOp rather than calling these directly).
+  // Each thread has its own stack; Push/Pop affect only the caller's.
   void PushOp(std::string_view name);
   void PopOp();
-  // Innermost active context, or "(none)".
+  // Innermost active context of the calling thread, or "(none)".
   std::string_view CurrentOp() const;
 
   // Records one serviced disk request under the current op context. `batch`
@@ -117,8 +131,8 @@ class DiskTracer {
   // Events still in the ring, oldest first.
   std::vector<TraceEvent> Events() const;
   std::string_view OpName(std::uint32_t op_id) const;
-  std::uint64_t total_events() const { return next_seq_; }
-  std::uint64_t dropped_events() const { return dropped_; }
+  std::uint64_t total_events() const;
+  std::uint64_t dropped_events() const;
 
   // Aggregate for one op class (zeros if never seen). Aggregates cover all
   // events since construction/Reset, including ones evicted from the ring.
@@ -141,17 +155,23 @@ class DiskTracer {
   void Reset();
 
  private:
-  std::uint32_t InternOp(std::string_view name);
+  std::uint32_t InternOp(std::string_view name);           // caller holds mu_
+  std::vector<std::uint32_t>& ThreadStack();               // caller holds mu_
+  std::vector<TraceEvent> EventsLocked() const;            // caller holds mu_
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t ring_head_ = 0;  // next slot to write once the ring is full
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
 
-  std::vector<std::string> op_names_;              // op_id -> name
+  // op_id -> name. A deque so the strings (and views into them) stay at
+  // stable addresses while new ops are interned concurrently.
+  std::deque<std::string> op_names_;
   std::map<std::string, std::uint32_t, std::less<>> op_ids_;
-  std::vector<std::uint32_t> op_stack_;            // active context ids
+  // Per-thread active context stacks (empty ones are pruned at PopOp).
+  std::map<std::thread::id, std::vector<std::uint32_t>> op_stacks_;
   std::map<std::string, OpClassAggregate, std::less<>> aggregates_;
 };
 

@@ -1,6 +1,10 @@
-// Virtual time. The whole reproduction is single-threaded and deterministic;
-// time advances only when the simulated disk performs work, when a file
-// system charges CPU time, or when a test/benchmark explicitly idles.
+// Virtual time. Time advances only when the simulated disk performs work,
+// when a file system charges CPU time, or when a test/benchmark explicitly
+// idles. The clock is shared by every thread touching one rig, so all
+// accesses are serialized by an internal mutex: concurrent client threads
+// each advance the same timeline, which models N processes sharing one
+// machine (the paper's Cedar had ~28 of them) without any CPU overlap —
+// exactly the accounting discipline the single-threaded model used.
 //
 // Group commit (paper section 5.4) is driven by this clock: FSD forces its
 // log when half a virtual second has passed since the last force.
@@ -9,6 +13,7 @@
 #define CEDAR_SIM_CLOCK_H_
 
 #include <cstdint>
+#include <mutex>
 
 namespace cedar::sim {
 
@@ -19,22 +24,33 @@ inline constexpr Micros kSecond = 1000 * kMillisecond;
 
 class VirtualClock {
  public:
-  Micros now() const { return now_us_; }
+  Micros now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_us_;
+  }
 
-  void Advance(Micros us) { now_us_ += us; }
+  void Advance(Micros us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_us_ += us;
+  }
 
   // CPU time is tracked separately from disk time so benchmarks can report
   // the CPU/bandwidth split of Table 5, but it advances the same timeline
   // (no CPU/IO overlap; the Dorado discussion in section 6 notes the CPU was
   // deliberately ignored in the model, so we keep its accounting visible).
   void AdvanceCpu(Micros us) {
+    std::lock_guard<std::mutex> lock(mu_);
     now_us_ += us;
     cpu_us_ += us;
   }
 
-  Micros cpu_time() const { return cpu_us_; }
+  Micros cpu_time() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cpu_us_;
+  }
 
  private:
+  mutable std::mutex mu_;
   Micros now_us_ = 0;
   Micros cpu_us_ = 0;
 };

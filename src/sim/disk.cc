@@ -34,6 +34,7 @@ Status SimDisk::CheckRange(Lba start, std::size_t count) const {
 }
 
 void SimDisk::AttachMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (registry == nullptr) {
     metrics_ = DeviceMetrics{};
     return;
@@ -122,6 +123,7 @@ bool SimDisk::ConsumeTransientReadFault(Lba start, std::uint32_t count) {
 
 Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
                      std::vector<std::uint32_t>* bad) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(out.size() % kSectorSize == 0);
   const auto count = static_cast<std::uint32_t>(out.size() / kSectorSize);
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
@@ -189,6 +191,7 @@ SimDisk::WriteOutcome SimDisk::MaybeCrashOnWrite(
 }
 
 Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(!data.empty() && data.size() % kSectorSize == 0);
   const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
@@ -212,6 +215,7 @@ Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
 
 Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
                             std::span<const Label> expected) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(out.size() % kSectorSize == 0);
   CEDAR_CHECK(expected.size() * kSectorSize == out.size());
   const auto count = static_cast<std::uint32_t>(expected.size());
@@ -243,6 +247,7 @@ Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
 Status SimDisk::WriteLabeled(Lba start, std::span<const std::uint8_t> data,
                              std::span<const Label> expected,
                              std::span<const Label> new_labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(data.size() % kSectorSize == 0);
   const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
   CEDAR_CHECK(new_labels.size() == count);
@@ -277,6 +282,7 @@ Status SimDisk::WriteLabeled(Lba start, std::span<const std::uint8_t> data,
 }
 
 Status SimDisk::ReadLabels(Lba start, std::span<Label> out) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto count = static_cast<std::uint32_t>(out.size());
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
   AccountRequest(start, count, /*is_write=*/false, /*label_only=*/true);
@@ -292,6 +298,7 @@ Status SimDisk::ReadLabels(Lba start, std::span<Label> out) {
 
 Status SimDisk::WriteLabels(Lba start, std::span<const Label> labels,
                             std::span<const Label> expected) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto count = static_cast<std::uint32_t>(labels.size());
   CEDAR_CHECK(expected.empty() || expected.size() == count);
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
@@ -306,6 +313,7 @@ Status SimDisk::WriteLabels(Lba start, std::span<const Label> labels,
 }
 
 void SimDisk::DamageSectors(Lba start, std::uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(count >= 1 && count <= 2);
   CEDAR_CHECK(start + count <= geometry_.TotalSectors());
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -314,6 +322,7 @@ void SimDisk::DamageSectors(Lba start, std::uint32_t count) {
 }
 
 void SimDisk::DamageTrack(std::uint32_t cylinder, std::uint32_t head) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(cylinder < geometry_.cylinders);
   CEDAR_CHECK(head < geometry_.heads);
   const Lba start = geometry_.ToLba(
@@ -324,6 +333,7 @@ void SimDisk::DamageTrack(std::uint32_t cylinder, std::uint32_t head) {
 }
 
 void SimDisk::InjectTransientReadError(Lba lba, std::uint32_t failures) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(lba < geometry_.TotalSectors());
   if (failures == 0) {
     transient_read_faults_.erase(lba);
@@ -333,6 +343,7 @@ void SimDisk::InjectTransientReadError(Lba lba, std::uint32_t failures) {
 }
 
 void SimDisk::WildWrite(Lba lba, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(lba < geometry_.TotalSectors());
   Rng rng(seed);
   std::uint8_t* sector =
@@ -368,6 +379,7 @@ std::uint64_t GetU64(std::ifstream& in) {
 }  // namespace
 
 Status SimDisk::SaveImage(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return MakeError(ErrorCode::kInternal, "cannot open " + path);
@@ -415,6 +427,7 @@ Status SimDisk::SaveImage(const std::string& path) const {
 }
 
 Status SimDisk::LoadImage(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return MakeError(ErrorCode::kNotFound, "cannot open " + path);
@@ -491,6 +504,7 @@ Status SimDisk::LoadImage(const std::string& path) {
 }
 
 void SimDisk::ArmCrash(const CrashPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(plan.sectors_damaged <= 2);
   for (const std::uint64_t drop : plan.drop_writes) {
     CEDAR_CHECK(drop < plan.at_write_index);
@@ -500,6 +514,7 @@ void SimDisk::ArmCrash(const CrashPlan& plan) {
 }
 
 DiskSnapshot SimDisk::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   DiskSnapshot snap;
   snap.data = data_;
   snap.labels = labels_;
@@ -512,6 +527,7 @@ DiskSnapshot SimDisk::Snapshot() const {
 }
 
 void SimDisk::Restore(const DiskSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
   CEDAR_CHECK(snapshot.data.size() == data_.size());
   CEDAR_CHECK(snapshot.labels.size() == labels_.size());
   CEDAR_CHECK(snapshot.damaged.size() == damaged_.size());
@@ -525,6 +541,7 @@ void SimDisk::Restore(const DiskSnapshot& snapshot) {
 }
 
 bool SimDisk::StateEquals(const DiskSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto labels_equal = [](const std::vector<Label>& a,
                          const std::vector<Label>& b) {
     if (a.size() != b.size()) return false;

@@ -4,12 +4,21 @@
 // sectors, and a multi-sector write that is interrupted completes a prefix
 // ("weak atomic" writes — the last one or two transferred sectors may be
 // detectably damaged, everything after the cut is untouched).
+//
+// Thread safety: one internal mutex serializes every device request (and the
+// fault-injection / snapshot entry points), modeling a single-spindle device
+// with one head assembly — requests from concurrent client threads are
+// services one at a time, in arrival order, which keeps the virtual-time
+// accounting deterministic for a fixed arrival order. The disk mutex sits
+// below the FS core locks and above the clock/tracer/metrics leaves in the
+// locking hierarchy (DESIGN.md section 4e).
 
 #ifndef CEDAR_SIM_DISK_H_
 #define CEDAR_SIM_DISK_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -74,18 +83,35 @@ class SimDisk {
           VirtualClock* clock);
 
   const DiskGeometry& geometry() const { return geometry_; }
-  const DiskStats& stats() const { return stats_; }
+  // Copy of the cumulative stats taken under the device lock. Callers that
+  // compare before/after counts must quiesce their own I/O sources around
+  // the two reads; the copy itself is always internally consistent.
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  // Timing-model access is mutation-free during operation; tests that tweak
+  // parameters do so before issuing concurrent I/O.
   DiskTimingModel& timing() { return timing_; }
   VirtualClock& clock() { return *clock_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DiskStats{};
+  }
 
   // ---- Observability.
 
   // Attaches a tracer that records every serviced request (with its
   // service-time breakdown and the innermost FS op context). Pass nullptr
   // to detach. The tracer must outlive the disk or be detached first.
-  void set_tracer(obs::DiskTracer* tracer) { tracer_ = tracer; }
-  obs::DiskTracer* tracer() const { return tracer_; }
+  void set_tracer(obs::DiskTracer* tracer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracer_ = tracer;
+  }
+  obs::DiskTracer* tracer() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracer_;
+  }
 
   // Registers the device counters/histograms ("disk.*") into `registry` and
   // updates them on every request. Each file system attaches its own
@@ -122,7 +148,10 @@ class SimDisk {
 
   // Reads the stored label of one sector without a device request (used by
   // tests and by the scavenger's accounting which issues explicit reads).
-  const Label& PeekLabel(Lba lba) const { return labels_[lba]; }
+  Label PeekLabel(Lba lba) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return labels_[lba];
+  }
 
   // ---- Fault injection.
 
@@ -153,24 +182,44 @@ class SimDisk {
   // and every request after it fails with kDeviceCrashed until Reopen().
   void ArmCrash(const CrashPlan& plan);
   // Crash immediately (between requests).
-  void CrashNow() { crashed_ = true; }
-  bool crashed() const { return crashed_; }
+  void CrashNow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
   // Clears the crashed flag; the on-disk image survives as-is. Volatile file
   // system state must be rebuilt by the caller (that is the experiment).
   void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
     crashed_ = false;
     crash_plan_.reset();
     crash_writes_seen_ = 0;
   }
 
-  bool IsDamaged(Lba lba) const { return damaged_[lba]; }
+  bool IsDamaged(Lba lba) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return damaged_[lba];
+  }
 
   // ---- Batch identity (set by IoScheduler around a Flush). Requests issued
   // while a batch is open are tagged with its id in the trace; the id is
-  // unique per disk and 0 means "outside any batch".
-  void BeginBatch() { current_batch_ = ++batch_counter_; }
-  void EndBatch() { current_batch_ = 0; }
-  std::uint32_t current_batch() const { return current_batch_; }
+  // unique per disk and 0 means "outside any batch". The flush itself runs
+  // under an FS core lock, so no two batches are ever open concurrently.
+  void BeginBatch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_batch_ = ++batch_counter_;
+  }
+  void EndBatch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_batch_ = 0;
+  }
+  std::uint32_t current_batch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_batch_;
+  }
 
   // ---- In-memory cloning. Snapshot/Restore carry the complete device
   // state including the damage map and any armed crash plan, so a restored
@@ -197,6 +246,7 @@ class SimDisk {
     kCrashed,  // torn per the plan; device is now crashed
   };
 
+  // All private helpers run with mu_ held by the public entry point.
   Status CheckRange(Lba start, std::size_t count) const;
   Status CheckLabels(Lba start, std::span<const Label> expected);
   void AccountRequest(Lba start, std::uint32_t count, bool is_write,
@@ -209,6 +259,9 @@ class SimDisk {
   // Consumes one transient-read fault covering [start, start+count) if any;
   // returns true if the request should fail with kReadTransient.
   bool ConsumeTransientReadFault(Lba start, std::uint32_t count);
+
+  // Serializes every request and all fault-injection/snapshot entry points.
+  mutable std::mutex mu_;
 
   DiskGeometry geometry_;
   DiskTimingModel timing_;

@@ -17,6 +17,11 @@
 //
 // Requests within one batch must not overlap. Queued spans are borrowed:
 // they must stay valid until Flush() returns.
+//
+// Thread safety: none — an IoScheduler is a stack-confined batch builder,
+// created, filled, and flushed by one thread while that thread holds the
+// owning file system's core lock (the underlying SimDisk serializes the
+// actual transfers). It must never be shared between threads.
 
 #ifndef CEDAR_SIM_SCHEDULER_H_
 #define CEDAR_SIM_SCHEDULER_H_

@@ -21,7 +21,8 @@ namespace cedar {
 namespace {
 
 struct Rig {
-  sim::VirtualClock clock;
+  std::unique_ptr<sim::VirtualClock> clock =
+      std::make_unique<sim::VirtualClock>();
   std::unique_ptr<sim::SimDisk> disk;
   std::unique_ptr<fs::FileSystem> file_system;
   bool versioned = true;
@@ -31,7 +32,7 @@ Rig MakeCfs() {
   Rig rig;
   rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
                                             sim::DiskTimingParams{},
-                                            &rig.clock);
+                                            rig.clock.get());
   cfs::CfsConfig config;
   config.nt_page_count = 64;
   auto cfs = std::make_unique<cfs::Cfs>(rig.disk.get(), config);
@@ -44,7 +45,7 @@ Rig MakeFsd() {
   Rig rig;
   rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
                                             sim::DiskTimingParams{},
-                                            &rig.clock);
+                                            rig.clock.get());
   core::FsdConfig config;
   config.log_sectors = 400;
   config.nt_pages = 256;
@@ -58,7 +59,7 @@ Rig MakeBsd() {
   Rig rig;
   rig.disk = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
                                             sim::DiskTimingParams{},
-                                            &rig.clock);
+                                            rig.clock.get());
   bsd::FfsConfig config;
   config.cylinders_per_group = 10;
   config.inodes_per_group = 256;
@@ -102,7 +103,7 @@ std::map<std::string, std::vector<std::uint8_t>> RunTrace(Rig& rig,
       Status s = file_system.Touch(name);
       CEDAR_CHECK(s.ok() || s.code() == ErrorCode::kNotFound);
     }
-    rig.clock.Advance(40 * sim::kMillisecond);
+    rig.clock->Advance(40 * sim::kMillisecond);
   }
   CEDAR_CHECK_OK(file_system.Force());
 
