@@ -15,8 +15,10 @@
 // interval, i.e. logging without group commit (every operation forces its
 // own record) — the comparison that isolates the batching effect.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -168,6 +170,169 @@ CurvePoint RunConcurrent(int threads, int rounds) {
   return point;
 }
 
+// ---- Disjoint-name saturation: the multi-client throughput curve. ----
+//
+// N clients on shard-disjoint names, each round: update my file, rendezvous,
+// demand durability. Every round costs one group commit (the rendezvous
+// guarantees all N updates are outstanding before any client forces), so
+// aggregate throughput — updates per second of virtual time, the paper's
+// updates/sec at the server — rises with N while the per-round force cost
+// stays flat. Wall-clock throughput is reported alongside: on a multi-core
+// host it tracks how far the op path actually parallelizes.
+
+struct SatPoint {
+  int threads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t forces = 0;
+  double forces_per_update = 0;
+  std::uint64_t virtual_us = 0;   // virtual time the workload consumed
+  std::uint64_t disk_us = 0;      // virtual_us minus charged CPU time
+  double virtual_updates_per_sec = 0;
+  double wall_updates_per_sec = 0;
+};
+
+// One name per client, each hashing to its own shard (probe the suffix
+// until Fsd::ShardOf lands on the target shard; threads <= shard count).
+std::string ShardDistinctName(int target_shard) {
+  for (int k = 0;; ++k) {
+    std::string name =
+        "sat.t" + std::to_string(target_shard) + "." + std::to_string(k);
+    if (cedar::core::Fsd::ShardOf(name) ==
+        static_cast<std::size_t>(target_shard)) {
+      return name;
+    }
+  }
+}
+
+SatPoint RunSaturation(int threads, int rounds) {
+  Rig rig;
+  cedar::core::FsdConfig config;
+  config.commit_daemon = true;
+  cedar::core::Fsd fsd(&rig.disk, config);
+  CEDAR_CHECK_OK(fsd.Format());
+  std::vector<std::string> names;
+  names.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    names.push_back(ShardDistinctName(t));
+    CEDAR_CHECK_OK(
+        fsd.CreateFile(names.back(), std::vector<std::uint8_t>(600, 0x5A))
+            .status());
+  }
+  CEDAR_CHECK_OK(fsd.Force());
+
+  const cedar::core::FsdStats before = fsd.stats();
+  const cedar::sim::Micros virt0 = rig.clock.now();
+  const cedar::sim::Micros cpu0 = rig.clock.cpu_time();
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  RoundBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int r = 0; r < rounds; ++r) {
+        CEDAR_CHECK_OK(fsd.Touch(names[t]));
+        barrier.Wait();  // every client has an update outstanding
+        CEDAR_CHECK_OK(fsd.Force());
+        barrier.Wait();  // round boundary
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  const auto wall1 = std::chrono::steady_clock::now();
+  const cedar::core::FsdStats after = fsd.stats();
+  SatPoint point;
+  point.threads = threads;
+  point.updates = static_cast<std::uint64_t>(threads) * rounds;
+  point.forces = after.forces - before.forces;
+  point.forces_per_update =
+      static_cast<double>(point.forces) / static_cast<double>(point.updates);
+  point.virtual_us = rig.clock.now() - virt0;
+  const cedar::sim::Micros cpu_us = rig.clock.cpu_time() - cpu0;
+  point.disk_us = point.virtual_us > cpu_us ? point.virtual_us - cpu_us : 0;
+  point.virtual_updates_per_sec =
+      point.virtual_us == 0
+          ? 0
+          : static_cast<double>(point.updates) * 1e6 /
+                static_cast<double>(point.virtual_us);
+  const double wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             wall1 - wall0)
+                             .count();
+  point.wall_updates_per_sec =
+      wall_us <= 0 ? 0
+                   : static_cast<double>(point.updates) * 1e6 / wall_us;
+  CEDAR_CHECK_OK(fsd.Shutdown());
+  return point;
+}
+
+void PrintSatHeader() {
+  std::printf("%8s %8s %8s %14s %12s %12s %14s\n", "threads", "updates",
+              "forces", "forces/update", "virt ms", "disk ms",
+              "updates/vsec");
+}
+
+void PrintSatPoint(const SatPoint& p) {
+  std::printf("%8d %8llu %8llu %14.3f %12.1f %12.1f %14.1f\n", p.threads,
+              (unsigned long long)p.updates, (unsigned long long)p.forces,
+              p.forces_per_update, p.virtual_us / 1000.0, p.disk_us / 1000.0,
+              p.virtual_updates_per_sec);
+}
+
+// Machine-readable trajectory point for BENCH_group_commit.json.
+void WriteJson(const char* path, const std::vector<SatPoint>& saturation,
+               const std::vector<CurvePoint>& amortization) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"group_commit\",\n");
+  std::fprintf(f, "  \"throughput_unit\": \"updates per virtual second\",\n");
+  std::fprintf(f, "  \"saturation\": [\n");
+  for (std::size_t i = 0; i < saturation.size(); ++i) {
+    const SatPoint& p = saturation[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"updates\": %llu, \"forces\": %llu, "
+                 "\"forces_per_update\": %.4f, \"virtual_us\": %llu, "
+                 "\"disk_us\": %llu, \"virtual_updates_per_sec\": %.1f, "
+                 "\"wall_updates_per_sec\": %.1f}%s\n",
+                 p.threads, (unsigned long long)p.updates,
+                 (unsigned long long)p.forces, p.forces_per_update,
+                 (unsigned long long)p.virtual_us,
+                 (unsigned long long)p.disk_us, p.virtual_updates_per_sec,
+                 p.wall_updates_per_sec,
+                 i + 1 < saturation.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"amortization\": [\n");
+  for (std::size_t i = 0; i < amortization.size(); ++i) {
+    const CurvePoint& p = amortization[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"updates\": %llu, \"forces\": %llu, "
+                 "\"force_requests\": %llu, \"piggybacked\": %llu, "
+                 "\"forces_per_update\": %.4f}%s\n",
+                 p.threads, (unsigned long long)p.updates,
+                 (unsigned long long)p.forces,
+                 (unsigned long long)p.force_requests,
+                 (unsigned long long)p.piggybacked, p.forces_per_update,
+                 i + 1 < amortization.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+const char* StringFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
 void PrintCurveHeader() {
   std::printf("%8s %8s %8s %10s %12s %14s\n", "threads", "updates",
               "forces", "requests", "piggybacked", "forces/update");
@@ -187,6 +352,30 @@ int main(int argc, char** argv) {
   using namespace cedar::bench;
   const bool smoke = SmokeMode(argc, argv);
   const int curve_rounds = smoke ? 10 : 40;
+  const int sat_rounds = smoke ? 60 : 200;
+  const char* json_path = StringFlag(argc, argv, "--json");
+
+  // --scaling: the disjoint-name saturation curve at 1/4/8 clients. Exits
+  // nonzero unless 8-thread aggregate throughput is strictly above the
+  // single-thread figure — the CI regression gate for parallel commit.
+  if (HasFlag(argc, argv, "--scaling")) {
+    std::printf("Multi-client saturation, shard-disjoint names\n\n");
+    PrintSatHeader();
+    std::vector<SatPoint> curve;
+    for (int threads : {1, 4, 8}) {
+      curve.push_back(RunSaturation(threads, sat_rounds));
+      PrintSatPoint(curve.back());
+    }
+    const double t1 = curve.front().virtual_updates_per_sec;
+    const double t8 = curve.back().virtual_updates_per_sec;
+    std::printf("\n8-thread vs 1-thread throughput: x%.2f (%s)\n",
+                t1 > 0 ? t8 / t1 : 0,
+                t8 > t1 ? "rising" : "NOT RISING");
+    if (json_path != nullptr) {
+      WriteJson(json_path, curve, {});
+    }
+    return t8 > t1 ? 0 : 1;
+  }
 
   // --threads N: just the concurrent amortization measurement for one N,
   // with the commit daemon on. Used by CI and for plotting the curve.
@@ -271,5 +460,23 @@ int main(int argc, char** argv) {
   }
   std::printf("forces-per-metadata-update strictly decreasing: %s\n",
               strictly_decreasing ? "yes" : "NO");
+
+  std::printf(
+      "\nMulti-client saturation: aggregate throughput on shard-disjoint "
+      "names\n");
+  PrintSatHeader();
+  std::vector<SatPoint> sat;
+  for (int threads : {1, 2, 4, 8}) {
+    sat.push_back(RunSaturation(threads, sat_rounds));
+    PrintSatPoint(sat.back());
+  }
+  const double speedup = sat.front().virtual_updates_per_sec > 0
+                             ? sat.back().virtual_updates_per_sec /
+                                   sat.front().virtual_updates_per_sec
+                             : 0;
+  std::printf("8-thread vs 1-thread throughput: x%.2f\n", speedup);
+  if (json_path != nullptr) {
+    WriteJson(json_path, sat, curve);
+  }
   return strictly_decreasing ? 0 : 1;
 }

@@ -274,6 +274,7 @@ std::uint32_t BTree::MaxEntrySize() const {
 }
 
 Status BTree::Create() {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::unique_lock<std::shared_mutex> lock(tree_mu_);
   std::vector<std::uint8_t> buf(page_size_);
   Node node(&buf);
@@ -296,12 +297,62 @@ Status BTree::StoreNode(PageId id, std::span<const std::uint8_t> buf) const {
   return store_->WritePage(id, buf);
 }
 
+Status BTree::TryInPlaceUpdate(std::span<const std::uint8_t> key,
+                               std::span<const std::uint8_t> value,
+                               bool* done) {
+  *done = false;
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
+  std::shared_lock<std::shared_mutex> lock(tree_mu_);
+  // Descend to the leaf. The shared lock freezes the structure (no splits,
+  // no frees), so the routing stays valid; concurrent in-place updates on
+  // other leaves don't move keys between pages.
+  PageId page = root_;
+  std::vector<std::uint8_t> buf;
+  for (;;) {
+    CEDAR_RETURN_IF_ERROR(LoadNode(page, &buf));
+    Node probe(&buf);
+    if (probe.IsLeaf()) {
+      break;
+    }
+    const std::uint32_t ub = probe.UpperBound(key);
+    page = ub == 0 ? probe.LeftmostChild() : probe.ChildAt(ub - 1);
+  }
+  // Latch the leaf and reload it: another updater may have rewritten the
+  // page between the descent and the latch.
+  util::RankedLockGuard latch(leaf_mu_[page % leaf_mu_.size()],
+                              util::LockRank::kTreeLeaf);
+  CEDAR_RETURN_IF_ERROR(LoadNode(page, &buf));
+  Node node(&buf);
+  const auto idx = node.Find(key);
+  if (!idx.has_value()) {
+    return OkStatus();  // new key: needs the exclusive insert path
+  }
+  node.RemoveCell(*idx);
+  const std::vector<std::uint8_t> cell = Node::MakeLeafCell(key, value);
+  if (node.TotalFree() < cell.size() + kSlotSize) {
+    // Larger value needs a split; nothing was stored, so just fall back.
+    return OkStatus();
+  }
+  node.InsertCell(node.UpperBound(key), cell);
+  CEDAR_RETURN_IF_ERROR(StoreNode(page, buf));
+  *done = true;
+  return OkStatus();
+}
+
 Status BTree::Insert(std::span<const std::uint8_t> key,
                      std::span<const std::uint8_t> value) {
-  std::unique_lock<std::shared_mutex> lock(tree_mu_);
   if (key.empty() || key.size() + value.size() > MaxEntrySize()) {
     return MakeError(ErrorCode::kInvalidArgument, "entry too large for page");
   }
+  // Value replacement for an existing key — FSD's dominant mutation — runs
+  // under the shared lock; only key-adding inserts serialize exclusively.
+  bool done = false;
+  CEDAR_RETURN_IF_ERROR(TryInPlaceUpdate(key, value, &done));
+  if (done) {
+    return OkStatus();
+  }
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
+  std::unique_lock<std::shared_mutex> lock(tree_mu_);
   // Worst case this insert splits every level plus grows a new root; make
   // sure those pages exist BEFORE touching the tree, so we never store a
   // split child whose parent separator cannot be recorded.
@@ -459,6 +510,7 @@ Status BTree::InsertRec(PageId page, std::span<const std::uint8_t> key,
 }
 
 Result<Value> BTree::Lookup(std::span<const std::uint8_t> key) {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::shared_lock<std::shared_mutex> lock(tree_mu_);
   PageId page = root_;
   for (;;) {
@@ -478,6 +530,7 @@ Result<Value> BTree::Lookup(std::span<const std::uint8_t> key) {
 }
 
 Status BTree::Erase(std::span<const std::uint8_t> key) {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::unique_lock<std::shared_mutex> lock(tree_mu_);
   EraseResult result;
   return EraseRec(root_, key, /*is_root=*/true, &result);
@@ -554,6 +607,7 @@ Status BTree::EraseRec(PageId page, std::span<const std::uint8_t> key,
 
 Status BTree::Scan(std::span<const std::uint8_t> from,
                    const ScanVisitor& visit) {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::shared_lock<std::shared_mutex> lock(tree_mu_);
   bool keep_going = true;
   return ScanRec(root_, from, visit, &keep_going);
@@ -589,6 +643,7 @@ Status BTree::ScanRec(PageId page, std::span<const std::uint8_t> from,
 }
 
 Result<std::uint64_t> BTree::Count() {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::shared_lock<std::shared_mutex> lock(tree_mu_);
   std::uint64_t count = 0;
   CEDAR_RETURN_IF_ERROR(CountRec(root_, &count));
@@ -611,6 +666,7 @@ Status BTree::CountRec(PageId page, std::uint64_t* count) {
 }
 
 Status BTree::CollectPages(std::vector<PageId>* out) {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::shared_lock<std::shared_mutex> lock(tree_mu_);
   out->clear();
   return CollectRec(root_, out);
@@ -632,6 +688,7 @@ Status BTree::CollectRec(PageId page, std::vector<PageId>* out) {
 }
 
 Status BTree::CheckInvariants() {
+  util::LockRankFrame tree_rank(util::LockRank::kTree);
   std::shared_lock<std::shared_mutex> lock(tree_mu_);
   int leaf_depth = -1;
   return CheckRec(root_, std::nullopt, std::nullopt, 0, &leaf_depth);

@@ -16,18 +16,26 @@
 //   - Deletion removes empty leaves and collapses internal nodes that lose
 //     all separators; there is no eager rebalancing (matching the original
 //     Cedar B-tree package's behaviour, which tolerated slack).
-//   - Thread safety: a tree-level reader/writer lock. Mutators (Create,
-//     Insert, Erase) take it exclusively; Lookup/Scan/Count/CollectPages/
-//     CheckInvariants take it shared, so concurrent readers proceed in
-//     parallel. Page-level latching is not needed: the backing PageStore is
-//     itself thread-safe, and FSD additionally shards name-table operations
-//     by name hash above this layer (DESIGN.md section 4e).
+//   - Thread safety: a tree-level reader/writer lock plus leaf latches.
+//     Structure mutators (Create, Erase, key-adding Insert) take the tree
+//     lock exclusively; Lookup/Scan/Count/CollectPages/CheckInvariants take
+//     it shared. Insert first tries an *in-place update* under the shared
+//     lock: replacing the value of an existing key never moves separators,
+//     so the descent stays valid, and a striped leaf latch (acquired after
+//     the descent, leaf reloaded under it) serializes the read-modify-write
+//     of the one leaf page against other in-place updaters. FSD's dominant
+//     mutation — rewriting a name-table entry for an existing file — thus
+//     runs in parallel across leaves. The backing PageStore is itself
+//     thread-safe; FSD additionally shards name-table operations by name
+//     hash above this layer (DESIGN.md section 4f).
 
 #ifndef CEDAR_BTREE_BTREE_H_
 #define CEDAR_BTREE_BTREE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "src/btree/page_store.h"
+#include "src/util/lockrank.h"
 #include "src/util/status.h"
 
 namespace cedar::btree {
@@ -102,6 +111,13 @@ class BTree {
   Status LoadNode(PageId id, std::vector<std::uint8_t>* buf) const;
   Status StoreNode(PageId id, std::span<const std::uint8_t> buf) const;
 
+  // Replaces the value of an existing key under the shared tree lock (leaf
+  // latch for the page rewrite). Sets *done=false (without error) when the
+  // key is absent or the new value needs a split — the exclusive path then
+  // handles it.
+  Status TryInPlaceUpdate(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> value, bool* done);
+
   Status InsertRec(PageId page, std::span<const std::uint8_t> key,
                    std::span<const std::uint8_t> value, SplitResult* out);
   Status EraseRec(PageId page, std::span<const std::uint8_t> key,
@@ -114,9 +130,13 @@ class BTree {
                   int* leaf_depth);
   Status CountRec(PageId page, std::uint64_t* count);
 
-  // Exclusive for mutators, shared for read paths; the *Rec helpers run
-  // with it held by the public entry point.
+  // Exclusive for structure mutators, shared for read paths and in-place
+  // updates; the *Rec helpers run with it held by the public entry point.
+  // Rank kTree in the FSD lock hierarchy.
   mutable std::shared_mutex tree_mu_;
+  // Striped leaf latches (rank kTreeLeaf, under shared tree_mu_) serializing
+  // in-place read-modify-writes of one leaf page.
+  mutable std::array<std::mutex, 64> leaf_mu_;
   PageStore* store_;
   PageId root_;
   std::uint32_t page_size_;

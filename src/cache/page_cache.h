@@ -21,20 +21,29 @@
 // common case and bounded by the dirty population in the worst case.
 //
 // Thread safety: an internal mutex guards the map, the LRU list, and the
-// hit/miss/eviction counters, so structural operations are safe from any
-// thread. The *contents* of a returned Frame are NOT covered — callers
-// mutate frames under their file system's own operation lock (for FSD,
-// every Find/Insert and subsequent frame access happens inside the core
-// lock; the cache mutex only keeps structure and stats coherent with
-// observers like Stats()). Returned Frame pointers stay valid until the
-// frame is erased, which the owning file system also serializes.
+// hit/miss/eviction counters. Two access disciplines coexist:
+//
+//   - Closure APIs (ReadInto / Apply / Upsert / InsertIfAbsent) run entirely
+//     under the cache mutex, so frame *contents and flags* accessed through
+//     them are safe from any number of concurrent threads. FSD's parallel
+//     operation paths use only these: page reads copy out an atomic image,
+//     flag flips happen under the lock, and no Frame pointer ever escapes.
+//   - Raw APIs (Find / Insert / ForEach returning or exposing Frame&) cover
+//     only the cache *structure*; contents are the caller's to serialize.
+//     FSD's quiesced paths (format, mount, shutdown, fsck, scrub — all ops
+//     drained) and CFS's single-threaded use keep these.
+//
+// Returned Frame pointers stay valid until the frame is erased, which the
+// owning file system serializes for the raw paths.
 
 #ifndef CEDAR_CACHE_PAGE_CACHE_H_
 #define CEDAR_CACHE_PAGE_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +59,7 @@ struct Frame {
   bool dirty_since_log = false;  // changed since the last log capture
   std::int32_t logged_third = -1;  // log third holding the latest image
   std::vector<std::uint8_t> logged_image;  // image captured by that record
+  std::uint64_t logged_lsn = 0;  // LSN of the record holding logged_image
   bool is_leader = false;        // leader page (single home, no replica)
 
   // Intrusive LRU links, maintained by the cache. `key` is duplicated here
@@ -104,14 +114,91 @@ class PageCache {
     return frame;
   }
 
-  void Erase(std::uint32_t key) {
+  // Removes the frame for `key`. Returns true when the erased frame was
+  // dirty-since-log, so FSD can release its log-space reservation.
+  bool Erase(std::uint32_t key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = frames_.find(key);
     if (it == frames_.end()) {
-      return;
+      return false;
     }
+    const bool was_pending = it->second.dirty_since_log;
     Unlink(&it->second);
     frames_.erase(it);
+    return was_pending;
+  }
+
+  // ---- Closure APIs: content access under the cache mutex (safe against
+  // concurrent mutators; see the header comment).
+
+  // Copies the cached image for `key` into `out` (an atomic snapshot even
+  // while another thread is updating the frame in place). Bumps LRU and the
+  // hit/miss counters like Find. Returns false on miss.
+  bool ReadInto(std::uint32_t key, std::span<std::uint8_t> out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    MoveToFront(&it->second);
+    const std::size_t n = std::min(out.size(), it->second.data.size());
+    std::copy_n(it->second.data.begin(), n, out.begin());
+    return true;
+  }
+
+  // Runs `fn(Frame&)` under the cache mutex if `key` is present; returns
+  // whether it was. Does not bump LRU (flag maintenance must not perturb
+  // eviction order). `fn` must not reenter the cache.
+  template <typename Fn>
+  bool Apply(std::uint32_t key, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+      return false;
+    }
+    fn(it->second);
+    return true;
+  }
+
+  // Finds or inserts the frame for `key` and runs `fn(Frame&, inserted)`
+  // under the cache mutex. Unlike Insert, an existing frame keeps its data
+  // and bookkeeping flags — `fn` decides what to update. A new frame starts
+  // with default (clean) flags. Bumps LRU; may evict a clean frame.
+  template <typename Fn>
+  void Upsert(std::uint32_t key, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(key);
+    bool inserted = false;
+    if (it == frames_.end()) {
+      MaybeEvict();
+      it = frames_.try_emplace(key).first;
+      it->second.key = key;
+      PushFront(&it->second);
+      inserted = true;
+    } else {
+      MoveToFront(&it->second);
+    }
+    fn(it->second, inserted);
+  }
+
+  // Inserts a clean frame holding a copy of `data` only when `key` is
+  // absent — a cache fill that can never clobber a concurrently dirtied
+  // frame. Returns whether it inserted.
+  bool InsertIfAbsent(std::uint32_t key, std::span<const std::uint8_t> data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(key);
+    if (it != frames_.end()) {
+      return false;
+    }
+    MaybeEvict();
+    it = frames_.try_emplace(key).first;
+    Frame& frame = it->second;
+    frame.key = key;
+    frame.data.assign(data.begin(), data.end());
+    PushFront(&frame);
+    return true;
   }
 
   void Clear() {

@@ -56,10 +56,10 @@ std::string FsckReport::Summary() const {
 }
 
 Result<FsckReport> Fsd::Fsck() {
-  // Serialize against client operations (and the commit daemon): the audit
-  // must see a consistent cache/VAM/tree snapshot, and the self-repairing
-  // reads below share the disk with everyone else.
-  std::lock_guard<std::mutex> lock(op_mu_);
+  // Quiesce client operations (and the commit daemon): close the op gate,
+  // drain in-flight ops, and hold force_mu_, so the audit sees a consistent
+  // cache/VAM/tree snapshot — the same exclusive view a log capture gets.
+  ScopedQuiesce quiesce(this);
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }

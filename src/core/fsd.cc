@@ -21,6 +21,11 @@ constexpr std::uint32_t kRootMagic = 0x46534452;  // "FSDR"
 // to the double-written home copies (primary preferred, replica used for
 // repair); writes only dirty cached frames — the log captures them at the
 // next group commit, so a multi-page B-tree update is atomic.
+//
+// Concurrency: only the cache's closure APIs are used (reads copy out an
+// atomic image, writes mutate under the cache mutex), so tree readers on
+// shared pages never see torn frames; the allocation-map bitmaps are
+// guarded by the owning Fsd's alloc_mu_.
 class Fsd::NtStore : public btree::PageStore {
  public:
   explicit NtStore(Fsd* fsd) : fsd_(fsd) {}
@@ -28,8 +33,7 @@ class Fsd::NtStore : public btree::PageStore {
   std::uint32_t page_size() const override { return 512; }
 
   Status ReadPage(btree::PageId id, std::span<std::uint8_t> out) override {
-    if (cache::Frame* frame = fsd_->cache_.Find(id)) {
-      std::copy(frame->data.begin(), frame->data.end(), out.begin());
+    if (fsd_->cache_.ReadInto(id, out)) {
       return OkStatus();
     }
     // Miss: read an aligned cluster of pages from each region in one
@@ -62,9 +66,6 @@ class Fsd::NtStore : public btree::PageStore {
     bool found = false;
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t pid = first + i;
-      if (fsd_->cache_.Find(pid) != nullptr && pid != id) {
-        continue;  // never clobber a (possibly dirty) cached page
-      }
       auto page_a = std::span<const std::uint8_t>(a).subspan(
           static_cast<std::size_t>(i) * 512, 512);
       auto page_b = std::span<const std::uint8_t>(b).subspan(
@@ -82,6 +83,16 @@ class Fsd::NtStore : public btree::PageStore {
       // The primary is written first at every flush, so when the copies
       // disagree the primary is the newer one; repair the other side.
       auto good = ok_a ? page_a : page_b;
+      if (!fsd_->cache_.InsertIfAbsent(pid, good)) {
+        // Cached — never clobber a (possibly dirty) frame, and skip the
+        // repair: a frame with a newer image will reach home through the
+        // third-flush path anyway.
+        if (pid == id) {
+          CEDAR_CHECK(fsd_->cache_.ReadInto(id, out));
+          found = true;
+        }
+        continue;
+      }
       if (ok_a && read_b &&
           (!ok_b || !std::equal(page_a.begin(), page_a.end(),
                                 page_b.begin()))) {
@@ -97,8 +108,6 @@ class Fsd::NtStore : public btree::PageStore {
         std::copy(good.begin(), good.end(), out.begin());
         found = true;
       }
-      fsd_->cache_.Insert(pid,
-                          std::vector<std::uint8_t>(good.begin(), good.end()));
     }
     CEDAR_CHECK(found);
     return OkStatus();
@@ -106,36 +115,51 @@ class Fsd::NtStore : public btree::PageStore {
 
   Status WritePage(btree::PageId id,
                    std::span<const std::uint8_t> data) override {
-    cache::Frame* frame = fsd_->cache_.Find(id);
-    if (frame == nullptr) {
-      frame = &fsd_->cache_.Insert(
-          id, std::vector<std::uint8_t>(data.begin(), data.end()));
-    } else {
-      frame->data.assign(data.begin(), data.end());
+    bool became_pending = false;
+    fsd_->cache_.Upsert(id, [&](cache::Frame& frame, bool) {
+      frame.data.assign(data.begin(), data.end());
+      frame.dirty = true;
+      if (!frame.dirty_since_log) {
+        frame.dirty_since_log = true;
+        became_pending = true;
+      }
+    });
+    if (became_pending) {
+      fsd_->gate_.NotePendingCapture(1);
     }
-    frame->dirty = true;
-    frame->dirty_since_log = true;
     return OkStatus();
   }
 
   Result<btree::PageId> AllocatePage() override {
-    auto pid = fsd_->vam_.nt_free().FindRunForward(0, 1);
+    std::optional<std::uint32_t> pid;
+    {
+      util::RankedLockGuard lock(fsd_->alloc_mu_, util::LockRank::kAlloc);
+      pid = fsd_->vam_.nt_free().FindRunForward(0, 1);
+      if (pid) {
+        fsd_->vam_.nt_free().Set(*pid, false);
+      }
+    }
     if (!pid) {
       return MakeError(ErrorCode::kNoFreeSpace, "name table region full");
     }
-    fsd_->vam_.nt_free().Set(*pid, false);
     fsd_->RecordDelta(VamDelta::Op::kNtAlloc, *pid, 1);
     return *pid;
   }
 
   Status FreePage(btree::PageId id) override {
-    fsd_->vam_.nt_free().Set(id, true);
-    fsd_->cache_.Erase(id);
+    {
+      util::RankedLockGuard lock(fsd_->alloc_mu_, util::LockRank::kAlloc);
+      fsd_->vam_.nt_free().Set(id, true);
+    }
+    if (fsd_->cache_.Erase(id)) {
+      fsd_->gate_.ReleasePendingCapture(1);
+    }
     fsd_->RecordDelta(VamDelta::Op::kNtFree, id, 1);
     return OkStatus();
   }
 
   bool CanAllocate(std::uint32_t count) override {
+    util::RankedLockGuard lock(fsd_->alloc_mu_, util::LockRank::kAlloc);
     return fsd_->vam_.nt_free().Count() >= count;
   }
 
@@ -174,6 +198,7 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   c_.home_write_requests = metrics_.GetCounter("fsd.home_write_requests");
   c_.home_writes_coalesced = metrics_.GetCounter("fsd.home_writes_coalesced");
   c_.read_retries = metrics_.GetCounter("fsd.read_retries");
+  c_.space_forces = metrics_.GetCounter("fsd.space_forces");
   h_.create = metrics_.GetHistogram("op.fsd.create.us");
   h_.open = metrics_.GetHistogram("op.fsd.open.us");
   h_.read = metrics_.GetHistogram("op.fsd.read.us");
@@ -202,6 +227,8 @@ FsdStats Fsd::stats() const {
   s.home_write_requests = c_.home_write_requests->value();
   s.home_writes_coalesced = c_.home_writes_coalesced->value();
   s.read_retries = c_.read_retries->value();
+  s.space_forces = c_.space_forces->value();
+  s.max_parallel_ops = gate_.max_outstanding();
   const CommitQueue::Stats queue_stats = log_->commit_queue().stats();
   s.force_requests = queue_stats.force_requests;
   s.piggybacked = queue_stats.piggybacked;
@@ -226,15 +253,27 @@ Fsd::~Fsd() { StopDaemon(); }
 
 const LogStats& Fsd::log_stats() const { return log_->stats(); }
 
+std::uint32_t Fsd::FreeSectors() const {
+  util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+  return vam_.FreeCount();
+}
+
+std::uint32_t Fsd::ShadowSectors() const { return vam_.ShadowCount(); }
+
 bool Fsd::HasPendingUpdates() const {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  // Snapshot of the pending-work state; exact only between settled phases
+  // (tests call it with no op in flight).
   bool pending = false;
   const_cast<cache::PageCache&>(cache_).ForEach(
       [&](std::uint32_t, cache::Frame& frame) {
         pending = pending || frame.dirty_since_log;
       });
-  return pending || vam_.ShadowCount() > 0 || !pending_tombstones_.empty() ||
-         !pending_alloc_deltas_.empty() || !pending_free_deltas_.empty();
+  {
+    util::RankedLockGuard lock(pending_mu_, util::LockRank::kPending);
+    pending = pending || !pending_tombstones_.empty() ||
+              !pending_alloc_deltas_.empty() || !pending_free_deltas_.empty();
+  }
+  return pending || vam_.ShadowCount() > 0;
 }
 
 void Fsd::RecordDelta(VamDelta::Op op, std::uint32_t start,
@@ -243,10 +282,19 @@ void Fsd::RecordDelta(VamDelta::Op op, std::uint32_t start,
     return;
   }
   const VamDelta delta{.op = op, .start = start, .count = count};
-  if (op == VamDelta::Op::kAlloc || op == VamDelta::Op::kNtAlloc) {
-    pending_alloc_deltas_.push_back(delta);
-  } else {
-    pending_free_deltas_.push_back(delta);
+  bool new_page = false;
+  {
+    util::RankedLockGuard lock(pending_mu_, util::LockRank::kPending);
+    auto& deltas = (op == VamDelta::Op::kAlloc || op == VamDelta::Op::kNtAlloc)
+                       ? pending_alloc_deltas_
+                       : pending_free_deltas_;
+    deltas.push_back(delta);
+    // Each serialized delta page holds kDeltasPerPage entries; count a new
+    // pending-capture page when this push starts one.
+    new_page = deltas.size() % kVamDeltasPerPage == 1;
+  }
+  if (new_page) {
+    gate_.NotePendingCapture(1);
   }
 }
 
@@ -325,7 +373,7 @@ Status Fsd::Format() {
   StopDaemon();
   Status status;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
+    ScopedQuiesce quiesce(this);
     status = FormatLocked();
   }
   if (status.ok()) {
@@ -381,7 +429,7 @@ Status Fsd::Mount() {
   StopDaemon();
   Status status;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
+    ScopedQuiesce quiesce(this);
     status = MountLocked();
   }
   if (status.ok()) {
@@ -486,7 +534,11 @@ Status Fsd::MountLocked() {
                                     log_->next_lsn()));
   }
   CEDAR_RETURN_IF_ERROR(WriteVolumeRoot(/*clean=*/false));
-  last_force_ = disk_->clock().now();
+  last_force_.store(disk_->clock().now(), std::memory_order_relaxed);
+  // Arm the admission gate for this volume's log geometry; the cache was
+  // cleared above, so no capture reservations carry over.
+  gate_.SetBudget(log_->MaxGroupPages());
+  gate_.ResetPendingCapture();
   mounted_ = true;
   return OkStatus();
 }
@@ -613,9 +665,14 @@ Status Fsd::FlushHomeBatch(sim::IoScheduler& sched) {
 }
 
 Status Fsd::FlushThird(int third) {
+  // Called from inside AppendGroup while the append phase of a force holds
+  // force_mu_ with the gate OPEN, so mutators may be running: work from
+  // copied images and update flags through the cache's closure API.
+  //
   // With VAM logging, a fresh base snapshot accompanies every third entry;
   // recovery then needs only the deltas in the surviving records.
   if (config_.vam_logging) {
+    util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
     CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
                                     layout_.vam_sectors, boot_count_,
                                     log_->next_lsn()));
@@ -626,7 +683,11 @@ Status Fsd::FlushThird(int third) {
   // two elevator sweeps: all primaries (and leaders), then all replicas.
   // A crash anywhere inside the flush is safe — the oldest-third pointer
   // only advances after this returns, so replay still covers every page.
-  std::vector<std::pair<std::uint32_t, cache::Frame*>> victims;
+  struct Victim {
+    std::uint32_t key = 0;
+    std::vector<std::uint8_t> image;
+  };
+  std::vector<Victim> victims;
   cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
     if (frame.logged_third != third) {
       return;
@@ -635,17 +696,18 @@ Status Fsd::FlushThird(int third) {
       // Piggybacked to disk already; nothing to do.
       frame.logged_third = -1;
       frame.logged_image.clear();
+      frame.logged_lsn = 0;
       return;
     }
-    victims.emplace_back(key, &frame);
+    victims.push_back(Victim{.key = key, .image = frame.logged_image});
   });
   if (victims.empty()) {
     return OkStatus();
   }
   sim::IoScheduler primary(disk_, config_.batched_writeback);
   sim::IoScheduler replica(disk_, config_.batched_writeback);
-  for (auto& [key, frame] : victims) {
-    QueueHome(primary, replica, key, frame->logged_image);
+  for (const Victim& victim : victims) {
+    QueueHome(primary, replica, victim.key, victim.image);
   }
   // Disk time spent here is attributed to the "fsd.flush_third" op class by
   // the tracer (with its full seek/rotation/transfer breakdown); the old
@@ -656,24 +718,41 @@ Status Fsd::FlushThird(int third) {
     status = FlushHomeBatch(replica);
   }
   CEDAR_RETURN_IF_ERROR(status);
-  for (auto& [key, frame] : victims) {
+  for (const Victim& victim : victims) {
     c_.third_flush_pages->Increment();
-    frame->logged_third = -1;
-    frame->dirty = frame->dirty_since_log;
-    if (!frame->dirty) {
-      frame->logged_image.clear();
-    }
+    // A frame stays dirty when it was re-dirtied since capture OR when the
+    // force in progress captured it (its new image is still en route to the
+    // log; going clean here would make it evictable and orphan that image).
+    const bool capturing = capture_keys_.contains(victim.key);
+    cache_.Apply(victim.key, [&](cache::Frame& frame) {
+      if (frame.logged_third != third) {
+        return;  // raced an erase + refill; nothing to retire
+      }
+      frame.logged_third = -1;
+      frame.logged_lsn = 0;
+      frame.dirty = frame.dirty_since_log || capturing;
+      if (!frame.dirty) {
+        frame.logged_image.clear();
+      }
+    });
   }
   return OkStatus();
 }
 
-Status Fsd::ForceLog() {
-  if (in_force_) {
-    return OkStatus();
-  }
+Status Fsd::ForceLogImpl(GateMode mode, std::uint64_t* covered_seq) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.log_force");
-  in_force_ = true;
-  last_force_ = disk_->clock().now();
+  if (mode == GateMode::kCloseAndReopen) {
+    gate_.CloseForCommit();
+  }
+  // ---- CAPTURE phase: the gate is closed and drained, so no mutator is
+  // running — cache flags, the pending queues, and the delete shadow are a
+  // consistent prefix of the update history. Everything the force will log
+  // is copied or swapped out here; anything dirtied after the gate reopens
+  // belongs to the NEXT force.
+  last_force_.store(disk_->clock().now(), std::memory_order_relaxed);
+  if (covered_seq != nullptr) {
+    *covered_seq = log_->commit_queue().latest_update();
+  }
 
   // Gather everything dirtied since the last capture, in deterministic
   // key order.
@@ -685,18 +764,41 @@ Status Fsd::ForceLog() {
   });
   std::sort(keys.begin(), keys.end());
 
-  if (keys.empty() && pending_tombstones_.empty() &&
-      pending_alloc_deltas_.empty() && pending_free_deltas_.empty()) {
+  std::vector<std::uint32_t> tombstones;
+  std::vector<VamDelta> alloc_deltas;
+  std::vector<VamDelta> free_deltas;
+  {
+    util::RankedLockGuard lock(pending_mu_, util::LockRank::kPending);
+    tombstones.swap(pending_tombstones_);
+    alloc_deltas.swap(pending_alloc_deltas_);
+    free_deltas.swap(pending_free_deltas_);
+  }
+  Bitmap shadow;
+  {
+    util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+    shadow = vam_.TakeShadow();
+  }
+  gate_.ResetPendingCapture();
+
+  if (keys.empty() && tombstones.empty() && alloc_deltas.empty() &&
+      free_deltas.empty()) {
     c_.empty_forces->Increment();
-    vam_.CommitShadow();
-    in_force_ = false;
+    {
+      util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+      vam_.FoldShadow(shadow);
+    }
+    if (mode == GateMode::kCloseAndReopen) {
+      gate_.Reopen();
+    }
     return OkStatus();
   }
 
-  // Assemble the record stream. Ordering is load-bearing for VAM logging:
-  // alloc deltas precede the tree pages that reference the allocated
-  // sectors, free deltas follow the pages that drop the references — so a
-  // force torn between records can leak sectors but never double-use them.
+  // Assemble the record stream from COPIES of the captured images, clearing
+  // the capture flag now so re-dirtying during the append counts toward the
+  // next force. Ordering is load-bearing for VAM logging: alloc deltas
+  // precede the tree pages that reference the allocated sectors, free
+  // deltas follow the pages that drop the references — so a force torn
+  // between records can leak sectors but never double-use them.
   std::vector<PageImage> images;
   auto add_delta_pages = [&](std::span<const VamDelta> deltas) {
     for (auto& page_bytes : SerializeDeltas(deltas)) {
@@ -706,11 +808,10 @@ Status Fsd::ForceLog() {
       images.push_back(std::move(page));
     }
   };
-  add_delta_pages(pending_alloc_deltas_);
+  add_delta_pages(alloc_deltas);
   const std::size_t frames_begin = images.size();
+  capture_keys_.clear();
   for (std::uint32_t key : keys) {
-    cache::Frame* frame = cache_.Find(key);
-    CEDAR_CHECK(frame != nullptr);
     PageImage page;
     if (key & kLeaderKeyBit) {
       page.primary = key & ~kLeaderKeyBit;
@@ -718,18 +819,31 @@ Status Fsd::ForceLog() {
       page.primary = layout_.nta_base + key;
       page.secondary = layout_.ntb_base + key;
     }
-    page.data = frame->data;
+    const bool present = cache_.Apply(key, [&](cache::Frame& frame) {
+      page.data = frame.data;
+      frame.dirty_since_log = false;
+    });
+    CEDAR_CHECK(present);  // the gate is closed: nothing erases frames now
+    capture_keys_.insert(key);
     images.push_back(std::move(page));
   }
   const std::size_t frames_end = images.size();
-  for (std::uint32_t key : pending_tombstones_) {
+  for (std::uint32_t key : tombstones) {
     PageImage page;
     page.primary = key & ~kLeaderKeyBit;
     page.kind = PageKind::kTombstone;
     page.data.assign(512, 0);
     images.push_back(std::move(page));
   }
-  add_delta_pages(pending_free_deltas_);
+  add_delta_pages(free_deltas);
+
+  if (mode == GateMode::kCloseAndReopen) {
+    gate_.Reopen();
+  }
+  // ---- APPEND phase: mutators proceed in parallel with the log write
+  // (force_mu_ keeps this the only appender). Frame flag updates go through
+  // the cache's closure API; a frame deleted mid-append simply drops out
+  // (its tombstone is queued for the next force).
 
   auto flush_fn = [this](int third) { return FlushThird(third); };
 
@@ -745,52 +859,99 @@ Status Fsd::ForceLog() {
           FsdLog::kMaxPagesPerRecord,
       log_->MaxGroupPages());
   Status status = OkStatus();
-  std::size_t i = 0;
-  while (i < images.size() && status.ok()) {
-    const std::size_t n = std::min(group_pages, images.size() - i);
+  std::size_t logged_upto = 0;
+  while (logged_upto < images.size()) {
+    const std::size_t n = std::min(group_pages, images.size() - logged_upto);
+    const std::uint64_t lsn = log_->next_lsn();
     Result<int> third = log_->AppendGroup(
-        std::span<const PageImage>(images.data() + i, n), flush_fn);
+        std::span<const PageImage>(images.data() + logged_upto, n), flush_fn);
     status = third.status();
-    if (status.ok()) {
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::size_t index = i + j;
-        if (index < frames_begin || index >= frames_end) {
-          continue;
-        }
-        cache::Frame* frame = cache_.Find(keys[index - frames_begin]);
-        frame->logged_third = *third;
-        frame->logged_image = frame->data;
-        frame->dirty = true;
-        frame->dirty_since_log = false;
-      }
-      c_.pages_captured->Add(n);
+    if (!status.ok()) {
+      break;
     }
-    i += n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t index = logged_upto + j;
+      if (index < frames_begin || index >= frames_end) {
+        continue;
+      }
+      cache_.Apply(keys[index - frames_begin], [&](cache::Frame& frame) {
+        frame.logged_third = *third;
+        frame.logged_lsn = lsn;
+        frame.logged_image = images[index].data;
+        frame.dirty = true;
+      });
+    }
+    c_.pages_captured->Add(n);
+    logged_upto += n;
   }
-  if (status.ok()) {
-    pending_tombstones_.clear();
-    pending_alloc_deltas_.clear();
-    pending_free_deltas_.clear();
-    vam_.CommitShadow();
-    c_.forces->Increment();
+  capture_keys_.clear();
+  if (!status.ok()) {
+    // Restore the capture state for everything not durably appended so the
+    // next force retries it: re-mark the unlogged frames, requeue ALL the
+    // pendings (tombstones and deltas are idempotent at replay), and put
+    // the shadowed sectors back.
+    for (std::size_t index = std::max(logged_upto, frames_begin);
+         index < frames_end; ++index) {
+      bool became_pending = false;
+      cache_.Apply(keys[index - frames_begin], [&](cache::Frame& frame) {
+        frame.dirty = true;
+        if (!frame.dirty_since_log) {
+          frame.dirty_since_log = true;
+          became_pending = true;
+        }
+      });
+      if (became_pending) {
+        gate_.NotePendingCapture(1);
+      }
+    }
+    {
+      util::RankedLockGuard lock(pending_mu_, util::LockRank::kPending);
+      pending_tombstones_.insert(pending_tombstones_.begin(),
+                                 tombstones.begin(), tombstones.end());
+      pending_alloc_deltas_.insert(pending_alloc_deltas_.begin(),
+                                   alloc_deltas.begin(), alloc_deltas.end());
+      pending_free_deltas_.insert(pending_free_deltas_.begin(),
+                                  free_deltas.begin(), free_deltas.end());
+    }
+    gate_.NotePendingCapture(
+        tombstones.size() +
+        (alloc_deltas.size() + kVamDeltasPerPage - 1) / kVamDeltasPerPage +
+        (free_deltas.size() + kVamDeltasPerPage - 1) / kVamDeltasPerPage);
+    {
+      util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+      vam_.MergeShadow(shadow);
+    }
+    return status;
   }
-  in_force_ = false;
-  return status;
+  {
+    util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+    vam_.FoldShadow(shadow);
+  }
+  c_.forces->Increment();
+  return OkStatus();
 }
 
-Status Fsd::MaybeGroupCommit(std::uint64_t* await_seq) {
-  if (!mounted_ || in_force_) {
+Status Fsd::MaybeDeadlineForce(std::uint64_t* await_seq) {
+  if (!mounted_) {
     return OkStatus();
   }
-  if (disk_->clock().now() - last_force_ < config_.group_commit_interval) {
+  const sim::Micros now = disk_->clock().now();
+  sim::Micros last = last_force_.load(std::memory_order_relaxed);
+  if (now - last < config_.group_commit_interval) {
     return OkStatus();
   }
   if (!config_.commit_daemon || await_seq == nullptr) {
-    return ForceLog();
+    util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+    // Re-check under force_mu_: a raced force may have just reset the timer.
+    if (disk_->clock().now() - last_force_.load(std::memory_order_relaxed) <
+        config_.group_commit_interval) {
+      return OkStatus();
+    }
+    return ForceLogImpl(GateMode::kCloseAndReopen);
   }
   // Daemon mode: hand the expired deadline to the flusher thread. The
   // wrapper blocks on the commit queue AFTER dropping every lock, so the
-  // daemon (which needs op_mu_) can run, and concurrent ops that hit the
+  // daemon can close the gate and run, and concurrent ops that hit the
   // same deadline piggyback on the one force.
   CommitQueue& queue = log_->commit_queue();
   const std::uint64_t latest = queue.latest_update();
@@ -798,22 +959,50 @@ Status Fsd::MaybeGroupCommit(std::uint64_t* await_seq) {
     // Nothing new since the last force — the inline path would have been
     // an empty force. Shadow sectors can't be pending either: a delete
     // always bumps the update sequence, so anything shadowed is already
-    // covered by a completed force (which committed it). Restart the timer.
-    c_.empty_forces->Increment();
-    vam_.CommitShadow();
-    last_force_ = disk_->clock().now();
+    // covered by a completed force (which committed it). Restart the timer;
+    // the CAS makes concurrent ops hitting the same expired deadline count
+    // it once.
+    if (last_force_.compare_exchange_strong(last, now,
+                                            std::memory_order_relaxed)) {
+      c_.empty_forces->Increment();
+    }
     return OkStatus();
   }
   *await_seq = latest;
   return OkStatus();
 }
 
+Status Fsd::SpaceForce() {
+  c_.space_forces->Increment();
+  if (config_.commit_daemon) {
+    // Ride the daemon's force when one will run: it resets the pending
+    // capture count. (A page can be pending before its op records an
+    // update; the inline fallback below covers that window.)
+    CommitQueue& queue = log_->commit_queue();
+    const std::uint64_t latest = queue.latest_update();
+    if (latest > queue.durable_seq()) {
+      return queue.AwaitDurable(latest);
+    }
+  }
+  util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+  if (gate_.pending_capture_pages() == 0) {
+    return OkStatus();  // a raced force already made room
+  }
+  return ForceLogImpl(GateMode::kCloseAndReopen);
+}
+
+Status Fsd::BeginOp(std::uint64_t* await_seq) {
+  CEDAR_RETURN_IF_ERROR(MaybeDeadlineForce(await_seq));
+  while (!gate_.TryBegin()) {
+    CEDAR_RETURN_IF_ERROR(SpaceForce());
+  }
+  return OkStatus();
+}
+
 Status Fsd::Tick() {
   std::uint64_t await_seq = 0;
-  {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(&await_seq));
-  }
+  CEDAR_RETURN_IF_ERROR(
+      MaybeDeadlineForce(config_.commit_daemon ? &await_seq : nullptr));
   return AwaitCommit(await_seq);
 }
 
@@ -823,11 +1012,11 @@ Status Fsd::Force() {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
   if (!config_.commit_daemon) {
-    std::lock_guard<std::mutex> lock(op_mu_);
+    util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
     if (!mounted_) {
       return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
     }
-    return ForceLog();
+    return ForceLogImpl(GateMode::kCloseAndReopen);
   }
   // Group commit (paper section 3.2): block until a daemon force covers
   // every update recorded so far. If a force already in flight covers the
@@ -855,15 +1044,22 @@ void Fsd::StopDaemon() {
 void Fsd::DaemonLoop() {
   CommitQueue& queue = log_->commit_queue();
   while (queue.AwaitWork()) {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    // Mutators hold op_mu_, so this capture is exact: every update numbered
-    // <= seq is in the dirty set the force below writes to the log.
     const std::uint64_t seq = queue.latest_update();
     queue.BeginForce(seq);
-    Status status = mounted_ ? ForceLog()
-                             : MakeError(ErrorCode::kFailedPrecondition,
-                                         "not mounted");
-    queue.Publish(seq, status);
+    Status status;
+    std::uint64_t covered = seq;
+    if (!mounted_) {
+      status = MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+    } else {
+      // The capture phase closes the op gate and drains in-flight ops, so
+      // every update recorded before the capture — in particular everything
+      // numbered <= the sequence read above — is in the captured dirty set.
+      // covered re-reads the sequence at the drained point, so the publish
+      // credits piggybacked updates that slipped in before the gate closed.
+      util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+      status = ForceLogImpl(GateMode::kCloseAndReopen, &covered);
+    }
+    queue.Publish(std::max(seq, covered), status);
   }
 }
 
@@ -876,7 +1072,7 @@ Status Fsd::AwaitCommit(std::uint64_t seq) {
 
 Status Fsd::Shutdown() {
   StopDaemon();
-  std::lock_guard<std::mutex> lock(op_mu_);
+  ScopedQuiesce quiesce(this);
   return ShutdownLocked();
 }
 
@@ -885,7 +1081,7 @@ Status Fsd::ShutdownLocked() {
   if (!mounted_) {
     return OkStatus();
   }
-  CEDAR_RETURN_IF_ERROR(ForceLog());
+  CEDAR_RETURN_IF_ERROR(ForceLogImpl(GateMode::kAlreadyClosed));
   // Write every dirty page home (the force above made cache contents equal
   // to the last logged images): all primaries in one elevator sweep, then
   // all replicas.
@@ -983,14 +1179,32 @@ Result<std::vector<fs::Extent>> Fsd::MapPages(const FsdEntry& entry,
   return out;
 }
 
+namespace {
+
+// Leaves the op gate on every exit path from an op body. Declared after the
+// shard guard in each wrapper, so End() runs BEFORE the shard lock drops —
+// a drained gate therefore really means "no mutator is touching anything".
+struct GateRelease {
+  OpGate* gate;
+  ~GateRelease() { gate->End(); }
+};
+
+}  // namespace
+
 Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
                                     std::span<const std::uint8_t> contents) {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.create");
   obs::ScopedLatency op_latency(h_.create, &disk_->clock());
   std::uint64_t await_seq = 0;
   auto result = [&]() -> Result<fs::FileUid> {
-    std::scoped_lock locks(NameShard(name), op_mu_);
-    return CreateFileLocked(name, contents, &await_seq);
+    util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
+    CEDAR_RETURN_IF_ERROR(BeginOp(&await_seq));
+    GateRelease gate{&gate_};
+    auto r = CreateFileLocked(name, contents);
+    if (r.ok()) {
+      shard_ops_[ShardOf(name)].fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
   }();
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1000,9 +1214,7 @@ Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
 }
 
 Result<fs::FileUid> Fsd::CreateFileLocked(
-    std::string_view name, std::span<const std::uint8_t> contents,
-    std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+    std::string_view name, std::span<const std::uint8_t> contents) {
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -1016,8 +1228,12 @@ Result<fs::FileUid> Fsd::CreateFileLocked(
   const auto npages =
       static_cast<std::uint32_t>((contents.size() + 511) / 512);
 
+  Result<std::vector<fs::Extent>> allocated = [&] {
+    util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+    return allocator_->Allocate(1 + npages);
+  }();
   CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
-                         allocator_->Allocate(1 + npages));
+                         std::move(allocated));
   for (const fs::Extent& run : extents) {
     RecordDelta(VamDelta::Op::kAlloc, run.start, run.count);
   }
@@ -1067,11 +1283,7 @@ Result<fs::FileUid> Fsd::CreateFileLocked(
     // Zero-length create: the leader stays buffered, is logged at the next
     // force, and is written home by piggybacking on the first write to the
     // file (or by the logging code at third entry).
-    cache::Frame& frame =
-        cache_.Insert(kLeaderKeyBit | entry.leader_lba, leader);
-    frame.is_leader = true;
-    frame.dirty = true;
-    frame.dirty_since_log = true;
+    UpsertLeader(kLeaderKeyBit | entry.leader_lba, leader);
   }
 
   CEDAR_RETURN_IF_ERROR(PutEntry(name, version, entry));
@@ -1087,8 +1299,10 @@ Result<fs::FileHandle> Fsd::Open(std::string_view name) {
   obs::ScopedLatency op_latency(h_.open, &disk_->clock());
   std::uint64_t await_seq = 0;
   auto result = [&]() -> Result<fs::FileHandle> {
-    std::scoped_lock locks(NameShard(name), op_mu_);
-    return OpenLocked(name, &await_seq);
+    util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
+    CEDAR_RETURN_IF_ERROR(BeginOp(&await_seq));
+    GateRelease gate{&gate_};
+    return OpenLocked(name);
   }();
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1097,21 +1311,22 @@ Result<fs::FileHandle> Fsd::Open(std::string_view name) {
   return result;
 }
 
-Result<fs::FileHandle> Fsd::OpenLocked(std::string_view name,
-                                       std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Result<fs::FileHandle> Fsd::OpenLocked(std::string_view name) {
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
-  auto it = open_files_.find(entry.uid);
-  if (it == open_files_.end()) {
-    open_files_.emplace(entry.uid,
-                        OpenState{.name = std::string(name),
-                                  .version = version,
-                                  .leader_verified = false});
+  {
+    util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
+    auto it = open_files_.find(entry.uid);
+    if (it == open_files_.end()) {
+      open_files_.emplace(entry.uid,
+                          OpenState{.name = std::string(name),
+                                    .version = version,
+                                    .leader_verified = false});
+    }
   }
   return fs::FileHandle{.uid = entry.uid,
                         .version = version,
@@ -1120,12 +1335,29 @@ Result<fs::FileHandle> Fsd::OpenLocked(std::string_view name,
 
 Status Fsd::Close(const fs::FileHandle& file) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(op_mu_);
   // Dropping the open state forgets the "leader verified" bit; a later
   // reopen re-verifies by piggybacking on the first read. Unknown handles
   // are fine: a remount already closed everything implicitly.
+  util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
   open_files_.erase(file.uid);
   return OkStatus();
+}
+
+Result<Fsd::OpenState> Fsd::LookupOpenState(fs::FileUid uid) const {
+  util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
+  auto it = open_files_.find(uid);
+  if (it == open_files_.end()) {
+    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
+  }
+  return it->second;
+}
+
+void Fsd::MarkLeaderVerified(fs::FileUid uid) {
+  util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
+  auto it = open_files_.find(uid);
+  if (it != open_files_.end()) {
+    it->second.leader_verified = true;
+  }
 }
 
 Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
@@ -1135,8 +1367,18 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    result = ReadLocked(file, offset, out, &await_seq);
+    // Snapshot the open state FIRST: handle ops lock the shard of the name
+    // it resolved to, so the copy must precede the lock. A concurrent
+    // delete/close just makes the entry lookup below miss — same outcome
+    // as racing the old global lock.
+    CEDAR_ASSIGN_OR_RETURN(const OpenState state, LookupOpenState(file.uid));
+    util::RankedLockGuard shard(NameShard(state.name),
+                                util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = ReadLocked(file, state, offset, out);
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1145,16 +1387,9 @@ Status Fsd::Read(const fs::FileHandle& file, std::uint64_t offset,
   return result;
 }
 
-Status Fsd::ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
-                       std::span<std::uint8_t> out,
-                       std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::ReadLocked(const fs::FileHandle& file, const OpenState& state,
+                       std::uint64_t offset, std::span<std::uint8_t> out) {
   ChargeOp();
-  auto it = open_files_.find(file.uid);
-  if (it == open_files_.end()) {
-    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
-  }
-  OpenState& state = it->second;
   CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
                          GetEntry(state.name, state.version));
   if (out.empty()) {
@@ -1178,12 +1413,20 @@ Status Fsd::ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
         r == 0 && first_page == 0 && !state.leader_verified &&
         !entry.runs.empty() && entry.runs[0].start == entry.leader_lba + 1;
     if (piggyback_verify) {
-      // Leader pending in the cache? Verify the buffered copy instead.
-      if (cache::Frame* frame =
-              cache_.Find(kLeaderKeyBit | entry.leader_lba);
-          frame != nullptr && frame->dirty) {
+      // Leader pending in the cache? Verify the buffered copy instead. The
+      // copy-out races benignly with a concurrent flush retiring the frame:
+      // either image verifies (same-name ops are shard-serialized, so the
+      // leader content is stable here).
+      std::vector<std::uint8_t> cached_leader;
+      cache_.Apply(kLeaderKeyBit | entry.leader_lba,
+                   [&](cache::Frame& frame) {
+                     if (frame.dirty) {
+                       cached_leader = frame.data;
+                     }
+                   });
+      if (!cached_leader.empty()) {
         CEDAR_RETURN_IF_ERROR(
-            VerifyLeader(frame->data, entry, state.version));
+            VerifyLeader(cached_leader, entry, state.version));
         CEDAR_RETURN_IF_ERROR(ReadWithRetry(
             run.start,
             std::span<std::uint8_t>(buf.data() + pos,
@@ -1201,7 +1444,7 @@ Status Fsd::ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
         std::copy(tmp.begin() + 512, tmp.end(), buf.begin() + pos);
         c_.piggyback_leader_verifies->Increment();
       }
-      state.leader_verified = true;
+      MarkLeaderVerified(file.uid);
       ChargeDataSectors(1 + run.count);
     } else {
       CEDAR_RETURN_IF_ERROR(ReadWithRetry(
@@ -1224,8 +1467,14 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    result = WriteLocked(file, offset, data, &await_seq);
+    CEDAR_ASSIGN_OR_RETURN(const OpenState state, LookupOpenState(file.uid));
+    util::RankedLockGuard shard(NameShard(state.name),
+                                util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = WriteLocked(file, state, offset, data);
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1234,16 +1483,10 @@ Status Fsd::Write(const fs::FileHandle& file, std::uint64_t offset,
   return result;
 }
 
-Status Fsd::WriteLocked(const fs::FileHandle& file, std::uint64_t offset,
-                        std::span<const std::uint8_t> data,
-                        std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::WriteLocked(const fs::FileHandle& file, const OpenState& state,
+                        std::uint64_t offset,
+                        std::span<const std::uint8_t> data) {
   ChargeOp();
-  auto it = open_files_.find(file.uid);
-  if (it == open_files_.end()) {
-    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
-  }
-  OpenState& state = it->second;
   CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
                          GetEntry(state.name, state.version));
   if (data.empty()) {
@@ -1278,24 +1521,33 @@ Status Fsd::WriteLocked(const fs::FileHandle& file, std::uint64_t offset,
   std::size_t pos = 0;
   for (std::size_t r = 0; r < extents.size(); ++r) {
     const fs::Extent& run = extents[r];
-    cache::Frame* leader_frame =
-        cache_.Find(kLeaderKeyBit | entry.leader_lba);
-    const bool piggyback_leader =
-        r == 0 && first_page == 0 && leader_frame != nullptr &&
-        leader_frame->dirty && !entry.runs.empty() &&
-        entry.runs[0].start == entry.leader_lba + 1;
+    // Copy the pending leader image out under the cache lock; the home
+    // write then proceeds without it. A concurrent flush retiring the same
+    // frame writes the identical image — the duplicate home write is
+    // benign (same-name ops are shard-serialized, so content is stable).
+    std::vector<std::uint8_t> leader_image;
+    if (r == 0 && first_page == 0 && !entry.runs.empty() &&
+        entry.runs[0].start == entry.leader_lba + 1) {
+      cache_.Apply(kLeaderKeyBit | entry.leader_lba,
+                   [&](cache::Frame& frame) {
+                     if (frame.dirty) {
+                       leader_image = frame.data;
+                     }
+                   });
+    }
+    const bool piggyback_leader = !leader_image.empty();
     if (piggyback_leader) {
       // Write leader + data in one request; the logging code then skips
       // this leader at third entry.
       std::vector<std::uint8_t> tmp(
           static_cast<std::size_t>(1 + run.count) * 512);
-      std::copy(leader_frame->data.begin(), leader_frame->data.end(),
-                tmp.begin());
+      std::copy(leader_image.begin(), leader_image.end(), tmp.begin());
       std::copy(buf.begin() + pos,
                 buf.begin() + pos + static_cast<std::size_t>(run.count) * 512,
                 tmp.begin() + 512);
       CEDAR_RETURN_IF_ERROR(disk_->Write(entry.leader_lba, tmp));
-      leader_frame->dirty = false;
+      cache_.Apply(kLeaderKeyBit | entry.leader_lba,
+                   [](cache::Frame& frame) { frame.dirty = false; });
       c_.piggyback_leader_writes->Increment();
       ChargeDataSectors(1 + run.count);
     } else {
@@ -1316,8 +1568,18 @@ Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    result = ExtendLocked(file, bytes, &await_seq);
+    CEDAR_ASSIGN_OR_RETURN(const OpenState state, LookupOpenState(file.uid));
+    util::RankedLockGuard shard(NameShard(state.name),
+                                util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = ExtendLocked(file, state, bytes);
+      if (result.ok()) {
+        shard_ops_[ShardOf(state.name)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1326,15 +1588,9 @@ Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
   return result;
 }
 
-Status Fsd::ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
-                         std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::ExtendLocked(const fs::FileHandle& file, const OpenState& state,
+                         std::uint64_t bytes) {
   ChargeOp();
-  auto it = open_files_.find(file.uid);
-  if (it == open_files_.end()) {
-    return MakeError(ErrorCode::kFailedPrecondition, "file not open");
-  }
-  OpenState& state = it->second;
   CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
                          GetEntry(state.name, state.version));
   const std::uint64_t new_size = entry.byte_size + bytes;
@@ -1343,8 +1599,12 @@ Status Fsd::ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
   const auto new_pages = static_cast<std::uint32_t>((new_size + 511) / 512);
 
   if (new_pages > cur_pages) {
+    Result<std::vector<fs::Extent>> allocated = [&] {
+      util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+      return allocator_->Allocate(new_pages - cur_pages);
+    }();
     CEDAR_ASSIGN_OR_RETURN(std::vector<fs::Extent> extents,
-                           allocator_->Allocate(new_pages - cur_pages));
+                           std::move(allocated));
     for (const fs::Extent& run : extents) {
       std::vector<std::uint8_t> zeros(
           static_cast<std::size_t>(run.count) * 512, 0);
@@ -1359,6 +1619,7 @@ Status Fsd::ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
       }
     }
     if (entry.runs.size() > RunAllocator::kMaxRuns) {
+      util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
       allocator_->Release(extents);
       return MakeError(ErrorCode::kNoFreeSpace,
                        "file too fragmented to extend");
@@ -1368,12 +1629,8 @@ Status Fsd::ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
     }
     // The run table changed: refresh the leader through the buffer pool so
     // the cross-check stays consistent (logged, then written home).
-    cache::Frame& frame = cache_.Insert(
-        kLeaderKeyBit | entry.leader_lba,
-        SerializeLeader(MakeLeader(entry, state.version)));
-    frame.is_leader = true;
-    frame.dirty = true;
-    frame.dirty_since_log = true;
+    UpsertLeader(kLeaderKeyBit | entry.leader_lba,
+                 SerializeLeader(MakeLeader(entry, state.version)));
   }
   entry.byte_size = new_size;
   Status status = PutEntry(state.name, state.version, entry);
@@ -1398,10 +1655,19 @@ Status Fsd::DeleteVersion(std::string_view name, std::uint32_t version,
   }
   ChargeSectors(freed);
   CEDAR_RETURN_IF_ERROR(tree_->Erase(fs::EncodeNameKey(name, version)));
-  cache_.Erase(kLeaderKeyBit | entry.leader_lba);
+  if (cache_.Erase(kLeaderKeyBit | entry.leader_lba)) {
+    gate_.ReleasePendingCapture(1);
+  }
   // Cancel any still-in-log leader image for this sector.
-  pending_tombstones_.push_back(kLeaderKeyBit | entry.leader_lba);
-  open_files_.erase(entry.uid);
+  {
+    util::RankedLockGuard lock(pending_mu_, util::LockRank::kPending);
+    pending_tombstones_.push_back(kLeaderKeyBit | entry.leader_lba);
+  }
+  gate_.NotePendingCapture(1);
+  {
+    util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
+    open_files_.erase(entry.uid);
+  }
   return OkStatus();
 }
 
@@ -1411,8 +1677,15 @@ Status Fsd::DeleteFile(std::string_view name) {
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::scoped_lock locks(NameShard(name), op_mu_);
-    result = DeleteFileLocked(name, &await_seq);
+    util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = DeleteFileLocked(name);
+      if (result.ok()) {
+        shard_ops_[ShardOf(name)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1421,9 +1694,7 @@ Status Fsd::DeleteFile(std::string_view name) {
   return result;
 }
 
-Status Fsd::DeleteFileLocked(std::string_view name,
-                             std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::DeleteFileLocked(std::string_view name) {
   ChargeOp();
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -1475,8 +1746,15 @@ Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::scoped_lock locks(NameShard(name), op_mu_);
-    result = SetKeepLocked(name, keep, &await_seq);
+    util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = SetKeepLocked(name, keep);
+      if (result.ok()) {
+        shard_ops_[ShardOf(name)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1485,9 +1763,7 @@ Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
   return result;
 }
 
-Status Fsd::SetKeepLocked(std::string_view name, std::uint16_t keep,
-                          std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::SetKeepLocked(std::string_view name, std::uint16_t keep) {
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
@@ -1508,8 +1784,12 @@ Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
   obs::ScopedLatency op_latency(h_.list, &disk_->clock());
   std::uint64_t await_seq = 0;
   auto result = [&]() -> Result<std::vector<fs::FileInfo>> {
-    std::lock_guard<std::mutex> lock(op_mu_);
-    return ListLocked(prefix, &await_seq);
+    // List touches every shard's namespace, but the tree scan runs under
+    // the tree's own shared lock, so no shard lock is needed — only gate
+    // admission (for a consistent deadline/space protocol).
+    CEDAR_RETURN_IF_ERROR(BeginOp(&await_seq));
+    GateRelease gate{&gate_};
+    return ListLocked(prefix);
   }();
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1518,9 +1798,7 @@ Result<std::vector<fs::FileInfo>> Fsd::List(std::string_view prefix) {
   return result;
 }
 
-Result<std::vector<fs::FileInfo>> Fsd::ListLocked(std::string_view prefix,
-                                                  std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Result<std::vector<fs::FileInfo>> Fsd::ListLocked(std::string_view prefix) {
   ChargeOp();
   // Properties live in the name table: no per-file I/O (section 5.1).
   std::vector<fs::FileInfo> out;
@@ -1557,8 +1835,15 @@ Status Fsd::Touch(std::string_view name) {
   std::uint64_t await_seq = 0;
   Status result;
   {
-    std::scoped_lock locks(NameShard(name), op_mu_);
-    result = TouchLocked(name, &await_seq);
+    util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = TouchLocked(name);
+      if (result.ok()) {
+        shard_ops_[ShardOf(name)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   const Status durable = AwaitCommit(await_seq);
   if (result.ok() && !durable.ok()) {
@@ -1567,8 +1852,7 @@ Status Fsd::Touch(std::string_view name) {
   return result;
 }
 
-Status Fsd::TouchLocked(std::string_view name, std::uint64_t* await_seq) {
-  CEDAR_RETURN_IF_ERROR(MaybeGroupCommit(await_seq));
+Status Fsd::TouchLocked(std::string_view name) {
   ChargeOp();
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
@@ -1585,7 +1869,9 @@ Status Fsd::TouchLocked(std::string_view name, std::uint64_t* await_seq) {
 
 Result<Fsd::ScrubReport> Fsd::Scrub() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.scrub");
-  std::lock_guard<std::mutex> lock(op_mu_);
+  // Scrub reconciles global state (VAM vs. tree), so it runs quiesced:
+  // gate closed, no mutators in flight, raw bitmap access safe.
+  ScopedQuiesce quiesce(this);
   return ScrubLocked();
 }
 
@@ -1594,7 +1880,7 @@ Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
   // Settle pending work first so the tree and VAM are a consistent pair.
-  CEDAR_RETURN_IF_ERROR(ForceLog());
+  CEDAR_RETURN_IF_ERROR(ForceLogImpl(GateMode::kAlreadyClosed));
   ScrubReport report;
 
   // Pass 1: walk every entry, verify its leader, and accumulate the set of
@@ -1694,14 +1980,100 @@ Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
   }
 
   // Make the reconciliation durable.
-  CEDAR_RETURN_IF_ERROR(ForceLog());
+  CEDAR_RETURN_IF_ERROR(ForceLogImpl(GateMode::kAlreadyClosed));
   return report;
 }
 
 Result<fs::FileInfo> Fsd::Stat(std::string_view name) {
   ChargeOp();
-  std::scoped_lock locks(NameShard(name), op_mu_);
+  // Pure name-table read: shard lock orders it against same-name mutators;
+  // no gate admission (it writes nothing the log must capture).
+  util::RankedLockGuard shard(NameShard(name), util::LockRank::kNameShard);
   return StatLocked(name);
+}
+
+Status Fsd::Rename(std::string_view from, std::string_view to) {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.rename");
+  std::uint64_t await_seq = 0;
+  Status result;
+  {
+    // Cross-name op: lock both shards, ordered by index (equal rank is
+    // allowed only for this ordered pair; same shard takes one lock).
+    const std::size_t sf = ShardOf(from);
+    const std::size_t st = ShardOf(to);
+    std::optional<util::RankedLockGuard<std::mutex>> first;
+    std::optional<util::RankedLockGuard<std::mutex>> second;
+    first.emplace(name_mu_[std::min(sf, st)], util::LockRank::kNameShard);
+    if (sf != st) {
+      second.emplace(name_mu_[std::max(sf, st)], util::LockRank::kNameShard);
+    }
+    result = BeginOp(&await_seq);
+    if (result.ok()) {
+      GateRelease gate{&gate_};
+      result = RenameLocked(from, to);
+      if (result.ok()) {
+        shard_ops_[sf].fetch_add(1, std::memory_order_relaxed);
+        if (st != sf) {
+          shard_ops_[st].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  const Status durable = AwaitCommit(await_seq);
+  if (result.ok() && !durable.ok()) {
+    return durable;
+  }
+  return result;
+}
+
+Status Fsd::RenameLocked(std::string_view from, std::string_view to) {
+  ChargeOp();
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(from));
+  auto [from_version, entry] = found;
+  // The new name continues its own version chain (a rename onto an
+  // existing name stacks a new version on top, like CreateFile).
+  std::uint32_t to_version = 1;
+  if (auto highest = HighestVersion(to); highest.ok()) {
+    to_version = highest->first + 1;
+  }
+  CEDAR_RETURN_IF_ERROR(PutEntry(to, to_version, entry));
+  CEDAR_RETURN_IF_ERROR(tree_->Erase(fs::EncodeNameKey(from, from_version)));
+  // The leader stores the version: rewrite it through the buffer pool so
+  // the disk cross-check matches the entry's new identity.
+  UpsertLeader(kLeaderKeyBit | entry.leader_lba,
+               SerializeLeader(MakeLeader(entry, to_version)));
+  {
+    util::RankedLockGuard lock(open_mu_, util::LockRank::kOpenFiles);
+    auto it = open_files_.find(entry.uid);
+    if (it != open_files_.end()) {
+      it->second.name = std::string(to);
+      it->second.version = to_version;
+      it->second.leader_verified = false;
+    }
+  }
+  BumpUpdateSeq();
+  return OkStatus();
+}
+
+void Fsd::UpsertLeader(std::uint32_t key,
+                       const std::vector<std::uint8_t>& image) {
+  bool became_pending = false;
+  cache_.Upsert(key, [&](cache::Frame& frame, bool inserted) {
+    became_pending = inserted || !frame.dirty_since_log;
+    frame.data = image;
+    frame.dirty = true;
+    frame.dirty_since_log = true;
+    frame.logged_third = -1;
+    frame.logged_lsn = 0;
+    frame.logged_image.clear();
+    frame.is_leader = true;
+  });
+  if (became_pending) {
+    gate_.NotePendingCapture(1);
+  }
 }
 
 Result<fs::FileInfo> Fsd::StatLocked(std::string_view name) {

@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "src/btree/btree.h"
@@ -49,11 +50,13 @@
 #include "src/core/layout.h"
 #include "src/core/log.h"
 #include "src/core/name_table.h"
+#include "src/core/opgate.h"
 #include "src/core/vam.h"
 #include "src/fsapi/file_system.h"
 #include "src/obs/metrics.h"
 #include "src/sim/disk.h"
 #include "src/sim/scheduler.h"
+#include "src/util/lockrank.h"
 
 namespace cedar::core {
 
@@ -90,6 +93,14 @@ struct FsdStats {
   std::uint64_t force_requests = 0;
   std::uint64_t piggybacked = 0;
   std::uint64_t daemon_forces = 0;
+
+  // Fine-grained concurrency telemetry (section 4f). Neither is part of
+  // the determinism footprint: both depend on physical thread scheduling.
+  // space_forces counts ops that had to force (or wait for) the log
+  // because the capture budget was exhausted; max_parallel_ops is the
+  // high-water mark of ops concurrently admitted through the op gate.
+  std::uint64_t space_forces = 0;
+  std::uint64_t max_parallel_ops = 0;
 };
 
 // One finding from Fsd::Fsck(). Warnings are conditions the system repairs
@@ -128,15 +139,33 @@ struct FsckReport {
   std::string Summary() const;
 };
 
-// Thread safety (DESIGN.md section 4e): every public operation is safe to
-// call from any number of client threads. Name-keyed mutators first take
-// the shard mutex for their name (serializing same-name races with a
-// stable order), then the core lock `op_mu_`, which serializes all
-// file-system state: the name table, VAM, allocator, open-file table,
-// pending force sets, and all disk traffic. With commit_daemon enabled, a
-// background thread performs log forces; clients block on the log's
-// CommitQueue holding NO locks, so a force in flight commits every waiter
-// it covers with a single log write (group commit, paper section 3.2).
+// Thread safety (DESIGN.md section 4f): every public operation is safe to
+// call from any number of client threads, and operations on names in
+// different shards run in parallel — there is no global operation lock.
+//
+// The protocol, in acquisition order (ranks in src/util/lockrank.h):
+//   1. Shard lock(s): a name-keyed op takes the shard mutex for its name;
+//      cross-name ops (Rename) take both shards in index order.
+//   2. Admission through the OpGate: a begin_op/end_op-style reservation
+//      that admits ops while the log can still absorb their dirty pages in
+//      one force, and drains them when a force captures. An op that cannot
+//      be admitted forces (or waits for) the log first — the analogue of
+//      the paper's "force the log when the group is full".
+//   3. Inside the gate, shared structures use their own fine-grained locks:
+//      the B-tree's reader/writer lock + leaf latches, the cache's internal
+//      mutex (closure-based access only on concurrent paths), alloc_mu_ for
+//      the VAM bitmaps + allocator, pending_mu_ for the tombstone/delta
+//      queues, open_mu_ for the open-file table.
+//
+// A log force (daemon round, inline deadline, Force(), space force) runs
+// under force_mu_ and splits into two phases: a short CAPTURE with the gate
+// closed (copy dirty images, swap pending queues, take the delete shadow —
+// a consistent prefix of the update history), then the long APPEND with the
+// gate reopened, so mutators overlap the log write. Clients needing
+// durability block on the log's CommitQueue holding NO locks, so a force in
+// flight commits every waiter it covers with a single log write (group
+// commit, paper section 3.2). Fsck/Scrub/lifecycle ops quiesce: they hold
+// force_mu_ and close the gate for their whole run.
 class Fsd : public fs::FileSystem {
  public:
   explicit Fsd(sim::SimDisk* disk, FsdConfig config = {});
@@ -168,6 +197,11 @@ class Fsd : public fs::FileSystem {
   Status Shutdown() override;  // force, flush home, save VAM, mark clean
   const obs::MetricsRegistry& Metrics() const override { return metrics_; }
 
+  // Moves the highest version of `from` to `to` (becoming to's next
+  // version); the uid is unchanged, so open handles keep working. Takes
+  // both name shards in index order — the one cross-shard operation.
+  Status Rename(std::string_view from, std::string_view to);
+
   // Drives the half-second group-commit timer; benchmarks and tests call
   // this after advancing virtual time (every public op also checks).
   Status Tick();
@@ -197,23 +231,67 @@ class Fsd : public fs::FileSystem {
   // reachable sectors (modulo repairable leaks), and the log's on-disk
   // pointer is well-formed. Mutates nothing — the crash harness runs it
   // after every enumerated recovery and treats violations as failures.
+  // Quiesces in-flight operations for its duration (no global lock to
+  // take — it drains the op gate like a capture does).
   Result<FsckReport> Fsck();
+
+  // Name-shard geometry, exposed so benches and tests can construct
+  // shard-disjoint (or deliberately colliding) name sets.
+  static constexpr std::size_t kNameShardCount = 16;
+  static std::size_t ShardOf(std::string_view name) {
+    return std::hash<std::string_view>{}(name) % kNameShardCount;
+  }
+  // Completed name-keyed operations per shard (monotonic, relaxed reads;
+  // tests use this to prove shard-parallel ops all ran).
+  std::uint64_t ShardOpCount(std::size_t shard) const {
+    return shard_ops_[shard].load(std::memory_order_relaxed);
+  }
 
   const FsdLayout& layout() const { return layout_; }
   const FsdConfig& config() const { return config_; }
   FsdStats stats() const;  // registry-backed view
   const LogStats& log_stats() const;
-  std::uint32_t FreeSectors() const { return vam_.FreeCount(); }
-  std::uint32_t ShadowSectors() const { return vam_.ShadowCount(); }
+  std::uint32_t FreeSectors() const;
+  std::uint32_t ShadowSectors() const;
   bool HasPendingUpdates() const;
   Status CheckNameTableInvariants() { return tree_->CheckInvariants(); }
 
  private:
   class NtStore;
 
+  struct OpenState {
+    std::string name;
+    std::uint32_t version = 0;
+    bool leader_verified = false;
+  };
+
   // Cache keys: name-table pages use their PageId; leader pages use their
   // LBA with the top bit set.
   static constexpr std::uint32_t kLeaderKeyBit = 0x80000000u;
+
+  // RAII quiesce: holds force_mu_ and closes the op gate, so the holder has
+  // the same exclusive view a capture has — no op in flight, cache flags
+  // and pending queues frozen — for its whole scope. Used by Fsck, Scrub,
+  // and the lifecycle paths (Format/Mount/Shutdown); forces issued inside
+  // use GateMode::kAlreadyClosed.
+  class ScopedQuiesce {
+   public:
+    explicit ScopedQuiesce(Fsd* fsd)
+        : fsd_(fsd), rank_(util::LockRank::kForce) {
+      fsd_->force_mu_.lock();
+      fsd_->gate_.CloseForCommit();
+    }
+    ~ScopedQuiesce() {
+      fsd_->gate_.Reopen();
+      fsd_->force_mu_.unlock();
+    }
+    ScopedQuiesce(const ScopedQuiesce&) = delete;
+    ScopedQuiesce& operator=(const ScopedQuiesce&) = delete;
+
+   private:
+    Fsd* fsd_;
+    util::LockRankFrame rank_;
+  };
 
   void ChargeOp() const { disk_->clock().AdvanceCpu(config_.cpu_per_op); }
   void ChargeSectors(std::uint64_t n) const {
@@ -224,56 +302,68 @@ class Fsd : public fs::FileSystem {
   }
 
   // Locked bodies of the public lifecycle entry points. Format/Mount/
-  // Shutdown wrappers stop the commit daemon first, then run these under
-  // op_mu_ (FormatLocked ends by calling MountLocked).
+  // Shutdown wrappers stop the commit daemon first, then run these
+  // quiesced (FormatLocked ends by calling MountLocked).
   Status FormatLocked();
   Status MountLocked();
   Status ShutdownLocked();
 
-  // Locked bodies of the public file operations; each runs with op_mu_
-  // (and, for name-keyed ops, the name's shard mutex) held by its wrapper.
-  // `await_seq` (daemon mode): set non-zero when the half-second deadline
-  // expired, telling the wrapper to block on the commit queue AFTER
-  // releasing all locks.
+  // Bodies of the public file operations; each runs with its name's shard
+  // mutex held (handle ops: the shard of the handle's resolved name) and
+  // admitted through the op gate by its wrapper.
   Result<fs::FileUid> CreateFileLocked(std::string_view name,
-                                       std::span<const std::uint8_t> contents,
-                                       std::uint64_t* await_seq);
-  Result<fs::FileHandle> OpenLocked(std::string_view name,
-                                    std::uint64_t* await_seq);
-  Status ReadLocked(const fs::FileHandle& file, std::uint64_t offset,
-                    std::span<std::uint8_t> out, std::uint64_t* await_seq);
-  Status WriteLocked(const fs::FileHandle& file, std::uint64_t offset,
-                     std::span<const std::uint8_t> data,
-                     std::uint64_t* await_seq);
-  Status ExtendLocked(const fs::FileHandle& file, std::uint64_t bytes,
-                      std::uint64_t* await_seq);
-  Status DeleteFileLocked(std::string_view name, std::uint64_t* await_seq);
-  Result<std::vector<fs::FileInfo>> ListLocked(std::string_view prefix,
-                                               std::uint64_t* await_seq);
-  Status TouchLocked(std::string_view name, std::uint64_t* await_seq);
-  Status SetKeepLocked(std::string_view name, std::uint16_t keep,
-                       std::uint64_t* await_seq);
+                                       std::span<const std::uint8_t> contents);
+  Result<fs::FileHandle> OpenLocked(std::string_view name);
+  Status ReadLocked(const fs::FileHandle& file, const OpenState& state,
+                    std::uint64_t offset, std::span<std::uint8_t> out);
+  Status WriteLocked(const fs::FileHandle& file, const OpenState& state,
+                     std::uint64_t offset, std::span<const std::uint8_t> data);
+  Status ExtendLocked(const fs::FileHandle& file, const OpenState& state,
+                      std::uint64_t bytes);
+  Status DeleteFileLocked(std::string_view name);
+  Result<std::vector<fs::FileInfo>> ListLocked(std::string_view prefix);
+  Status TouchLocked(std::string_view name);
+  Status SetKeepLocked(std::string_view name, std::uint16_t keep);
+  Status RenameLocked(std::string_view from, std::string_view to);
   Result<fs::FileInfo> StatLocked(std::string_view name);
   Result<ScrubReport> ScrubLocked();
 
   // Commit daemon plumbing. StartDaemon spawns the flusher thread when
   // config_.commit_daemon is set; StopDaemon stops the queue and joins —
-  // always called while NOT holding op_mu_ (the daemon takes it per round).
+  // always called while NOT holding force_mu_ (the daemon takes it per
+  // round).
   void StartDaemon();
   void StopDaemon();
   void DaemonLoop();
-  // Wrapper tail: blocks on the commit queue when a locked body deferred a
-  // deadline force (no-op for seq 0 / inline mode).
+  // Wrapper tail: blocks on the commit queue when a deadline force was
+  // deferred to the daemon (no-op for seq 0 / inline mode).
   Status AwaitCommit(std::uint64_t seq);
   // Marks one durable-metadata mutation for the group-commit rendezvous.
   void BumpUpdateSeq() { log_->commit_queue().RecordUpdate(); }
-  // Shard mutex for a file name (taken before op_mu_; never two at once).
+  // Shard mutex for a file name (rank kNameShard; taken before everything
+  // else; cross-name ops take two, ordered by shard index).
   std::mutex& NameShard(std::string_view name) {
-    return name_mu_[std::hash<std::string_view>{}(name) % kNameShards];
+    return name_mu_[ShardOf(name)];
   }
 
-  Status MaybeGroupCommit(std::uint64_t* await_seq = nullptr);
-  Status ForceLog();
+  // Admission protocol (wrapper side, shard lock held): deadline check,
+  // then gate admission, forcing the log for space when the capture budget
+  // is exhausted. On success the caller MUST call gate_.End() (wrappers use
+  // a scope guard).
+  Status BeginOp(std::uint64_t* await_seq);
+  // Makes room when TryBegin fails: waits for the daemon's force when one
+  // will run, else forces inline under force_mu_.
+  Status SpaceForce();
+  // Half-second timer: forces inline, or sets *await_seq so the wrapper
+  // blocks on the daemon's force after releasing its locks.
+  Status MaybeDeadlineForce(std::uint64_t* await_seq);
+
+  // The group-commit force. Caller holds force_mu_. kCloseAndReopen closes
+  // the gate for the capture phase and reopens it for the append phase;
+  // kAlreadyClosed is for quiesced callers (ScopedQuiesce held) — the gate
+  // stays closed throughout.
+  enum class GateMode { kCloseAndReopen, kAlreadyClosed };
+  Status ForceLogImpl(GateMode mode, std::uint64_t* covered_seq = nullptr);
   Status FlushThird(int third);
   // Queues an allocation-map delta for the next log record (VAM logging).
   // Alloc-type deltas are logged before the tree pages they correspond to,
@@ -319,15 +409,26 @@ class Fsd : public fs::FileSystem {
   // Enforces the keep count after a create.
   Status PruneVersions(std::string_view name, std::uint16_t keep);
 
+  // Rewrites a file's cached leader page (Insert semantics: logged-state
+  // bookkeeping reset, dirty + pending capture), crediting the gate when
+  // the frame transitions clean -> pending.
+  void UpsertLeader(std::uint32_t key, const std::vector<std::uint8_t>& image);
+
   fs::FileUid NextUid() {
     return (static_cast<std::uint64_t>(boot_count_ + 1) << 32) |
-           ++uid_counter_;
+           (uid_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
 
   // Maps file page range to disk extents using the entry's run table.
   Result<std::vector<fs::Extent>> MapPages(const FsdEntry& entry,
                                            std::uint32_t first_page,
                                            std::uint32_t count) const;
+
+  // Copy of the open-file entry for `uid` (wrappers resolve the name BEFORE
+  // taking its shard lock); kFailedPrecondition when the handle is stale.
+  Result<OpenState> LookupOpenState(fs::FileUid uid) const;
+  // Records a successful piggyback leader verification on the open handle.
+  void MarkLeaderVerified(fs::FileUid uid);
 
   sim::SimDisk* disk_;
   FsdConfig config_;
@@ -341,23 +442,44 @@ class Fsd : public fs::FileSystem {
   cache::PageCache cache_;
 
   std::uint32_t boot_count_ = 0;
-  std::uint32_t uid_counter_ = 0;
+  std::atomic<std::uint32_t> uid_counter_{0};
   // Leader keys of deleted files whose tombstone awaits the next force.
+  // Guarded by pending_mu_, swapped out whole by the capture phase.
   std::vector<std::uint32_t> pending_tombstones_;
-  // VAM deltas awaiting the next force (VAM logging only).
+  // VAM deltas awaiting the next force (VAM logging only). Same guard.
   std::vector<VamDelta> pending_alloc_deltas_;
   std::vector<VamDelta> pending_free_deltas_;
-  sim::Micros last_force_ = 0;
-  std::atomic<bool> mounted_{false};  // written under op_mu_; read lock-free
-  bool in_force_ = false;  // guards re-entrant commits
+  std::atomic<sim::Micros> last_force_{0};
+  // Keys captured by the force currently in its append phase. Guarded by
+  // force_mu_ (only the force path reads or writes it): FlushThird must
+  // keep these frames dirty — their captured image is en route to the log,
+  // so eviction would orphan it.
+  std::unordered_set<std::uint32_t> capture_keys_;
+  std::atomic<bool> mounted_{false};  // written quiesced; read lock-free
 
-  // Locking hierarchy (DESIGN.md section 4e): name shard -> op_mu_ ->
-  // structure mutexes (cache/VAM/tree) -> disk -> clock/tracer/metrics.
-  // The commit queue's mutex is a leaf waited on with nothing held.
-  static constexpr std::size_t kNameShards = 16;
-  mutable std::array<std::mutex, kNameShards> name_mu_;
-  mutable std::mutex op_mu_;
+  // Locking hierarchy (DESIGN.md section 4f, ranks in util/lockrank.h):
+  //   name shard (10) -> force_mu_ (20) -> op gate (30) -> tree (40/45) ->
+  //   alloc_mu_ (50) -> pending_mu_ (55) -> open_mu_ (58) -> cache (60) ->
+  //   disk -> clock/tracer/metrics. The commit queue's mutex (90) is a
+  //   leaf waited on with nothing held.
+  mutable std::array<std::mutex, kNameShardCount> name_mu_;
+  // Serializes log forces (daemon rounds, inline deadline/space forces,
+  // Force(), quiesced sections). Never held by an admitted op.
+  mutable std::mutex force_mu_;
+  // Admission gate: bounds in-flight ops by log capture budget and drains
+  // them for the capture phase of a force.
+  OpGate gate_;
+  // VAM free/nt-free bitmaps (raw accessors + allocator scans) and vam
+  // Save/Load/Reset. The shadow map has its own internal lock.
+  mutable std::mutex alloc_mu_;
+  // pending_tombstones_ / pending_*_deltas_.
+  mutable std::mutex pending_mu_;
+  // open_files_.
+  mutable std::mutex open_mu_;
   std::thread commit_daemon_;
+
+  // Completed name-keyed ops per shard (relaxed; test/bench telemetry).
+  std::array<std::atomic<std::uint64_t>, kNameShardCount> shard_ops_{};
 
   // All counters live in metrics_ (exposed via fs::FileSystem::Metrics());
   // c_ caches the counter pointers so hot paths skip the name lookup, and
@@ -377,6 +499,7 @@ class Fsd : public fs::FileSystem {
     obs::Counter* home_write_requests = nullptr;
     obs::Counter* home_writes_coalesced = nullptr;
     obs::Counter* read_retries = nullptr;
+    obs::Counter* space_forces = nullptr;
   } c_;
   struct HistogramSet {
     obs::Histogram* create = nullptr;
@@ -391,11 +514,6 @@ class Fsd : public fs::FileSystem {
     obs::Histogram* force = nullptr;
   } h_;
 
-  struct OpenState {
-    std::string name;
-    std::uint32_t version = 0;
-    bool leader_verified = false;
-  };
   std::map<fs::FileUid, OpenState> open_files_;
 };
 

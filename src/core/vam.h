@@ -12,8 +12,8 @@
 // Thread safety: the bitmap mutators and point queries take a short internal
 // mutex so allocation state stays coherent under concurrent FSD clients. The
 // raw `free()` / `nt_free()` bitmap accessors bypass the lock and are only
-// safe under the owning file system's core lock (allocator scans, VAM
-// reconstruction, Fsck — all already serialized there).
+// safe under the owning file system's allocator lock (alloc_mu_ in FSD —
+// allocator scans, VAM reconstruction, Save/Load, Fsck all hold it).
 
 #ifndef CEDAR_CORE_VAM_H_
 #define CEDAR_CORE_VAM_H_
@@ -45,7 +45,10 @@ struct VamDelta {
   std::uint32_t count = 0;
 };
 
-// Packs deltas into 512-byte log pages (56 per page) and back.
+// Packs deltas into 512-byte log pages (kVamDeltasPerPage per page) and
+// back. The constant is exported so FSD's log-space accounting can predict
+// how many pages a pending delta queue will occupy.
+inline constexpr std::size_t kVamDeltasPerPage = 56;
 std::vector<std::vector<std::uint8_t>> SerializeDeltas(
     std::span<const VamDelta> deltas);
 Status ParseDeltas(std::span<const std::uint8_t> page,
@@ -102,6 +105,25 @@ class Vam {
   std::uint32_t ShadowCount() const {
     std::lock_guard<std::mutex> lock(mu_);
     return shadow_.Count();
+  }
+
+  // ---- Shadow handoff for the parallel commit path. The log capture phase
+  // *takes* the accumulated shadow (new deletes keep shadowing into a fresh
+  // map while the append runs), then folds it into the free map once the
+  // group is durable — or merges it back if the append fails.
+  Bitmap TakeShadow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Bitmap taken = std::move(shadow_);
+    shadow_ = Bitmap(taken.size(), false);
+    return taken;
+  }
+  void FoldShadow(const Bitmap& taken) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.OrWith(taken);
+  }
+  void MergeShadow(const Bitmap& taken) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shadow_.OrWith(taken);
   }
 
   // ---- Name-table page allocation map (piggybacks on the VAM save).

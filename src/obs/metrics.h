@@ -16,10 +16,10 @@
 //     full-volume scan (~10 s) without per-metric configuration.
 //   - Reset() zeroes values but keeps every registered name, so snapshots
 //     taken across Format/Mount/Shutdown expose a stable key set.
-//   - Thread safety: counters are relaxed atomics (concurrent client
-//     threads bump them lock-free), histograms and the registry maps take
-//     short internal locks. Relaxed ordering is fine — values are summed
-//     observations, never used to synchronize.
+//   - Thread safety: counters and histograms are relaxed atomics
+//     (concurrent client threads record lock-free); only the registry maps
+//     take a short internal lock, off the hot path. Relaxed ordering is
+//     fine — values are summed observations, never used to synchronize.
 
 #ifndef CEDAR_OBS_METRICS_H_
 #define CEDAR_OBS_METRICS_H_
@@ -54,9 +54,10 @@ class Counter {
 
 // Log2-bucketed histogram of non-negative integer samples (microseconds,
 // sector counts, ...). Bucket index = bit_width(value): bucket 0 holds only
-// zero, bucket i (i >= 1) holds [2^(i-1), 2^i). Record() and the readers
-// serialize on an internal mutex; samples arrive per FS operation, not per
-// sector, so the lock is never hot.
+// zero, bucket i (i >= 1) holds [2^(i-1), 2^i). Record() is lock-free
+// (relaxed atomic adds plus CAS loops for min/max) so parallel FSD
+// operations never serialize on a shared histogram; readers see sums of
+// completed samples, which is all the observability layer promises.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
@@ -77,55 +78,52 @@ class Histogram {
   }
 
   void Record(std::uint64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++buckets_[BucketIndex(value)];
-    ++count_;
-    sum_ += value;
-    if (count_ == 1 || value < min_) min_ = value;
-    if (value > max_) max_ = value;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur_min = min_.load(std::memory_order_relaxed);
+    while (value < cur_min &&
+           !min_.compare_exchange_weak(cur_min, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+    std::uint64_t cur_max = max_.load(std::memory_order_relaxed);
+    while (value > cur_max &&
+           !max_.compare_exchange_weak(cur_max, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
-  std::uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_;
-  }
-  std::uint64_t sum() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return sum_;
-  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t min() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ ? min_ : 0;
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
   }
-  std::uint64_t max() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return max_;
-  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+    const std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0;
   }
   std::uint64_t bucket(int i) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& bucket : buckets_) bucket = 0;
-    count_ = 0;
-    sum_ = 0;
-    min_ = 0;
-    max_ = 0;
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t buckets_[kNumBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  // min_ starts at the maximum so the CAS loop needs no first-sample case.
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 // Point-in-time copy of every registered metric, for tests/benches/tools.

@@ -14,6 +14,19 @@ namespace {
 constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '2'};
 constexpr std::string_view kNoContext = "(none)";
 
+std::uint64_t NextTracerKey() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread op-context stacks, keyed by tracer incarnation. The map is tiny
+// (one live tracer per rig; stale incarnations' entries are empty vectors
+// abandoned at move/Reset), and only the owning thread ever touches it.
+std::map<std::uint64_t, std::vector<std::uint32_t>>& TlsStacks() {
+  thread_local std::map<std::uint64_t, std::vector<std::uint32_t>> stacks;
+  return stacks;
+}
+
 }  // namespace
 
 std::string_view DiskOpKindName(DiskOpKind kind) {
@@ -32,12 +45,14 @@ std::string_view DiskOpKindName(DiskOpKind kind) {
 
 DiskTracer::DiskTracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
+  tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   op_names_.emplace_back(kNoContext);
   op_ids_.emplace(std::string(kNoContext), 0u);
 }
 
 DiskTracer::DiskTracer(DiskTracer&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
+  tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   capacity_ = other.capacity_;
   ring_ = std::move(other.ring_);
   ring_head_ = other.ring_head_;
@@ -45,13 +60,13 @@ DiskTracer::DiskTracer(DiskTracer&& other) noexcept {
   dropped_ = other.dropped_;
   op_names_ = std::move(other.op_names_);
   op_ids_ = std::move(other.op_ids_);
-  op_stacks_ = std::move(other.op_stacks_);
   aggregates_ = std::move(other.aggregates_);
 }
 
 DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
   if (this == &other) return *this;
   std::scoped_lock lock(mu_, other.mu_);
+  tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   capacity_ = other.capacity_;
   ring_ = std::move(other.ring_);
   ring_head_ = other.ring_head_;
@@ -59,7 +74,6 @@ DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
   dropped_ = other.dropped_;
   op_names_ = std::move(other.op_names_);
   op_ids_ = std::move(other.op_ids_);
-  op_stacks_ = std::move(other.op_stacks_);
   aggregates_ = std::move(other.aggregates_);
   return *this;
 }
@@ -73,30 +87,34 @@ std::uint32_t DiskTracer::InternOp(std::string_view name) {
   return id;
 }
 
-std::vector<std::uint32_t>& DiskTracer::ThreadStack() {
-  return op_stacks_[std::this_thread::get_id()];
-}
-
 void DiskTracer::PushOp(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ThreadStack().push_back(InternOp(name));
+  std::uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = InternOp(name);
+  }
+  TlsStacks()[tls_key_.load(std::memory_order_relaxed)].push_back(id);
 }
 
 void DiskTracer::PopOp() {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = op_stacks_.find(std::this_thread::get_id());
-  if (it == op_stacks_.end()) return;
+  auto& stacks = TlsStacks();
+  auto it = stacks.find(tls_key_.load(std::memory_order_relaxed));
+  if (it == stacks.end()) return;
   if (!it->second.empty()) it->second.pop_back();
-  if (it->second.empty()) op_stacks_.erase(it);
+  if (it->second.empty()) stacks.erase(it);
 }
 
 std::string_view DiskTracer::CurrentOp() const {
+  auto& stacks = TlsStacks();
+  auto it = stacks.find(tls_key_.load(std::memory_order_relaxed));
+  if (it == stacks.end() || it->second.empty()) return kNoContext;
+  const std::uint32_t id = it->second.back();
+  // The name lookup takes the mutex: op_names_ is a deque, so the string
+  // itself is address-stable, but concurrent interning mutates the deque's
+  // own bookkeeping. The returned view stays valid for the tracer's
+  // lifetime (Reset keeps the name table).
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = op_stacks_.find(std::this_thread::get_id());
-  if (it == op_stacks_.end() || it->second.empty()) return kNoContext;
-  // op_names_ is a deque of strings: both survive concurrent interning, so
-  // the returned view stays valid for the tracer's lifetime.
-  return op_names_[it->second.back()];
+  return id < op_names_.size() ? std::string_view(op_names_[id]) : kNoContext;
 }
 
 void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
@@ -104,6 +122,14 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
                         std::uint64_t seek_us, std::uint64_t rotational_us,
                         std::uint64_t transfer_us, std::uint64_t controller_us,
                         std::uint32_t batch) {
+  // Read the caller's context from TLS before taking the tracer mutex.
+  std::uint32_t op_id = 0;
+  {
+    auto& stacks = TlsStacks();
+    auto it = stacks.find(tls_key_.load(std::memory_order_relaxed));
+    if (it != stacks.end() && !it->second.empty()) op_id = it->second.back();
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   TraceEvent ev;
   ev.seq = next_seq_++;
@@ -115,9 +141,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   ev.rotational_us = rotational_us;
   ev.transfer_us = transfer_us;
   ev.controller_us = controller_us;
-  auto it = op_stacks_.find(std::this_thread::get_id());
-  ev.op_id = (it == op_stacks_.end() || it->second.empty()) ? 0
-                                                            : it->second.back();
+  ev.op_id = op_id < op_names_.size() ? op_id : 0;
   ev.batch = batch;
 
   if (ring_.size() < capacity_) {
@@ -335,7 +359,11 @@ void DiskTracer::Reset() {
   ring_head_ = 0;
   next_seq_ = 0;
   dropped_ = 0;
-  op_stacks_.clear();
+  // A fresh incarnation id abandons every thread's context stack (we cannot
+  // reach other threads' TLS from here). The name table survives, so ids in
+  // any still-live ScopedOp would remain valid — but their stacks are gone,
+  // which is the point of a reset.
+  tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   aggregates_.clear();
 }
 

@@ -18,17 +18,21 @@
 // This is the measurement half of the paper's section 4: the analytic model
 // predicts per-operation disk time, the tracer measures it.
 //
-// Thread safety: the op-context stack is kept PER THREAD (keyed by
-// std::thread::id), so concurrent client threads each carry their own
-// attribution context — a request issued by the group-commit daemon is
-// tagged "fsd.log_force" even while client threads are inside "fsd.create".
-// The ring, the name table, and the aggregates are guarded by one internal
-// mutex; Record() is called with the disk's lock held, making the tracer a
-// leaf in the locking hierarchy (see DESIGN.md section 4e).
+// Thread safety: the op-context stack is genuinely thread-local storage
+// (keyed by a per-tracer-incarnation id), so concurrent client threads each
+// carry their own attribution context — a request issued by the group-commit
+// daemon is tagged "fsd.log_force" even while client threads are inside
+// "fsd.create" — and pushing/popping context never takes a lock. The ring,
+// the name table, and the aggregates are guarded by one internal mutex;
+// Record() is called with the disk's lock held, making the tracer a leaf in
+// the locking hierarchy (see DESIGN.md section 4e/4f). Moves and Reset()
+// issue a fresh incarnation id, which abandons every thread's old stack
+// without touching other threads' storage.
 
 #ifndef CEDAR_OBS_TRACE_H_
 #define CEDAR_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -36,7 +40,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "src/util/status.h"
@@ -156,8 +159,11 @@ class DiskTracer {
 
  private:
   std::uint32_t InternOp(std::string_view name);           // caller holds mu_
-  std::vector<std::uint32_t>& ThreadStack();               // caller holds mu_
   std::vector<TraceEvent> EventsLocked() const;            // caller holds mu_
+
+  // Identifies this tracer incarnation in each thread's TLS stack map; a
+  // fresh id (issued at construction, move, and Reset) abandons old stacks.
+  std::atomic<std::uint64_t> tls_key_{0};
 
   mutable std::mutex mu_;
   std::size_t capacity_;
@@ -170,8 +176,6 @@ class DiskTracer {
   // stable addresses while new ops are interned concurrently.
   std::deque<std::string> op_names_;
   std::map<std::string, std::uint32_t, std::less<>> op_ids_;
-  // Per-thread active context stacks (empty ones are pruned at PopOp).
-  std::map<std::thread::id, std::vector<std::uint32_t>> op_stacks_;
   std::map<std::string, OpClassAggregate, std::less<>> aggregates_;
 };
 

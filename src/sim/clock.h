@@ -1,10 +1,12 @@
 // Virtual time. Time advances only when the simulated disk performs work,
 // when a file system charges CPU time, or when a test/benchmark explicitly
-// idles. The clock is shared by every thread touching one rig, so all
-// accesses are serialized by an internal mutex: concurrent client threads
-// each advance the same timeline, which models N processes sharing one
-// machine (the paper's Cedar had ~28 of them) without any CPU overlap —
-// exactly the accounting discipline the single-threaded model used.
+// idles. The clock is shared by every thread touching one rig: concurrent
+// client threads each advance the same timeline, which models N processes
+// sharing one machine (the paper's Cedar had ~28 of them) without any CPU
+// overlap — exactly the accounting discipline the single-threaded model
+// used. Advances are relaxed atomic adds: addition commutes, so the totals
+// any quiescent observer reads are schedule-independent, and the hot
+// operation path never takes a lock for timekeeping.
 //
 // Group commit (paper section 5.4) is driven by this clock: FSD forces its
 // log when half a virtual second has passed since the last force.
@@ -12,8 +14,8 @@
 #ifndef CEDAR_SIM_CLOCK_H_
 #define CEDAR_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace cedar::sim {
 
@@ -24,14 +26,10 @@ inline constexpr Micros kSecond = 1000 * kMillisecond;
 
 class VirtualClock {
  public:
-  Micros now() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return now_us_;
-  }
+  Micros now() const { return now_us_.load(std::memory_order_relaxed); }
 
   void Advance(Micros us) {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_us_ += us;
+    now_us_.fetch_add(us, std::memory_order_relaxed);
   }
 
   // CPU time is tracked separately from disk time so benchmarks can report
@@ -39,20 +37,15 @@ class VirtualClock {
   // (no CPU/IO overlap; the Dorado discussion in section 6 notes the CPU was
   // deliberately ignored in the model, so we keep its accounting visible).
   void AdvanceCpu(Micros us) {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_us_ += us;
-    cpu_us_ += us;
+    now_us_.fetch_add(us, std::memory_order_relaxed);
+    cpu_us_.fetch_add(us, std::memory_order_relaxed);
   }
 
-  Micros cpu_time() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cpu_us_;
-  }
+  Micros cpu_time() const { return cpu_us_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  Micros now_us_ = 0;
-  Micros cpu_us_ = 0;
+  std::atomic<Micros> now_us_{0};
+  std::atomic<Micros> cpu_us_{0};
 };
 
 }  // namespace cedar::sim

@@ -301,6 +301,141 @@ TEST_F(ConcurrencyTest, ShutdownMountCycleRestartsDaemon) {
   ExpectClean();
 }
 
+// Returns a name that hashes to `shard` (deterministic linear probe).
+std::string NameInShard(std::size_t shard, std::string_view stem) {
+  for (int salt = 0;; ++salt) {
+    std::string candidate =
+        std::string(stem) + "." + std::to_string(salt);
+    if (Fsd::ShardOf(candidate) == shard) {
+      return candidate;
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, DisjointNamesSaturation) {
+  // One thread per shard, each hammering a name that hashes to its own
+  // shard: with no shard collisions every op runs in parallel, and the
+  // per-shard op counters must account for every single operation — a
+  // lost update (two ops merged, one dropped) would show up both here and
+  // in the version chain.
+  constexpr int kRounds = 25;
+  std::vector<std::string> names;
+  names.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    names.push_back(NameInShard(static_cast<std::size_t>(t), "sat"));
+  }
+  std::vector<std::uint64_t> before(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    before[t] = fsd_.ShardOpCount(static_cast<std::size_t>(t));
+  }
+  std::atomic<int> failures{0};
+  auto worker = [&](int tid) {
+    for (int r = 0; r < kRounds; ++r) {
+      // Each create stacks a new version; versions count lost updates.
+      if (!fsd_.CreateFile(names[tid], Bytes(200, static_cast<std::uint8_t>(
+                                                      tid))).ok()) {
+        ++failures;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    // Exactly kRounds successful ops landed in shard t (strictly more than
+    // before; nothing lost, nothing double-counted).
+    EXPECT_EQ(fsd_.ShardOpCount(static_cast<std::size_t>(t)) - before[t],
+              static_cast<std::uint64_t>(kRounds))
+        << "shard " << t;
+    auto info = fsd_.Stat(names[t]);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->version, static_cast<std::uint32_t>(kRounds));
+  }
+  ASSERT_TRUE(fsd_.Force().ok());
+  ExpectClean();
+}
+
+TEST_F(ConcurrencyTest, CrossShardRenameCreateInterleaving) {
+  // Opposing renames shuttle two version chains between names in different
+  // shards while other threads create in those same shards. Renames take
+  // both shard locks in index order, so opposing pairs must not deadlock;
+  // the conserved quantity is the total number of name-table entries in
+  // the two chains (each successful rename moves one entry).
+  const std::string left = NameInShard(2, "left");
+  const std::string right = NameInShard(11, "right");
+  ASSERT_NE(Fsd::ShardOf(left), Fsd::ShardOf(right));
+  ASSERT_TRUE(fsd_.CreateFile(left, Bytes(256, 1)).ok());
+  ASSERT_TRUE(fsd_.CreateFile(right, Bytes(256, 2)).ok());
+
+  constexpr int kRounds = 40;
+  std::atomic<int> create_failures{0};
+  auto shuttler = [&](std::string_view from, std::string_view to) {
+    for (int r = 0; r < kRounds; ++r) {
+      // A rename may lose the race to the opposing shuttler (kNotFound
+      // when the source moved away) — conservation is what matters.
+      (void)fsd_.Rename(from, to);
+    }
+  };
+  auto creator = [&](int tid) {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::string name = NameInShard(tid % 2 == 0 ? 2 : 11,
+                                           "mk.t" + std::to_string(tid) +
+                                               "." + std::to_string(r));
+      if (!fsd_.CreateFile(name, Bytes(64, 7)).ok()) {
+        ++create_failures;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.emplace_back(shuttler, left, right);
+  threads.emplace_back(shuttler, right, left);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(creator, t);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(create_failures.load(), 0);
+
+  // Entry conservation: the two chains still hold exactly two entries
+  // between them (List reports one FileInfo per name-table entry).
+  auto count_entries = [&](std::string_view name) -> std::size_t {
+    auto listing = fsd_.List(name);
+    CEDAR_CHECK(listing.ok());
+    std::size_t n = 0;
+    for (const fs::FileInfo& info : *listing) {
+      if (info.name == name) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(count_entries(left) + count_entries(right), 2u);
+
+  // Handles survive renames: the uid is stable, and the open state tracks
+  // the new name.
+  auto whoever = fsd_.Stat(left).ok() ? left : right;
+  auto handle = fsd_.Open(whoever);
+  ASSERT_TRUE(handle.ok());
+  const std::string other = (whoever == left) ? right : left;
+  ASSERT_TRUE(fsd_.Rename(whoever, other).ok());
+  std::vector<std::uint8_t> out(64);
+  EXPECT_TRUE(fsd_.Read(*handle, 0, out).ok());
+  ASSERT_TRUE(fsd_.Close(*handle).ok());
+
+  ASSERT_TRUE(fsd_.Force().ok());
+  ExpectClean();
+  ASSERT_TRUE(fsd_.Shutdown().ok());
+  ASSERT_TRUE(fsd_.Mount().ok());
+  ExpectClean();
+}
+
 // ---------------------------------------------------------------------------
 // Determinism pin: the same serialized operation order must produce the
 // same virtual-time I/O accounting no matter how many threads issue it.
