@@ -26,8 +26,8 @@ struct ColdScanCost {
 ColdScanCost MeasureColdScan(std::uint32_t read_ahead, bool double_read) {
   Rig rig;
   cedar::core::FsdConfig config;
-  config.nt_read_ahead_pages = read_ahead;
-  config.double_read_check = double_read;
+  config.durability.nt_read_ahead_pages = read_ahead;
+  config.durability.double_read_check = double_read;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
   for (int i = 0; i < 100; ++i) {
@@ -93,8 +93,8 @@ int main(int argc, char** argv) {
   for (std::uint32_t group : {1u, 2u, 4u}) {
     Rig rig;
     cedar::core::FsdConfig config;
-    config.log_group_records = group;
-    config.group_commit_interval = 3600 * cedar::sim::kSecond;
+    config.commit.group_records = group;
+    config.commit.interval = 3600 * cedar::sim::kSecond;
     cedar::core::Fsd fsd(&rig.disk, config);
     CEDAR_CHECK_OK(fsd.Format());
     for (int i = 0; i < burst; ++i) {

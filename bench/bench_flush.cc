@@ -55,7 +55,7 @@ FlushResult Run(bool batched) {
   cedar::obs::DiskTracer tracer;
   rig.disk.set_tracer(&tracer);
   cedar::core::FsdConfig config;
-  config.batched_writeback = batched;
+  config.durability.batched_writeback = batched;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
 

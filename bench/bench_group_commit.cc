@@ -44,7 +44,7 @@ struct BulkResult {
 BulkResult RunBulk(cedar::sim::Micros interval) {
   Rig rig;
   cedar::core::FsdConfig config;
-  config.group_commit_interval = interval;
+  config.commit.interval = interval;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
 
@@ -128,7 +128,7 @@ struct CurvePoint {
 CurvePoint RunConcurrent(int threads, int rounds) {
   Rig rig;
   cedar::core::FsdConfig config;
-  config.commit_daemon = true;
+  config.commit.daemon = true;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
   for (int t = 0; t < threads; ++t) {
@@ -207,7 +207,7 @@ std::string ShardDistinctName(int target_shard) {
 SatPoint RunSaturation(int threads, int rounds) {
   Rig rig;
   cedar::core::FsdConfig config;
-  config.commit_daemon = true;
+  config.commit.daemon = true;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
   std::vector<std::string> names;

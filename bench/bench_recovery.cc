@@ -12,13 +12,18 @@
 // raw volume capacity — the paper's point that scavenge-style recovery is
 // untenable "as disk capacity continues to grow".
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/bsd/ffs.h"
 #include "src/cfs/cfs.h"
 #include "src/core/fsd.h"
+#include "src/fsapi/file_system.h"
 #include "src/util/random.h"
 #include "src/workload/workload.h"
 
@@ -29,7 +34,7 @@ double FsdRecoverySeconds(std::uint32_t files, double* replay_s,
                           double* rebuild_s, bool vam_logging = false) {
   Rig rig;
   cedar::core::FsdConfig config;
-  config.vam_logging = vam_logging;
+  config.durability.vam_logging = vam_logging;
   cedar::core::Fsd fsd(&rig.disk, config);
   CEDAR_CHECK_OK(fsd.Format());
   cedar::Rng rng(5);
@@ -57,11 +62,196 @@ double FsdRecoverySeconds(std::uint32_t files, double* replay_s,
   return total;
 }
 
+// ---- --ckpt mode: recovery window vs log fill, thirds vs continuous. ----
+//
+// The continuous checkpoint daemon's contract is that mount-time replay
+// covers at most `checkpoint.window_sectors` of log, no matter how much
+// work ran before the crash. Without it, the replay window grows with log
+// fill until third reclamation trims it — up to two thirds of the record
+// area. This sweep churns metadata (touch + force) to fill levels well past
+// a log wrap and crashes at each level, with the daemon off and on, so the
+// bounded-vs-linear contrast is measured rather than asserted.
+
+constexpr std::uint32_t kCkptWindowSectors = 200;
+constexpr std::uint32_t kCkptFiles = 120;
+
+struct CkptPoint {
+  int touches = 0;
+  bool daemon = false;
+  std::uint64_t pre_crash_window_bytes = 0;  // RecoveryWindow() at crash
+  std::uint64_t replay_pages = 0;            // pages replayed by Mount
+  double mount_ms = 0;                       // virtual Mount() time
+};
+
+cedar::core::FsdConfig CkptConfig(bool daemon) {
+  cedar::core::FsdConfig config;
+  // Single-record groups keep the window floor (one clamped commit group)
+  // small, so a tight 200-sector window is a legal configuration.
+  config.commit.group_records = 1;
+  config.commit.daemon = true;
+  config.checkpoint.daemon = daemon;
+  config.checkpoint.window_sectors = kCkptWindowSectors;
+  // VAM logging removes the ~20 s rebuild constant from every mount, so the
+  // mount-time column isolates the log-replay share this sweep is about.
+  config.durability.vam_logging = true;
+  return config;
+}
+
+CkptPoint RunCkptFill(int touches, bool daemon) {
+  Rig rig;
+  const cedar::core::FsdConfig config = CkptConfig(daemon);
+  cedar::core::Fsd fsd(&rig.disk, config);
+  cedar::fs::FileSystem& fs = fsd;  // maintenance API via the interface
+  CEDAR_CHECK_OK(fsd.Format());
+  cedar::Rng rng(7);
+  cedar::workload::SizeDistribution sizes;
+  CEDAR_CHECK_OK(
+      cedar::workload::PopulateVolume(&fsd, "v/", kCkptFiles, sizes, rng)
+          .status());
+  for (int i = 0; i < touches; ++i) {
+    CEDAR_CHECK_OK(
+        fsd.Touch("v/f" + std::to_string(i % kCkptFiles) + ".db"));
+    CEDAR_CHECK_OK(fs.Force());
+  }
+  if (daemon) {
+    // Checkpointing is asynchronous: give the daemon (real) time to finish
+    // the round the last force kicked off before taking the measurement.
+    for (int i = 0; i < 5000; ++i) {
+      auto window = fs.RecoveryWindow();
+      CEDAR_CHECK_OK(window.status());
+      if (window.value() <= std::uint64_t{kCkptWindowSectors} * 512) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  CkptPoint point;
+  point.touches = touches;
+  point.daemon = daemon;
+  auto window = fs.RecoveryWindow();
+  CEDAR_CHECK_OK(window.status());
+  point.pre_crash_window_bytes = window.value();
+  rig.disk.CrashNow();
+  rig.disk.Reopen();
+  // Recover with both daemons off so the measured virtual time is exactly
+  // the deterministic mount (replay + rebuild), with no background rounds
+  // racing the clock read.
+  cedar::core::FsdConfig recover_config = config;
+  recover_config.commit.daemon = false;
+  recover_config.checkpoint.daemon = false;
+  cedar::core::Fsd recovered(&rig.disk, recover_config);
+  point.mount_ms =
+      TimedMs(rig.clock, [&] { CEDAR_CHECK_OK(recovered.Mount()); });
+  point.replay_pages = recovered.stats().recovery_pages_replayed;
+  CEDAR_CHECK_OK(recovered.Shutdown());
+  return point;
+}
+
+const char* StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+void WriteCkptJson(const char* path, const std::vector<CkptPoint>& points) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n");
+  std::fprintf(f, "  \"window_sectors\": %u,\n", kCkptWindowSectors);
+  std::fprintf(f, "  \"time_unit\": \"virtual milliseconds\",\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CkptPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"touches\": %d, \"checkpoint_daemon\": %s, "
+                 "\"pre_crash_window_bytes\": %llu, \"replay_pages\": %llu, "
+                 "\"mount_ms\": %.1f}%s\n",
+                 p.touches, p.daemon ? "true" : "false",
+                 (unsigned long long)p.pre_crash_window_bytes,
+                 (unsigned long long)p.replay_pages, p.mount_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+// Runs the sweep and gates: returns the process exit code.
+int CkptMain(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const std::vector<int> fills = smoke ? std::vector<int>{60, 150}
+                                       : std::vector<int>{100, 200, 400, 800};
+  const char* json_path =
+      StringFlag(argc, argv, "--json", "BENCH_recovery.json");
+
+  std::printf("Mount recovery vs log fill (window = %u sectors)\n\n",
+              kCkptWindowSectors);
+  std::printf("%8s %10s %14s %12s %10s\n", "touches", "daemon", "window B",
+              "replay pages", "mount ms");
+  std::vector<CkptPoint> points;
+  for (int touches : fills) {
+    for (bool daemon : {false, true}) {
+      points.push_back(RunCkptFill(touches, daemon));
+      const CkptPoint& p = points.back();
+      std::printf("%8d %10s %14llu %12llu %10.1f\n", p.touches,
+                  p.daemon ? "on" : "off",
+                  (unsigned long long)p.pre_crash_window_bytes,
+                  (unsigned long long)p.replay_pages, p.mount_ms);
+    }
+  }
+  WriteCkptJson(json_path, points);
+
+  // Gates (CI runs this mode and fails on nonzero exit):
+  //   1. with the daemon, the pre-crash recovery window never exceeds the
+  //      configured bound — the daemon's contract;
+  //   2. with the daemon, mount replays at most the window's worth of
+  //      pages, regardless of fill;
+  //   3. at the deepest fill, daemon replay is strictly below third-based
+  //      replay — bounded vs linear.
+  const std::uint64_t bound_bytes = std::uint64_t{kCkptWindowSectors} * 512;
+  bool ok = true;
+  for (const CkptPoint& p : points) {
+    if (p.daemon && p.pre_crash_window_bytes > bound_bytes) {
+      std::printf("GATE: window %llu B exceeds bound %llu B at %d touches\n",
+                  (unsigned long long)p.pre_crash_window_bytes,
+                  (unsigned long long)bound_bytes, p.touches);
+      ok = false;
+    }
+    if (p.daemon && p.replay_pages > kCkptWindowSectors) {
+      std::printf("GATE: replayed %llu pages > %u-sector window\n",
+                  (unsigned long long)p.replay_pages, kCkptWindowSectors);
+      ok = false;
+    }
+  }
+  const CkptPoint& deep_thirds = points[points.size() - 2];
+  const CkptPoint& deep_daemon = points[points.size() - 1];
+  if (deep_daemon.replay_pages >= deep_thirds.replay_pages) {
+    std::printf("GATE: daemon replay (%llu pages) not below third-based "
+                "replay (%llu pages) at %d touches\n",
+                (unsigned long long)deep_daemon.replay_pages,
+                (unsigned long long)deep_thirds.replay_pages,
+                deep_daemon.touches);
+    ok = false;
+  }
+  std::printf("\nrecovery-window gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace cedar::bench
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  if (HasFlag(argc, argv, "--ckpt")) {
+    return CkptMain(argc, argv);
+  }
   const bool smoke = SmokeMode(argc, argv);
   // Smoke mode shrinks populations ~10x; recovery still exercises log
   // replay, VAM rebuild, scavenge, and fsck.

@@ -1,0 +1,78 @@
+#include "src/core/ckpt.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/lockrank.h"
+
+namespace cedar::core {
+
+CkptDaemon::CkptDaemon(RoundFn round) : round_(std::move(round)) {
+  CEDAR_CHECK(round_ != nullptr);
+}
+
+CkptDaemon::~CkptDaemon() { Stop(); }
+
+void CkptDaemon::Start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  {
+    util::RankedLockGuard lock(mu_, util::LockRank::kCkpt);
+    stop_ = false;
+    work_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void CkptDaemon::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  {
+    util::RankedLockGuard lock(mu_, util::LockRank::kCkpt);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool CkptDaemon::running() const {
+  return thread_.joinable();
+}
+
+void CkptDaemon::Notify() {
+  {
+    util::RankedLockGuard lock(mu_, util::LockRank::kCkpt);
+    if (stop_) {
+      return;
+    }
+    work_ = true;
+  }
+  cv_.notify_one();
+}
+
+std::uint64_t CkptDaemon::rounds() const {
+  util::RankedLockGuard lock(mu_, util::LockRank::kCkpt);
+  return rounds_;
+}
+
+void CkptDaemon::Loop() {
+  for (;;) {
+    {
+      util::LockRankFrame rank(util::LockRank::kCkpt);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return work_ || stop_; });
+      if (stop_) {
+        return;
+      }
+      work_ = false;
+      ++rounds_;
+    }
+    // The round takes force_mu_ itself; the wakeup mutex is released first
+    // so the kForce < kCkpt order is never inverted.
+    round_();
+  }
+}
+
+}  // namespace cedar::core

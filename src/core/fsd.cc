@@ -40,7 +40,7 @@ class Fsd::NtStore : public btree::PageStore {
     // request (tree pages allocate roughly sequentially, so siblings come
     // along for free — the clustering effect the paper gets from its larger
     // name-table pages), cross-check the copies, and repair disagreements.
-    const std::uint32_t cluster = fsd_->config_.nt_read_ahead_pages;
+    const std::uint32_t cluster = fsd_->config_.durability.nt_read_ahead_pages;
     const std::uint32_t first = (id / cluster) * cluster;
     const std::uint32_t count =
         std::min(cluster, fsd_->config_.nt_pages - first);
@@ -52,7 +52,7 @@ class Fsd::NtStore : public btree::PageStore {
     CEDAR_RETURN_IF_ERROR(
         fsd_->ReadWithRetry(fsd_->layout_.nta_base + first, a, &bad_a));
     fsd_->ChargeSectors(count);
-    bool read_b = fsd_->config_.double_read_check || !bad_a.empty();
+    bool read_b = fsd_->config_.durability.double_read_check || !bad_a.empty();
     if (read_b) {
       CEDAR_RETURN_IF_ERROR(
           fsd_->ReadWithRetry(fsd_->layout_.ntb_base + first, b, &bad_b));
@@ -199,6 +199,10 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   c_.home_writes_coalesced = metrics_.GetCounter("fsd.home_writes_coalesced");
   c_.read_retries = metrics_.GetCounter("fsd.read_retries");
   c_.space_forces = metrics_.GetCounter("fsd.space_forces");
+  c_.ckpt_batches = metrics_.GetCounter("fsd.ckpt_batches");
+  c_.ckpt_pages = metrics_.GetCounter("fsd.ckpt_pages");
+  c_.ckpt_advances = metrics_.GetCounter("fsd.ckpt_advances");
+  c_.third_flush_fallbacks = metrics_.GetCounter("fsd.third_flush_fallbacks");
   h_.create = metrics_.GetHistogram("op.fsd.create.us");
   h_.open = metrics_.GetHistogram("op.fsd.open.us");
   h_.read = metrics_.GetHistogram("op.fsd.read.us");
@@ -210,6 +214,7 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   h_.setkeep = metrics_.GetHistogram("op.fsd.setkeep.us");
   h_.force = metrics_.GetHistogram("op.fsd.force.us");
   disk_->AttachMetrics(&metrics_);
+  ckpt_daemon_ = std::make_unique<CkptDaemon>([this] { CkptRound(); });
 }
 
 FsdStats Fsd::stats() const {
@@ -228,6 +233,10 @@ FsdStats Fsd::stats() const {
   s.home_writes_coalesced = c_.home_writes_coalesced->value();
   s.read_retries = c_.read_retries->value();
   s.space_forces = c_.space_forces->value();
+  s.ckpt_batches = c_.ckpt_batches->value();
+  s.ckpt_pages = c_.ckpt_pages->value();
+  s.ckpt_advances = c_.ckpt_advances->value();
+  s.third_flush_fallbacks = c_.third_flush_fallbacks->value();
   s.max_parallel_ops = gate_.max_outstanding();
   const CommitQueue::Stats queue_stats = log_->commit_queue().stats();
   s.force_requests = queue_stats.force_requests;
@@ -241,7 +250,7 @@ Status Fsd::ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
   Status status = disk_->Read(start, out, bad);
   std::uint32_t attempts = 0;
   while (status.code() == ErrorCode::kReadTransient &&
-         attempts < config_.read_retry_limit) {
+         attempts < config_.durability.read_retry_limit) {
     ++attempts;
     c_.read_retries->Increment();
     status = disk_->Read(start, out, bad);
@@ -249,7 +258,10 @@ Status Fsd::ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
   return status;
 }
 
-Fsd::~Fsd() { StopDaemon(); }
+Fsd::~Fsd() {
+  StopCkptDaemon();
+  StopDaemon();
+}
 
 const LogStats& Fsd::log_stats() const { return log_->stats(); }
 
@@ -278,7 +290,7 @@ bool Fsd::HasPendingUpdates() const {
 
 void Fsd::RecordDelta(VamDelta::Op op, std::uint32_t start,
                       std::uint32_t count) {
-  if (!config_.vam_logging) {
+  if (!config_.durability.vam_logging) {
     return;
   }
   const VamDelta delta{.op = op, .start = start, .count = count};
@@ -370,6 +382,8 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
 }
 
 Status Fsd::Format() {
+  CEDAR_RETURN_IF_ERROR(config_.Validate());
+  StopCkptDaemon();
   StopDaemon();
   Status status;
   {
@@ -378,6 +392,7 @@ Status Fsd::Format() {
   }
   if (status.ok()) {
     StartDaemon();
+    StartCkptDaemon();
   }
   return status;
 }
@@ -407,8 +422,8 @@ Status Fsd::FormatLocked() {
       fresh.emplace_back(key, &frame);
     }
   });
-  sim::IoScheduler primary(disk_, config_.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
   for (auto& [key, frame] : fresh) {
     QueueHome(primary, replica, key, frame->data);
   }
@@ -426,6 +441,8 @@ Status Fsd::FormatLocked() {
 }
 
 Status Fsd::Mount() {
+  CEDAR_RETURN_IF_ERROR(config_.Validate());
+  StopCkptDaemon();
   StopDaemon();
   Status status;
   {
@@ -434,6 +451,7 @@ Status Fsd::Mount() {
   }
   if (status.ok()) {
     StartDaemon();
+    StartCkptDaemon();
   }
   return status;
 }
@@ -483,8 +501,8 @@ Status Fsd::MountLocked() {
     // (name-table pages cluster, so this turns hundreds of rotational
     // misses into a few streaming writes). Primaries flush before replicas
     // so the two copies of a page never share a transfer.
-    sim::IoScheduler primaries(disk_, config_.batched_writeback);
-    sim::IoScheduler secondaries(disk_, config_.batched_writeback);
+    sim::IoScheduler primaries(disk_, config_.durability.batched_writeback);
+    sim::IoScheduler secondaries(disk_, config_.durability.batched_writeback);
     for (const auto& [lba, page] : replay) {
       primaries.QueueWrite(page.primary, page.data);
       if (page.secondary != kNoLba) {
@@ -498,7 +516,7 @@ Status Fsd::MountLocked() {
     // VAM: fast path = last base snapshot + the deltas logged since it
     // (idempotent, applied in LSN order); otherwise scan the name table.
     need_rebuild = true;
-    if (config_.vam_logging) {
+    if (config_.durability.vam_logging) {
       std::uint64_t base_lsn = 0;
       Status base = vam_.Load(disk_, layout_.vam_base, layout_.vam_sectors,
                               Vam::kAnyBoot, &base_lsn);
@@ -523,7 +541,7 @@ Status Fsd::MountLocked() {
     CEDAR_RETURN_IF_ERROR(RebuildVolatileState());
   }
 
-  if (config_.vam_logging) {
+  if (config_.durability.vam_logging) {
     // Guarantee a base snapshot exists for the next crash. This must land
     // BEFORE the unclean root is written: a clean boot reformats the log
     // (LSNs restart at 1), so once the root says "unclean" any stale base
@@ -561,7 +579,7 @@ Status Fsd::PreloadNameTable() {
   std::vector<std::uint32_t> bad_b;
   std::vector<ChunkBad> chunk_bads;
   chunk_bads.reserve(2 * static_cast<std::size_t>(chunks));
-  sim::IoScheduler sched(disk_, config_.batched_writeback, kChunk);
+  sim::IoScheduler sched(disk_, config_.durability.batched_writeback, kChunk);
   auto queue_region = [&](std::vector<std::uint8_t>& region, sim::Lba base,
                           std::vector<std::uint32_t>& sink) {
     for (std::uint32_t off = 0; off < n; off += kChunk) {
@@ -587,7 +605,7 @@ Status Fsd::PreloadNameTable() {
                                                     bad_a.end());
   const std::unordered_set<std::uint32_t> bad_b_set(bad_b.begin(),
                                                     bad_b.end());
-  sim::IoScheduler repairs(disk_, config_.batched_writeback);
+  sim::IoScheduler repairs(disk_, config_.durability.batched_writeback);
   for (std::uint32_t pid = 0; pid < n; ++pid) {
     auto a = std::span<const std::uint8_t>(region_a)
                  .subspan(static_cast<std::size_t>(pid) * 512, 512);
@@ -635,7 +653,7 @@ Status Fsd::RebuildVolatileState() {
       for (const fs::Extent& run : entry.runs) {
         vam_.MarkUsed(run);
       }
-      disk_->clock().AdvanceCpu(config_.cpu_per_rebuild_entry);
+      disk_->clock().AdvanceCpu(config_.cpu.per_rebuild_entry);
     }
     return true;
   });
@@ -671,7 +689,7 @@ Status Fsd::FlushThird(int third) {
   //
   // With VAM logging, a fresh base snapshot accompanies every third entry;
   // recovery then needs only the deltas in the surviving records.
-  if (config_.vam_logging) {
+  if (config_.durability.vam_logging) {
     util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
     CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
                                     layout_.vam_sectors, boot_count_,
@@ -704,8 +722,12 @@ Status Fsd::FlushThird(int third) {
   if (victims.empty()) {
     return OkStatus();
   }
-  sim::IoScheduler primary(disk_, config_.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  // With the checkpoint daemon keeping up, every page logged in this third
+  // went home (and was retired) long before the log wrapped back into it —
+  // this counter measures what the daemon did NOT get to in time.
+  c_.third_flush_fallbacks->Increment();
+  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
   for (const Victim& victim : victims) {
     QueueHome(primary, replica, victim.key, victim.image);
   }
@@ -855,7 +877,7 @@ Status Fsd::ForceLogImpl(GateMode mode, std::uint64_t* covered_seq) {
   // between-groups crash to leaked sectors.
   const std::size_t group_pages = std::min<std::size_t>(
       static_cast<std::size_t>(
-          std::max<std::uint32_t>(1, config_.log_group_records)) *
+          std::max<std::uint32_t>(1, config_.commit.group_records)) *
           FsdLog::kMaxPagesPerRecord,
       log_->MaxGroupPages());
   Status status = OkStatus();
@@ -928,6 +950,13 @@ Status Fsd::ForceLogImpl(GateMode mode, std::uint64_t* covered_seq) {
     vam_.FoldShadow(shadow);
   }
   c_.forces->Increment();
+  // Wake the checkpoint daemon when this append pushed the live span past
+  // the recovery window (force_mu_ is held; kForce < kCkpt so the notify
+  // nests cleanly). The daemon then takes force_mu_ itself for each batch.
+  if (ckpt_daemon_->running() &&
+      log_->LiveSectors() > CheckpointWindowSectors()) {
+    ckpt_daemon_->Notify();
+  }
   return OkStatus();
 }
 
@@ -937,14 +966,14 @@ Status Fsd::MaybeDeadlineForce(std::uint64_t* await_seq) {
   }
   const sim::Micros now = disk_->clock().now();
   sim::Micros last = last_force_.load(std::memory_order_relaxed);
-  if (now - last < config_.group_commit_interval) {
+  if (now - last < config_.commit.interval) {
     return OkStatus();
   }
-  if (!config_.commit_daemon || await_seq == nullptr) {
+  if (!config_.commit.daemon || await_seq == nullptr) {
     util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
     // Re-check under force_mu_: a raced force may have just reset the timer.
     if (disk_->clock().now() - last_force_.load(std::memory_order_relaxed) <
-        config_.group_commit_interval) {
+        config_.commit.interval) {
       return OkStatus();
     }
     return ForceLogImpl(GateMode::kCloseAndReopen);
@@ -974,7 +1003,7 @@ Status Fsd::MaybeDeadlineForce(std::uint64_t* await_seq) {
 
 Status Fsd::SpaceForce() {
   c_.space_forces->Increment();
-  if (config_.commit_daemon) {
+  if (config_.commit.daemon) {
     // Ride the daemon's force when one will run: it resets the pending
     // capture count. (A page can be pending before its op records an
     // update; the inline fallback below covers that window.)
@@ -1002,7 +1031,7 @@ Status Fsd::BeginOp(std::uint64_t* await_seq) {
 Status Fsd::Tick() {
   std::uint64_t await_seq = 0;
   CEDAR_RETURN_IF_ERROR(
-      MaybeDeadlineForce(config_.commit_daemon ? &await_seq : nullptr));
+      MaybeDeadlineForce(config_.commit.daemon ? &await_seq : nullptr));
   return AwaitCommit(await_seq);
 }
 
@@ -1011,7 +1040,7 @@ Status Fsd::Force() {
   if (!mounted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
   }
-  if (!config_.commit_daemon) {
+  if (!config_.commit.daemon) {
     util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
     if (!mounted_) {
       return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
@@ -1026,7 +1055,7 @@ Status Fsd::Force() {
 }
 
 void Fsd::StartDaemon() {
-  if (!config_.commit_daemon || commit_daemon_.joinable()) {
+  if (!config_.commit.daemon || commit_daemon_.joinable()) {
     return;
   }
   log_->commit_queue().Restart();
@@ -1070,7 +1099,175 @@ Status Fsd::AwaitCommit(std::uint64_t seq) {
   return log_->commit_queue().AwaitDurable(seq);
 }
 
+void Fsd::StartCkptDaemon() {
+  if (!config_.checkpoint.daemon) {
+    return;
+  }
+  ckpt_daemon_->Start();
+}
+
+void Fsd::StopCkptDaemon() { ckpt_daemon_->Stop(); }
+
+std::uint32_t Fsd::CheckpointWindowSectors() const {
+  const std::uint32_t window = config_.checkpoint.window_sectors;
+  if (window == 0) {
+    return log_->third_sectors();  // match the old FlushThird exposure
+  }
+  return std::min(window, log_->record_area_sectors());
+}
+
+void Fsd::CkptRound() {
+  util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+  if (!mounted_) {
+    return;
+  }
+  const std::uint32_t window = CheckpointWindowSectors();
+  // Drain to half the window, not to the edge, so hot pages keep absorbing
+  // re-dirties between rounds instead of going home after every force.
+  for (;;) {
+    const std::uint32_t live = log_->LiveSectors();
+    if (live <= window) {
+      break;
+    }
+    const std::uint64_t target = log_->CheckpointTarget(window / 2);
+    if (target == 0 || !CheckpointBatch(target).ok()) {
+      break;
+    }
+    if (log_->LiveSectors() >= live) {
+      break;  // no progress (one giant straddling group); retry next notify
+    }
+  }
+}
+
+Status Fsd::CheckpointBatch(std::uint64_t target) {
+  // Caller holds force_mu_ with the gate OPEN: mutators run concurrently,
+  // but no force is in its capture or append phase, so capture_keys_ is
+  // empty and frame log tags are stable except through erase + refill
+  // (guarded below). Victims are pages whose latest logged image has LSN
+  // below the advance target — the tag is read before the group append, so
+  // tag <= true record LSN and this selection only over-includes (an extra
+  // home write of an image the log still covers, which replay tolerates).
+  struct Victim {
+    std::uint32_t key = 0;
+    std::uint64_t lsn = 0;
+    std::vector<std::uint8_t> image;
+  };
+  std::vector<Victim> victims;
+  cache_.ForEach([&](std::uint32_t key, cache::Frame& frame) {
+    if (frame.logged_lsn == 0 || frame.logged_lsn >= target) {
+      return;
+    }
+    if (frame.is_leader && !frame.dirty) {
+      // Piggybacked to disk already; nothing to do.
+      frame.logged_third = -1;
+      frame.logged_image.clear();
+      frame.logged_lsn = 0;
+      return;
+    }
+    victims.push_back(
+        Victim{.key = key, .lsn = frame.logged_lsn, .image = frame.logged_image});
+  });
+
+  obs::ScopedOp ckpt_scope(disk_->tracer(), "fsd.ckpt");
+  // Home writes go out in small elevator-ordered chunks — primaries (and
+  // leaders) before replicas within each chunk — so a checkpoint never
+  // monopolizes the disk the way a full synchronous third drain does.
+  const std::size_t chunk =
+      std::max<std::uint32_t>(1, config_.checkpoint.batch_pages);
+  for (std::size_t begin = 0; begin < victims.size(); begin += chunk) {
+    const std::size_t n = std::min(chunk, victims.size() - begin);
+    sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
+    sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
+    for (std::size_t j = 0; j < n; ++j) {
+      QueueHome(primary, replica, victims[begin + j].key,
+                victims[begin + j].image);
+    }
+    CEDAR_RETURN_IF_ERROR(FlushHomeBatch(primary));
+    CEDAR_RETURN_IF_ERROR(FlushHomeBatch(replica));
+    for (std::size_t j = 0; j < n; ++j) {
+      const Victim& victim = victims[begin + j];
+      c_.ckpt_pages->Increment();
+      cache_.Apply(victim.key, [&](cache::Frame& frame) {
+        if (frame.logged_lsn != victim.lsn) {
+          return;  // raced an erase + refill; nothing to retire
+        }
+        frame.logged_third = -1;
+        frame.logged_lsn = 0;
+        frame.dirty = frame.dirty_since_log;
+        if (!frame.dirty) {
+          frame.logged_image.clear();
+        }
+      });
+    }
+  }
+  // VAM base before the pointer moves: the in-memory bitmaps already hold
+  // every delta in the records about to be dropped (deltas apply at op
+  // time), and the next_lsn stamp makes surviving-record deltas re-apply
+  // idempotently at recovery.
+  if (config_.durability.vam_logging) {
+    util::RankedLockGuard lock(alloc_mu_, util::LockRank::kAlloc);
+    CEDAR_RETURN_IF_ERROR(vam_.Save(disk_, layout_.vam_base,
+                                    layout_.vam_sectors, boot_count_,
+                                    log_->next_lsn()));
+  }
+  // Only after every home write above is on disk does the oldest-record
+  // pointer advance (a separate, later disk write) — a crash at any point
+  // replays from a pointer that still covers whatever was not yet home.
+  CEDAR_ASSIGN_OR_RETURN(const std::uint32_t dropped,
+                         log_->AdvanceCheckpoint(target));
+  c_.ckpt_batches->Increment();
+  if (dropped > 0) {
+    c_.ckpt_advances->Increment();
+  }
+  return OkStatus();
+}
+
+Status Fsd::Checkpoint() {
+  util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  // Maximal advance: everything except the newest record (the on-disk
+  // pointer must keep naming a current-boot record).
+  const std::uint64_t target = log_->CheckpointTarget(0);
+  if (target == 0) {
+    return OkStatus();
+  }
+  return CheckpointBatch(target);
+}
+
+Result<std::uint64_t> Fsd::RecoveryWindow() {
+  util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+  if (!mounted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+  }
+  return static_cast<std::uint64_t>(log_->LiveSectors()) * 512;
+}
+
+fs::MaintenanceStats Fsd::Maintenance() {
+  fs::MaintenanceStats m;
+  {
+    util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
+    m.log_live_bytes = static_cast<std::uint64_t>(log_->LiveSectors()) * 512;
+    m.recovery_window_bytes =
+        static_cast<std::uint64_t>(CheckpointWindowSectors()) * 512;
+  }
+  m.log_capacity_bytes =
+      static_cast<std::uint64_t>(log_->record_area_sectors()) * 512;
+  m.checkpoint_batches = c_.ckpt_batches->value();
+  m.checkpoint_pages = c_.ckpt_pages->value();
+  m.checkpoint_advances = c_.ckpt_advances->value();
+  m.third_flush_fallbacks = c_.third_flush_fallbacks->value();
+  return m;
+}
+
+Status Fsd::RunQuiesced(const std::function<Status()>& fn) {
+  ScopedQuiesce quiesce(this);
+  return fn();
+}
+
 Status Fsd::Shutdown() {
+  StopCkptDaemon();
   StopDaemon();
   ScopedQuiesce quiesce(this);
   return ShutdownLocked();
@@ -1091,8 +1288,8 @@ Status Fsd::ShutdownLocked() {
       dirty.emplace_back(key, &frame);
     }
   });
-  sim::IoScheduler primary(disk_, config_.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.batched_writeback);
+  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
+  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
   for (auto& [key, frame] : dirty) {
     QueueHome(primary, replica, key, frame->data);
   }
@@ -1814,7 +2011,7 @@ Result<std::vector<fs::FileInfo>> Fsd::ListLocked(std::string_view prefix) {
         FsdEntry entry;
         if (fs::DecodeNameKey(key, &name, &version) &&
             ParseEntry(value, &entry).ok()) {
-          disk_->clock().AdvanceCpu(config_.cpu_per_list_entry);
+          disk_->clock().AdvanceCpu(config_.cpu.per_list_entry);
           out.push_back(fs::FileInfo{.name = std::move(name),
                                      .version = version,
                                      .uid = entry.uid,
@@ -1932,7 +2129,7 @@ Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
   // so unsorted repair writes would seek worst-case per leader).
   std::vector<std::vector<std::uint8_t>> leader_images;
   leader_images.reserve(stale_leaders.size());
-  sim::IoScheduler repairs(disk_, config_.batched_writeback);
+  sim::IoScheduler repairs(disk_, config_.durability.batched_writeback);
   for (const Damaged& damaged : stale_leaders) {
     leader_images.push_back(
         SerializeLeader(MakeLeader(damaged.entry, damaged.version)));

@@ -47,6 +47,7 @@
 #include "src/btree/page_store.h"
 #include "src/cache/page_cache.h"
 #include "src/core/allocator.h"
+#include "src/core/ckpt.h"
 #include "src/core/layout.h"
 #include "src/core/log.h"
 #include "src/core/name_table.h"
@@ -101,6 +102,16 @@ struct FsdStats {
   // high-water mark of ops concurrently admitted through the op gate.
   std::uint64_t space_forces = 0;
   std::uint64_t max_parallel_ops = 0;
+
+  // Continuous checkpointing (section 4g). ckpt_batches counts checkpoint
+  // rounds that did work, ckpt_pages the home pages they wrote, and
+  // ckpt_advances the durable checkpoint-pointer moves. When the daemon
+  // keeps up, third_flush_fallbacks stays at zero: every third entry finds
+  // its pages already retired.
+  std::uint64_t ckpt_batches = 0;
+  std::uint64_t ckpt_pages = 0;
+  std::uint64_t ckpt_advances = 0;
+  std::uint64_t third_flush_fallbacks = 0;
 };
 
 // One finding from Fsd::Fsck(). Warnings are conditions the system repairs
@@ -197,6 +208,16 @@ class Fsd : public fs::FileSystem {
   Status Shutdown() override;  // force, flush home, save VAM, mark clean
   const obs::MetricsRegistry& Metrics() const override { return metrics_; }
 
+  // Maintenance surface (fs::FileSystem): Checkpoint() runs one synchronous
+  // maximal checkpoint round (flush the pages backing every droppable log
+  // record, then advance the persisted pointer up to the newest commit
+  // group); RecoveryWindow() reports the live log in bytes — what a
+  // crash-now mount would replay; Maintenance() snapshots the checkpoint
+  // counters. All three are safe from any thread.
+  Status Checkpoint() override;
+  Result<std::uint64_t> RecoveryWindow() override;
+  fs::MaintenanceStats Maintenance() override;
+
   // Moves the highest version of `from` to `to` (becoming to's next
   // version); the uid is unchanged, so open handles keep working. Takes
   // both name shards in index order — the one cross-shard operation.
@@ -234,6 +255,15 @@ class Fsd : public fs::FileSystem {
   // Quiesces in-flight operations for its duration (no global lock to
   // take — it drains the op gate like a capture does).
   Result<FsckReport> Fsck();
+
+  // Runs `fn` with the file system quiesced: force_mu_ held and the op gate
+  // closed for the whole call — the same exclusive view Format/Mount/
+  // Shutdown/Fsck/Scrub get. Re-entrant per the ScopedQuiesce contract:
+  // calling RunQuiesced from inside a quiesced section on the same thread
+  // nests (the inner call runs under the existing quiesce; the gate reopens
+  // only when the outermost scope exits). The commit and checkpoint daemons
+  // are blocked, not stopped, for the duration.
+  Status RunQuiesced(const std::function<Status()>& fn);
 
   // Name-shard geometry, exposed so benches and tests can construct
   // shard-disjoint (or deliberately colliding) name sets.
@@ -274,14 +304,39 @@ class Fsd : public fs::FileSystem {
   // and pending queues frozen — for its whole scope. Used by Fsck, Scrub,
   // and the lifecycle paths (Format/Mount/Shutdown); forces issued inside
   // use GateMode::kAlreadyClosed.
+  //
+  // Re-entrancy contract (tested in ckpt_test.cc): the outermost scope on a
+  // thread records itself as the quiesce owner; nested constructions by the
+  // SAME thread are counted, not re-locked — they observe the already
+  // quiesced state and release nothing on destruction. The gate reopens and
+  // force_mu_ unlocks only when the outermost scope exits. Distinct threads
+  // still exclude each other on force_mu_ as before. This is what lets a
+  // quiesced lifecycle path call a helper that itself quiesces (e.g.
+  // RunQuiesced from inside Shutdown) without self-deadlock.
   class ScopedQuiesce {
    public:
-    explicit ScopedQuiesce(Fsd* fsd)
-        : fsd_(fsd), rank_(util::LockRank::kForce) {
+    explicit ScopedQuiesce(Fsd* fsd) : fsd_(fsd) {
+      if (fsd_->quiesce_owner_.load(std::memory_order_acquire) ==
+          std::this_thread::get_id()) {
+        nested_ = true;
+        ++fsd_->quiesce_depth_;
+        return;
+      }
+      rank_.emplace(util::LockRank::kForce);
       fsd_->force_mu_.lock();
       fsd_->gate_.CloseForCommit();
+      fsd_->quiesce_owner_.store(std::this_thread::get_id(),
+                                 std::memory_order_release);
+      fsd_->quiesce_depth_ = 1;
     }
     ~ScopedQuiesce() {
+      if (nested_) {
+        --fsd_->quiesce_depth_;
+        return;
+      }
+      fsd_->quiesce_depth_ = 0;
+      fsd_->quiesce_owner_.store(std::thread::id{},
+                                 std::memory_order_release);
       fsd_->gate_.Reopen();
       fsd_->force_mu_.unlock();
     }
@@ -290,15 +345,16 @@ class Fsd : public fs::FileSystem {
 
    private:
     Fsd* fsd_;
-    util::LockRankFrame rank_;
+    bool nested_ = false;
+    std::optional<util::LockRankFrame> rank_;
   };
 
-  void ChargeOp() const { disk_->clock().AdvanceCpu(config_.cpu_per_op); }
+  void ChargeOp() const { disk_->clock().AdvanceCpu(config_.cpu.per_op); }
   void ChargeSectors(std::uint64_t n) const {
-    disk_->clock().AdvanceCpu(config_.cpu_per_sector_io * n);
+    disk_->clock().AdvanceCpu(config_.cpu.per_sector_io * n);
   }
   void ChargeDataSectors(std::uint64_t n) const {
-    disk_->clock().AdvanceCpu(config_.cpu_per_data_sector * n);
+    disk_->clock().AdvanceCpu(config_.cpu.per_data_sector * n);
   }
 
   // Locked bodies of the public lifecycle entry points. Format/Mount/
@@ -335,6 +391,26 @@ class Fsd : public fs::FileSystem {
   void StartDaemon();
   void StopDaemon();
   void DaemonLoop();
+  // Checkpoint daemon plumbing (DESIGN.md section 4g). Start/Stop follow
+  // the same lifecycle discipline as the commit daemon: called only while
+  // NOT holding force_mu_; the daemon's round takes force_mu_ itself, so
+  // quiesced sections block it without stopping it.
+  void StartCkptDaemon();
+  void StopCkptDaemon();
+  // Daemon round: while the live log exceeds the window, pick a target and
+  // run one CheckpointBatch draining toward window/2.
+  void CkptRound();
+  // Effective recovery-window bound in log sectors: the configured value,
+  // or one log third when checkpoint.window_sectors == 0.
+  std::uint32_t CheckpointWindowSectors() const;
+  // One checkpoint: writes home (elevator-ordered, in batch_pages chunks)
+  // every cached page whose latest logged image precedes `target`, saves
+  // the VAM base first under VAM logging, then durably advances the log's
+  // oldest-record pointer past the dropped records. Caller holds force_mu_;
+  // the gate stays OPEN — mutators interleave with the home writes, which
+  // is the whole point. capture_keys_ is empty here (it is only non-empty
+  // while a force holds force_mu_).
+  Status CheckpointBatch(std::uint64_t target);
   // Wrapper tail: blocks on the commit queue when a deadline force was
   // deferred to the daemon (no-op for seq 0 / inline mode).
   Status AwaitCommit(std::uint64_t seq);
@@ -477,6 +553,13 @@ class Fsd : public fs::FileSystem {
   // open_files_.
   mutable std::mutex open_mu_;
   std::thread commit_daemon_;
+  std::unique_ptr<CkptDaemon> ckpt_daemon_;
+
+  // ScopedQuiesce re-entrancy bookkeeping: the owning thread's id (set by
+  // the outermost scope while force_mu_ is held, cleared on exit) and the
+  // nesting depth (touched only by the owner).
+  std::atomic<std::thread::id> quiesce_owner_{};
+  int quiesce_depth_ = 0;
 
   // Completed name-keyed ops per shard (relaxed; test/bench telemetry).
   std::array<std::atomic<std::uint64_t>, kNameShardCount> shard_ops_{};
@@ -500,6 +583,10 @@ class Fsd : public fs::FileSystem {
     obs::Counter* home_writes_coalesced = nullptr;
     obs::Counter* read_retries = nullptr;
     obs::Counter* space_forces = nullptr;
+    obs::Counter* ckpt_batches = nullptr;
+    obs::Counter* ckpt_pages = nullptr;
+    obs::Counter* ckpt_advances = nullptr;
+    obs::Counter* third_flush_fallbacks = nullptr;
   } c_;
   struct HistogramSet {
     obs::Histogram* create = nullptr;

@@ -14,10 +14,24 @@
 #include "src/sim/clock.h"
 #include "src/sim/geometry.h"
 #include "src/util/check.h"
+#include "src/util/status.h"
 
 namespace cedar::core {
 
+// FSD volume configuration, grouped by concern:
+//
+//   - top level: on-disk geometry knobs (these are parsed back out of the
+//     volume root at mount, so they must stay flat and stable)
+//   - commit:     group-commit policy (interval, daemon, group size)
+//   - checkpoint: continuous checkpoint daemon policy (recovery window)
+//   - durability: read/write hardening and recovery ablations
+//   - cpu:        the virtual CPU cost model
+//
+// Validate() rejects inconsistent combinations; Format() and Mount() call
+// it and fail fast with kInvalidArgument instead of misbehaving later.
 struct FsdConfig {
+  // ---- On-disk geometry (persisted in the volume root).
+
   // Log region size in sectors (4 pointer/blank sectors + three thirds).
   std::uint32_t log_sectors = 1540;
   // Name table size, in 512-byte tree pages (= sectors); two full replicas
@@ -26,57 +40,101 @@ struct FsdConfig {
   // Files at least this many sectors long allocate from the big-file area
   // at the high end of the volume (section 5.6).
   std::uint32_t big_file_threshold_sectors = 64;
-  // Group commit: the log is forced when this much virtual time has passed
-  // since the last force ("FSD forces its log twice a second").
-  sim::Micros group_commit_interval = 500 * sim::kMillisecond;
   // Buffer pool frames (name-table pages + pending leader pages).
   std::size_t cache_frames = 8192;
-  // Read both name-table copies on a cache miss and cross-check, per
-  // section 5.1; turning this off is an ablation.
-  bool double_read_check = true;
-  // Pages fetched per name-table miss (aligned cluster, one request per
-  // region). Our tree pages are one sector; the original's were larger, so
-  // clustered fetch reproduces its entries-per-read.
-  std::uint32_t nt_read_ahead_pages = 8;
-  // VAM logging (the extension sketched in section 5.3): allocation-map
-  // deltas ride in every log record and a VAM snapshot is saved at each
-  // third entry, so crash recovery skips the name-table scan — "about two
-  // seconds" instead of ~25. Off by default, like the original system.
-  bool vam_logging = false;
-  // Elevator-order and coalesce home writebacks (third flush, shutdown,
-  // recovery replay, repairs) through the sim::IoScheduler. Off reproduces
-  // the historical one-write-per-page behavior in hash-map order — the
-  // unbatched baseline bench_flush measures against.
-  bool batched_writeback = true;
-  // Run group commit as a real background daemon thread: Force() and the
-  // half-second deadline enqueue on the log's CommitQueue and block until
-  // the daemon's log write covers them, so concurrent clients share one
-  // write (paper section 3.2). Off (the default) keeps the historical
-  // inline force — single-threaded tests, benches, and the crash harness
-  // are unchanged. Both modes issue identical disk traffic for the same
-  // serialized operation order.
-  bool commit_daemon = false;
-  // Records per atomic commit group. Forces larger than one record are
-  // split into records tagged with group start/end flags; recovery discards
-  // incomplete groups, so a multi-record force stays atomic. A group must
-  // stay well under a log third; 4 records (~436 sectors) is safe for the
-  // default sizing. 1 disables group atomicity (ablation).
-  std::uint32_t log_group_records = 4;
-  // Bounded retry for soft (transient) read errors: a sector read that
-  // fails with kReadTransient is reissued up to this many times before the
-  // error is surfaced. Each retry bumps the fsd.read_retries counter.
-  std::uint32_t read_retry_limit = 3;
 
-  // CPU cost model (virtual microseconds); calibration in EXPERIMENTS.md.
-  std::uint64_t cpu_per_op = 1200;
-  std::uint64_t cpu_per_sector_io = 80;
-  // Data-path copy cost (buffer moves per 512-byte sector); dominates the
-  // CPU column of Table 5.
-  std::uint64_t cpu_per_data_sector = 200;
-  std::uint64_t cpu_per_list_entry = 150;
-  // Per name-table entry processed when reconstructing the VAM (the bulk of
-  // the paper's ~20 second rebuild on a Dorado).
-  std::uint64_t cpu_per_rebuild_entry = 1800;
+  // ---- Group-commit policy.
+  struct Commit {
+    // Group commit: the log is forced when this much virtual time has
+    // passed since the last force ("FSD forces its log twice a second").
+    sim::Micros interval = 500 * sim::kMillisecond;
+    // Run group commit as a real background daemon thread: Force() and the
+    // half-second deadline enqueue on the log's CommitQueue and block until
+    // the daemon's log write covers them, so concurrent clients share one
+    // write (paper section 3.2). Off (the default) keeps the historical
+    // inline force — single-threaded tests, benches, and the crash harness
+    // are unchanged. Both modes issue identical disk traffic for the same
+    // serialized operation order.
+    bool daemon = false;
+    // Records per atomic commit group. Forces larger than one record are
+    // split into records tagged with group start/end flags; recovery
+    // discards incomplete groups, so a multi-record force stays atomic. A
+    // group must stay well under a log third; 4 records (~436 sectors) is
+    // safe for the default sizing. 1 disables group atomicity (ablation).
+    std::uint32_t group_records = 4;
+  };
+  Commit commit;
+
+  // ---- Continuous checkpoint policy.
+  struct Checkpoint {
+    // Run the continuous checkpoint daemon: a background thread that
+    // incrementally writes home pages for the oldest log region and
+    // advances the persisted checkpoint pointer, keeping the live log (the
+    // recovery window) bounded by `window_sectors` instead of letting it
+    // grow until a stop-the-world third flush. Requires commit.daemon (the
+    // checkpoint daemon exists to unstall the parallel commit path; the
+    // combination of a background checkpointer with inline forces has no
+    // supported use and is rejected by Validate()).
+    bool daemon = false;
+    // Recovery-window bound in log sectors: the daemon starts checkpointing
+    // when the live log exceeds this and drains it back to about half. 0
+    // means "one log third" — the classic FlushThird economy.
+    std::uint32_t window_sectors = 0;
+    // Home pages written per IoScheduler batch inside a checkpoint round.
+    // Small batches keep the daemon's disk occupancy polite: mutators only
+    // ever wait behind one batch, not a whole third drain.
+    std::uint32_t batch_pages = 32;
+  };
+  Checkpoint checkpoint;
+
+  // ---- Durability / hardening knobs.
+  struct Durability {
+    // Read both name-table copies on a cache miss and cross-check, per
+    // section 5.1; turning this off is an ablation.
+    bool double_read_check = true;
+    // Pages fetched per name-table miss (aligned cluster, one request per
+    // region). Our tree pages are one sector; the original's were larger,
+    // so clustered fetch reproduces its entries-per-read.
+    std::uint32_t nt_read_ahead_pages = 8;
+    // VAM logging (the extension sketched in section 5.3): allocation-map
+    // deltas ride in every log record and a VAM snapshot is saved at each
+    // checkpoint, so crash recovery skips the name-table scan — "about two
+    // seconds" instead of ~25. Off by default, like the original system.
+    bool vam_logging = false;
+    // Elevator-order and coalesce home writebacks (checkpoints, third
+    // flush, shutdown, recovery replay, repairs) through the
+    // sim::IoScheduler. Off reproduces the historical one-write-per-page
+    // behavior in hash-map order — the unbatched baseline bench_flush
+    // measures against.
+    bool batched_writeback = true;
+    // Bounded retry for soft (transient) read errors: a sector read that
+    // fails with kReadTransient is reissued up to this many times before
+    // the error is surfaced. Each retry bumps the fsd.read_retries counter.
+    std::uint32_t read_retry_limit = 3;
+  };
+  Durability durability;
+
+  // ---- CPU cost model (virtual microseconds); calibration in
+  // EXPERIMENTS.md.
+  struct CpuModel {
+    std::uint64_t per_op = 1200;
+    std::uint64_t per_sector_io = 80;
+    // Data-path copy cost (buffer moves per 512-byte sector); dominates the
+    // CPU column of Table 5.
+    std::uint64_t per_data_sector = 200;
+    std::uint64_t per_list_entry = 150;
+    // Per name-table entry processed when reconstructing the VAM (the bulk
+    // of the paper's ~20 second rebuild on a Dorado).
+    std::uint64_t per_rebuild_entry = 1800;
+  };
+  CpuModel cpu;
+
+  // Checks the configuration for internal consistency. Returns
+  // kInvalidArgument naming the offending field(s) otherwise. Format() and
+  // Mount() call this and refuse to run on a bad config; callers building
+  // configs programmatically should call it before constructing an Fsd
+  // (the log's size invariant is a hard CHECK at construction).
+  Status Validate() const;
 };
 
 struct FsdLayout {

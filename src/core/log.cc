@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "src/core/layout.h"
 #include "src/util/check.h"
 #include "src/util/crc32.h"
 #include "src/util/serial.h"
@@ -100,6 +101,73 @@ bool ParseStamp(std::span<const std::uint8_t> sector, std::uint32_t magic,
 }
 
 }  // namespace
+
+// Defined here rather than in a layout translation unit so the rules can
+// reuse FsdLog's record-geometry arithmetic.
+Status FsdConfig::Validate() const {
+  // Log geometry: pointer pages plus a third that fits a maximal record —
+  // the same bound FsdLog turns into a hard CHECK at construction.
+  const std::uint32_t min_log =
+      4 + 3 * FsdLog::RecordSectors(FsdLog::kMaxPagesPerRecord);
+  if (log_sectors < min_log) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "log_sectors " + std::to_string(log_sectors) +
+                         " below minimum " + std::to_string(min_log));
+  }
+  if (nt_pages == 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "nt_pages must be > 0");
+  }
+  if (durability.nt_read_ahead_pages == 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "durability.nt_read_ahead_pages must be > 0");
+  }
+  if (cache_frames < 8 || cache_frames < durability.nt_read_ahead_pages) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "cache_frames must be >= 8 and cover one name-table "
+                     "read-ahead cluster");
+  }
+  if (commit.group_records == 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "commit.group_records must be >= 1");
+  }
+  // A requested group larger than one third is clamped to MaxGroupPages at
+  // force time (a policy choice, not an error), so group_records needs no
+  // upper bound here — but the checkpoint window below is validated against
+  // the group size that clamping actually yields.
+  const std::uint32_t area = log_sectors - 4;
+  const std::uint32_t third = area / 3;
+  if (checkpoint.daemon && !commit.daemon) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "checkpoint.daemon requires commit.daemon (the "
+                     "continuous checkpointer backstops the parallel "
+                     "commit path; inline forces use third flushes)");
+  }
+  if (checkpoint.batch_pages == 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "checkpoint.batch_pages must be >= 1");
+  }
+  if (checkpoint.window_sectors != 0) {
+    // The live log can never be drained below the newest commit group, so
+    // a window smaller than one (clamped) group is unsatisfiable; one
+    // larger than the record area can never trigger.
+    std::uint32_t max_group_pages = 0;
+    for (std::uint32_t n = 1; FsdLog::GroupSectors(n) < third; ++n) {
+      max_group_pages = n;
+    }
+    const std::uint32_t effective_pages = std::min(
+        commit.group_records * FsdLog::kMaxPagesPerRecord, max_group_pages);
+    const std::uint32_t min_window = FsdLog::GroupSectors(effective_pages);
+    if (checkpoint.window_sectors < min_window ||
+        checkpoint.window_sectors > area) {
+      return MakeError(
+          ErrorCode::kInvalidArgument,
+          "checkpoint.window_sectors must be within [" +
+              std::to_string(min_window) + ", " + std::to_string(area) +
+              "] for this log/group sizing (0 = one third)");
+    }
+  }
+  return OkStatus();
+}
 
 FsdLog::FsdLog(sim::SimDisk* disk, sim::Lba base, std::uint32_t size_sectors)
     : disk_(disk), base_(base), size_sectors_(size_sectors) {
@@ -201,7 +269,7 @@ Status FsdLog::Format(std::uint32_t boot_count) {
   pos_ = 0;
   current_third_ = 0;
   oldest_pointer_ = 0;
-  first_record_in_third_ = {kNoOffset, kNoOffset, kNoOffset};
+  live_.clear();
   stats_ = LogStats{};
   CEDAR_RETURN_IF_ERROR(WritePointer());
   // Invalidate the first header position so recovery of a fresh log stops
@@ -222,9 +290,10 @@ Status FsdLog::PrepareSpace(std::uint32_t len, const ThirdFlushFn& flush) {
     if (pos_ < boundary) {
       std::vector<std::uint8_t> marker = BuildMarkerSector();
       CEDAR_RETURN_IF_ERROR(disk_->Write(AreaLba(pos_), marker));
-      if (first_record_in_third_[pos_third] == kNoOffset) {
-        first_record_in_third_[pos_third] = pos_;
-      }
+      // Markers are chain elements: the pointer may legally name one, so
+      // they live in the index like records (and as group boundaries —
+      // they never sit inside a reserved group).
+      live_.push_back(LiveRecord{next_lsn_, pos_, true});
       ++next_lsn_;
       ++stats_.markers;
       stats_.sectors_written += 1;
@@ -235,18 +304,14 @@ Status FsdLog::PrepareSpace(std::uint32_t len, const ThirdFlushFn& flush) {
   const int third = ThirdOf(pos_);
   if (third != current_third_) {
     // Entering a new third: flush pages whose only durable copy is here,
-    // then durably advance the oldest-record pointer past it.
+    // then durably advance the oldest-record pointer past it. Any index
+    // entries still in this third are from the previous lap (a continuous
+    // checkpoint may already have dropped some or all of them).
     CEDAR_RETURN_IF_ERROR(flush(third));
-    first_record_in_third_[third] = kNoOffset;
-    std::uint32_t ptr = kNoOffset;
-    for (int k = 1; k <= 2; ++k) {
-      const int candidate = (third + k) % 3;
-      if (first_record_in_third_[candidate] != kNoOffset) {
-        ptr = first_record_in_third_[candidate];
-        break;
-      }
+    while (!live_.empty() && ThirdOf(live_.front().offset) == third) {
+      live_.pop_front();
     }
-    oldest_pointer_ = ptr == kNoOffset ? pos_ : ptr;
+    oldest_pointer_ = live_.empty() ? pos_ : live_.front().offset;
     CEDAR_RETURN_IF_ERROR(WritePointer());
     current_third_ = third;
     ++stats_.third_entries;
@@ -258,7 +323,6 @@ Status FsdLog::AppendPrepared(std::span<const PageImage> pages,
                               bool group_start, bool group_end) {
   const auto len = static_cast<std::uint32_t>(RecordSectors(
       static_cast<std::uint32_t>(pages.size())));
-  const int third = ThirdOf(pos_);
   // Assemble the record: H, blank, H', D1..Dn, E, D1'..Dn', E'.
   const std::vector<std::uint8_t> header =
       BuildHeaderSector(pages, group_start, group_end);
@@ -281,9 +345,7 @@ Status FsdLog::AppendPrepared(std::span<const PageImage> pages,
   put(end);
   CEDAR_RETURN_IF_ERROR(disk_->Write(AreaLba(pos_), buf));
 
-  if (first_record_in_third_[third] == kNoOffset) {
-    first_record_in_third_[third] = pos_;
-  }
+  live_.push_back(LiveRecord{next_lsn_, pos_, group_start});
   pos_ += len;
   if (pos_ >= record_area_sectors()) {
     pos_ = 0;
@@ -355,11 +417,58 @@ Result<int> FsdLog::AppendGroup(std::span<const PageImage> pages,
 
 Status FsdLog::ValidatePointer() { return ReadPointer().status(); }
 
+std::uint32_t FsdLog::LiveSectors() const {
+  if (live_.empty()) {
+    return 0;
+  }
+  const std::uint32_t area = record_area_sectors();
+  const std::uint32_t from = live_.front().offset;
+  return pos_ >= from ? pos_ - from : area - from + pos_;
+}
+
+std::uint64_t FsdLog::CheckpointTarget(std::uint32_t goal_sectors) const {
+  const std::uint32_t area = record_area_sectors();
+  auto live_after = [&](std::uint32_t offset) {
+    return pos_ >= offset ? pos_ - offset : area - offset + pos_;
+  };
+  // Walk oldest-to-newest; each boundary is a legal target. Stop at the
+  // first one that satisfies the goal, otherwise settle for the maximal
+  // advance (the newest boundary — index 0 is the floor, never a target).
+  std::uint64_t best = 0;
+  for (std::size_t i = 1; i < live_.size(); ++i) {
+    if (!live_[i].group_boundary) {
+      continue;
+    }
+    best = live_[i].lsn;
+    if (live_after(live_[i].offset) <= goal_sectors) {
+      break;
+    }
+  }
+  return best;
+}
+
+Result<std::uint32_t> FsdLog::AdvanceCheckpoint(std::uint64_t target_lsn) {
+  std::uint32_t dropped = 0;
+  // Keeping one record means the persisted pointer always names a valid,
+  // current-boot record — recovery never starts its scan on stale sectors
+  // from a previous lap.
+  while (live_.size() > 1 && live_.front().lsn < target_lsn) {
+    live_.pop_front();
+    ++dropped;
+  }
+  if (dropped == 0) {
+    return dropped;
+  }
+  oldest_pointer_ = live_.front().offset;
+  CEDAR_RETURN_IF_ERROR(WritePointer());
+  return dropped;
+}
+
 Status FsdLog::Recover(
     const std::function<Status(std::uint64_t, const std::vector<PageImage>&)>&
         visit,
     std::uint32_t boot_count) {
-  first_record_in_third_ = {kNoOffset, kNoOffset, kNoOffset};
+  live_.clear();
   CEDAR_ASSIGN_OR_RETURN(std::uint32_t pos, ReadPointer());
   oldest_pointer_ = pos;
 
@@ -426,10 +535,8 @@ Status FsdLog::Recover(
         expected_lsn = marker_lsn + 1;
         have_lsn = true;
         last_lsn = marker_lsn;
+        live_.push_back(LiveRecord{marker_lsn, pos, true});
         const int t = ThirdOf(pos);
-        if (first_record_in_third_[t] == kNoOffset) {
-          first_record_in_third_[t] = pos;
-        }
         last_start = pos;
         pos = t < 2 ? ThirdStart(t + 1) : 0;
         continue;
@@ -505,10 +612,7 @@ Status FsdLog::Recover(
     // else: the tail of a group whose start fell off the log — skip it,
     // but keep the lsn chain so later groups still replay.
     any = true;
-    const int t = ThirdOf(pos);
-    if (first_record_in_third_[t] == kNoOffset) {
-      first_record_in_third_[t] = pos;
-    }
+    live_.push_back(LiveRecord{header.lsn, pos, header.group_start});
     expected_lsn = header.lsn + 1;
     have_lsn = true;
     last_lsn = header.lsn;

@@ -29,10 +29,10 @@
 #ifndef CEDAR_CORE_LOG_H_
 #define CEDAR_CORE_LOG_H_
 
-#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -276,6 +276,36 @@ class FsdLog {
                      std::uint64_t, const std::vector<PageImage>&)>& visit,
                  std::uint32_t boot_count);
 
+  // ---- Continuous checkpoint interface. Like the append path, these run
+  // under the owner's force lock: there is one log writer at a time, and
+  // the checkpointer counts as a writer (it moves the durable pointer).
+
+  // Sectors of log between the oldest live record and the append position —
+  // exactly what a crash-now mount would scan. 0 when the log is empty.
+  std::uint32_t LiveSectors() const;
+
+  // LSN of the oldest live record (the current checkpoint floor); 0 when
+  // the log holds no records.
+  std::uint64_t OldestLiveLsn() const {
+    return live_.empty() ? 0 : live_.front().lsn;
+  }
+
+  // Picks an advance target for a checkpoint: the first group-start
+  // boundary whose remaining live span is <= `goal_sectors` (0 asks for the
+  // maximal safe advance). Targets are always commit-group boundaries —
+  // advancing into the middle of a group would make recovery start at a
+  // groupless tail — and always leave at least one live record, so the
+  // persisted pointer keeps naming a real record. Returns 0 when there is
+  // nothing to drop (fewer than two records, or no boundary).
+  std::uint64_t CheckpointTarget(std::uint32_t goal_sectors) const;
+
+  // Durably advances the oldest-record pointer past every record with
+  // lsn < target_lsn. `target_lsn` must come from CheckpointTarget(). The
+  // caller must already have written home (and flushed) every page whose
+  // only durable copy lives in the dropped records. Returns the number of
+  // records dropped from the replay window.
+  Result<std::uint32_t> AdvanceCheckpoint(std::uint64_t target_lsn);
+
   // Group-commit rendezvous; safe to use from any thread.
   CommitQueue& commit_queue() { return commit_queue_; }
 
@@ -290,6 +320,16 @@ class FsdLog {
 
  private:
   static constexpr std::uint32_t kNoOffset = 0xFFFFFFFFu;
+
+  // One element of the live-record index: every record (and skip marker)
+  // between the persisted oldest pointer and pos_, in LSN order. The front
+  // is what the on-disk pointer names; checkpoints pop from the front,
+  // third reclamation pops whole thirds, appends push at the back.
+  struct LiveRecord {
+    std::uint64_t lsn = 0;
+    std::uint32_t offset = 0;      // within the record area
+    bool group_boundary = true;    // group-start record or standalone marker
+  };
 
   int ThirdOf(std::uint32_t offset) const {
     const std::uint32_t t = offset / third_sectors();
@@ -325,8 +365,7 @@ class FsdLog {
   std::uint32_t pos_ = 0;  // next write offset within the record area
   int current_third_ = 0;
   std::uint32_t oldest_pointer_ = 0;
-  std::array<std::uint32_t, 3> first_record_in_third_{kNoOffset, kNoOffset,
-                                                      kNoOffset};
+  std::deque<LiveRecord> live_;
   LogStats stats_;
   CommitQueue commit_queue_;
 };

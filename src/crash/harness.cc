@@ -49,14 +49,14 @@ core::FsdConfig CrashHarness::FsdConfigFor(bool vam_logging) {
   config.log_sectors = 400;
   config.nt_pages = 64;
   config.cache_frames = 512;
-  config.vam_logging = vam_logging;
+  config.durability.vam_logging = vam_logging;
   // Only explicit Force() steps commit. The group-commit timer compares
   // VIRTUAL timestamps, and the disk's service times depend on head and
   // rotational position — state that differs between the recording run and
   // a replay that crashed and remounted. A timer that fired in one run but
   // not the other would change the write schedule, so it is parked far
   // beyond the workload's duration.
-  config.group_commit_interval = 3600ull * 1000 * 1000;
+  config.commit.interval = 3600ull * 1000 * 1000;
   return config;
 }
 

@@ -77,6 +77,10 @@ std::vector<Step> StandardWorkload() {
   add(K::kForce, "");
   create("omega", 1700, 63);
   add(K::kForce, "");
+  // A mid-workload synchronous checkpoint: its home-write batches and the
+  // later pointer-advance write are crash points the enumerator must cut
+  // inside (the pointer must never surface without the home writes).
+  add(K::kCheckpoint, "");
   // Push the log past its first third: the FlushThird fired here issues the
   // mid-workload IoScheduler batch the reorder enumerator needs.
   overwrite("mid/f7", 200, 600, 65);
@@ -114,6 +118,23 @@ std::vector<Step> StandardWorkload() {
     }
     add(K::kDelete, name);
     add(K::kForce, "");
+    if (i == 5 || i == 11) {
+      // Checkpoints early in the churn only: the pointer advances while
+      // later forces keep appending, so cuts land between a checkpoint's
+      // home writes, its pointer write, and the next append.
+      add(K::kCheckpoint, "");
+    }
+    if (i == 12) {
+      // Cold pages logged right AFTER the last checkpoint, in name regions
+      // the rest of the churn never touches: their logged images are never
+      // refreshed or retired, so when the log wraps back into their third
+      // a lap later, FlushThird finds real victims — keeping the fallback
+      // path (and its mid-workload home-flush batches) covered alongside
+      // the checkpoint path.
+      create("qa/cold0", 520, 121);
+      create("ya/cold1", 480, 123);
+      add(K::kForce, "");
+    }
   }
   add(K::kShutdown, "");
   return steps;
@@ -136,6 +157,8 @@ Status ExecuteStep(fs::FileSystem* fs, const Step& step) {
       return fs->Touch(step.name);
     case Step::Kind::kForce:
       return fs->Force();
+    case Step::Kind::kCheckpoint:
+      return fs->Checkpoint();
     case Step::Kind::kShutdown:
       return fs->Shutdown();
   }

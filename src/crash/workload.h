@@ -31,8 +31,11 @@ struct Step {
     kOverwrite,  // Open + Write(offset, data) + Close
     kDelete,     // DeleteFile(name)
     kTouch,      // Touch(name)
-    kForce,      // Force() — a durability boundary for the oracle
-    kShutdown,   // orderly Shutdown (final step only)
+    kForce,       // Force() — a durability boundary for the oracle
+    kCheckpoint,  // Checkpoint() — writes logged pages home and advances
+                  // the recovery pointer; changes no file contents, so the
+                  // oracle treats it like kForce minus the durability edge
+    kShutdown,    // orderly Shutdown (final step only)
   };
   Kind kind = Kind::kForce;
   std::string name;

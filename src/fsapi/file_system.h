@@ -45,6 +45,22 @@ struct FileHandle {
   std::uint64_t byte_size = 0;
 };
 
+// A point-in-time view of the maintenance state a log-structured (or
+// otherwise deferred-write) file system carries between crashes: how much
+// work a crash-now mount would redo, and how the background checkpointer is
+// keeping that bounded. Synchronous-write systems (CFS, the FFS baseline)
+// report zeros — they have no deferred state by construction.
+struct MaintenanceStats {
+  std::uint64_t log_live_bytes = 0;       // live log a crash-now mount replays
+  std::uint64_t log_capacity_bytes = 0;   // total log record area
+  std::uint64_t recovery_window_bytes = 0;  // configured bound (0 = none)
+  std::uint64_t checkpoint_batches = 0;   // checkpoint rounds run
+  std::uint64_t checkpoint_pages = 0;     // home pages written by checkpoints
+  std::uint64_t checkpoint_advances = 0;  // durable checkpoint-pointer moves
+  std::uint64_t third_flush_fallbacks = 0;  // stop-the-world flushes that
+                                            // still had to do work
+};
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -99,6 +115,24 @@ class FileSystem {
 
   // Orderly unmount: persist volatile state (FSD saves the VAM).
   virtual Status Shutdown() = 0;
+
+  // ---- Maintenance surface. Tools and benches drive checkpointing and
+  // read recovery-exposure numbers through these instead of downcasting to
+  // a concrete system. The defaults describe a synchronous-write system
+  // with nothing to checkpoint; FSD overrides all three.
+
+  // Runs one synchronous checkpoint: writes home the pages backing the
+  // oldest portion of the deferred-write state and durably advances the
+  // recovery starting point as far as currently safe. A no-op (OkStatus)
+  // for systems with no deferred state.
+  virtual Status Checkpoint() { return OkStatus(); }
+
+  // Bytes of log a crash-at-this-instant mount would have to replay. 0 for
+  // synchronous-write systems; kFailedPrecondition when not mounted.
+  virtual Result<std::uint64_t> RecoveryWindow() { return std::uint64_t{0}; }
+
+  // Snapshot of the maintenance counters above.
+  virtual MaintenanceStats Maintenance() { return MaintenanceStats{}; }
 
   // The metrics registry this file system (and its attached disk) records
   // into. Benches and tests read counters/histograms through this instead

@@ -110,7 +110,7 @@ AllSamples MeasureAll(const ValidationConfig& config) {
     core::FsdConfig fc;
     // The scripts model the synchronous path; disable the commit timer so
     // the asynchronous log share isn't charged to individual operations.
-    fc.group_commit_interval = 3600 * sim::kSecond;
+    fc.commit.interval = 3600 * sim::kSecond;
     core::Fsd fsd(&h.disk(), fc);
     CEDAR_CHECK_OK(fsd.Format());
     // Warm the tree so creates measure the synchronous path only.

@@ -30,6 +30,9 @@ enum class LockRank : std::uint8_t {
   kNameShard = 10,    // per-shard name mutex (equal-rank nesting allowed,
                       // ordered by shard index)
   kForce = 20,        // force_mu_: serializes log capture/append
+  kCkpt = 25,         // checkpoint daemon wakeup state (notified by the
+                      // force path under force_mu_; the daemon itself never
+                      // holds it while taking force_mu_)
   kOpGate = 30,       // op gate internal mutex (begin/end/drain)
   kTree = 40,         // B-tree structure lock (tree_mu_)
   kTreeLeaf = 45,     // B-tree leaf latch (under shared tree_mu_)

@@ -40,7 +40,7 @@ FsdConfig DaemonConfig() {
   config.log_sectors = 400;
   config.nt_pages = 256;
   config.cache_frames = 1024;
-  config.commit_daemon = true;
+  config.commit.daemon = true;
   return config;
 }
 

@@ -92,11 +92,18 @@ TEST(CrashHarnessTest, StandardWorkloadYieldsReorderCoverage) {
       << "no IoScheduler batch with >= 2 writes in the recorded schedule";
 
   bool mid_workload_flush = false;
+  bool mid_workload_ckpt = false;
   for (const ScheduleEntry& e : run.writes) {
     mid_workload_flush = mid_workload_flush || e.op == "fsd.flush_third";
+    mid_workload_ckpt = mid_workload_ckpt || e.op == "fsd.ckpt";
   }
   EXPECT_TRUE(mid_workload_flush)
       << "the workload no longer wraps the log (no FlushThird recorded)";
+  // The kCheckpoint steps must produce real checkpoint writes (home batches
+  // and a pointer advance) for the enumerator to cut inside — losing them
+  // silently would un-test the continuous-checkpoint crash surface.
+  EXPECT_TRUE(mid_workload_ckpt)
+      << "no checkpoint writes recorded (kCheckpoint steps became no-ops)";
 }
 
 // ---------------------------------------------------------------------------
@@ -150,7 +157,7 @@ TEST(TransientReadErrorTest, ExhaustedRetriesSurfaceTheError) {
   Status mounted = fsd.Mount();
   ASSERT_FALSE(mounted.ok());
   EXPECT_EQ(mounted.code(), ErrorCode::kReadTransient);
-  EXPECT_EQ(fsd.stats().read_retries, SmallConfig().read_retry_limit);
+  EXPECT_EQ(fsd.stats().read_retries, SmallConfig().durability.read_retry_limit);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,7 +401,7 @@ TEST(ForceGroupAtomicityTest, IntactGroupReplaysEveryPage) {
 
 TEST(ParallelCommitCrashTest, AcknowledgedCreatesSurviveCrash) {
   FsdConfig config = SmallConfig();
-  config.commit_daemon = true;
+  config.commit.daemon = true;
   constexpr int kWorkers = 4;
   constexpr int kRoundsPerWorker = 12;
 
@@ -470,7 +477,7 @@ TEST(ParallelCommitCrashTest, AcknowledgedCreatesSurviveCrash) {
 
 TEST(CleanMountCrashWindowTest, EveryMountWriteIsASafeCrashPoint) {
   FsdConfig config = SmallConfig();
-  config.vam_logging = true;
+  config.durability.vam_logging = true;
 
   sim::VirtualClock clock;
   sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);

@@ -32,7 +32,7 @@ FsdConfig Config(bool vam_logging) {
   config.log_sectors = 400;
   config.nt_pages = 256;
   config.cache_frames = 1024;
-  config.vam_logging = vam_logging;
+  config.durability.vam_logging = vam_logging;
   return config;
 }
 

@@ -272,7 +272,7 @@ TEST(FsObservabilityTest, FsdAttributesRequestsToInnermostOp) {
   // Let the group-commit timer expire, then issue a Touch: the force fires
   // *inside* the touch, and its log writes must be attributed to the
   // innermost context ("fsd.log_force"), not to "fsd.touch".
-  rig.clock.Advance(core::FsdConfig{}.group_commit_interval + 1);
+  rig.clock.Advance(core::FsdConfig{}.commit.interval + 1);
   CEDAR_CHECK_OK(rig.fsd->Touch("a/f"));
   EXPECT_GT(rig.tracer.AggregateFor("fsd.log_force").requests, 0u);
   EXPECT_EQ(rig.tracer.AggregateFor("fsd.touch").requests, 0u);

@@ -260,7 +260,7 @@ TEST(FsdWritebackTest, BatchingReducesThirdFlushDiskTime) {
     obs::DiskTracer tracer;
     disk.set_tracer(&tracer);
     core::FsdConfig config = SmallCfg();
-    config.batched_writeback = batched;
+    config.durability.batched_writeback = batched;
     core::Fsd fsd(&disk, config);
     CEDAR_CHECK_OK(fsd.Format());
     for (int round = 0; round < 12; ++round) {

@@ -63,7 +63,7 @@ core::FsdConfig ConfigFor(bool big, bool vamlog) {
     config.nt_pages = 256;
     config.cache_frames = 1024;
   }
-  config.vam_logging = vamlog;
+  config.durability.vam_logging = vamlog;
   return config;
 }
 
