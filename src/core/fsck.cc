@@ -97,38 +97,49 @@ Result<FsckReport> Fsd::Fsck() {
                                                    live_pages.end());
   for (btree::PageId pid : live_pages) {
     ++report.nt_pages_checked;
+    // A dirty cached frame means the home copies are legitimately stale —
+    // possibly never written at all (the log holds the truth until a
+    // checkpoint or flush writes them home) — so no home-copy judgement is
+    // possible for this page.
+    if (const cache::Frame* frame = cache_.Find(pid);
+        frame != nullptr && frame->dirty) {
+      continue;
+    }
     std::vector<std::uint8_t> a(512);
     std::vector<std::uint8_t> b(512);
     std::vector<std::uint32_t> bad_a;
     std::vector<std::uint32_t> bad_b;
-    const bool ok_a =
-        ReadWithRetry(layout_.nta_base + pid, a, &bad_a).ok() && bad_a.empty();
-    const bool ok_b =
-        ReadWithRetry(layout_.ntb_base + pid, b, &bad_b).ok() && bad_b.empty();
+    // Home reads go through the remap table; a CRC-invalid trailer on a
+    // readable sector is silent corruption and counts as unreadable (the
+    // content cannot be trusted any more than a failed read can).
+    const bool readable_a =
+        ReadWithRetry(MapNt(layout_.nta_base + pid), a, &bad_a).ok() &&
+        bad_a.empty();
+    const bool readable_b =
+        ReadWithRetry(MapNt(layout_.ntb_base + pid), b, &bad_b).ok() &&
+        bad_b.empty();
+    std::uint32_t seq_a = 0;
+    std::uint32_t seq_b = 0;
+    const bool ok_a = readable_a && NtTrailerValid(a, &seq_a);
+    const bool ok_b = readable_b && NtTrailerValid(b, &seq_b);
     if (!ok_a && !ok_b) {
       violate("nt-both-copies-bad",
               "live name-table page " + std::to_string(pid) +
-                  ": both home copies unreadable");
+                  ": both home copies unreadable or corrupt");
       continue;
     }
     if (!ok_a || !ok_b) {
       warn("nt-copy-unreadable",
            "name-table page " + std::to_string(pid) + ": " +
                (ok_a ? "replica" : "primary") +
-               " copy unreadable (repairable from the other)");
-      continue;
-    }
-    // A dirty cached frame means both home copies are legitimately stale
-    // (the log holds the truth); content comparison only applies when the
-    // page is quiescent.
-    const cache::Frame* frame = cache_.Find(pid);
-    if (frame != nullptr && frame->dirty) {
+               " copy unreadable or corrupt (repairable from the other)");
       continue;
     }
     if (!std::equal(a.begin(), a.end(), b.begin())) {
       warn("nt-copies-diverge",
            "name-table page " + std::to_string(pid) +
-               ": primary and replica differ (primary wins; repairable)");
+               ": primary and replica differ (newest valid copy wins; "
+               "repairable)");
     }
   }
 

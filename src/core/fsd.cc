@@ -1,7 +1,9 @@
 #include "src/core/fsd.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <optional>
 #include <unordered_set>
 
 #include "src/fsapi/name_key.h"
@@ -13,7 +15,15 @@
 namespace cedar::core {
 namespace {
 
-constexpr std::uint32_t kRootMagic = 0x46534452;  // "FSDR"
+constexpr std::uint32_t kRootMagic = 0x46534452;   // "FSDR"
+constexpr std::uint32_t kRemapMagic = 0x4E54524D;  // "NTRM"
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
 
 }  // namespace
 
@@ -28,18 +38,84 @@ constexpr std::uint32_t kRootMagic = 0x46534452;  // "FSDR"
 // guarded by the owning Fsd's alloc_mu_.
 class Fsd::NtStore : public btree::PageStore {
  public:
+  // Content CRCs (DESIGN.md section 4h): every home sector is 504 bytes of
+  // tree payload plus an 8-byte trailer — a u32 write sequence from a
+  // volume-global monotonic clock and a u32 CRC over the first 508 bytes.
+  // The CRC catches silent corruption (bit rot under an intact label, which
+  // the device acks as a successful read); the sequence arbitrates between
+  // two copies that BOTH validate but disagree — a dropped (acked-but-lost)
+  // home write leaves the stale copy with the lower stamp, so the newer
+  // copy wins regardless of which region holds it. Cache frames and log
+  // images carry the full composed sector, so group commit and recovery
+  // replay preserve trailers without knowing about them.
+  static constexpr std::uint32_t kPayload = 504;
+  static constexpr std::size_t kSeqOffset = 504;
+  static constexpr std::size_t kCrcOffset = 508;
+
   explicit NtStore(Fsd* fsd) : fsd_(fsd) {}
 
-  std::uint32_t page_size() const override { return 512; }
+  std::uint32_t page_size() const override { return kPayload; }
+
+  // Validates `sector`'s trailer CRC; on success stores the write sequence
+  // in *seq (when non-null). Free (never-written) pages fail the CRC.
+  static bool ParseTrailer(std::span<const std::uint8_t> sector,
+                           std::uint32_t* seq) {
+    CEDAR_CHECK(sector.size() == 512);
+    ByteReader cr(sector.subspan(kCrcOffset, 4));
+    if (cr.U32() != Crc32(sector.subspan(0, kCrcOffset))) {
+      return false;
+    }
+    if (seq != nullptr) {
+      ByteReader sr(sector.subspan(kSeqOffset, 4));
+      *seq = sr.U32();
+    }
+    return true;
+  }
+
+  // Builds a full 512-byte home sector: payload, fresh sequence stamp, CRC.
+  std::vector<std::uint8_t> Compose(std::span<const std::uint8_t> payload) {
+    CEDAR_CHECK(payload.size() == kPayload);
+    std::vector<std::uint8_t> sector(512, 0);
+    std::copy(payload.begin(), payload.end(), sector.begin());
+    const std::uint32_t seq =
+        seq_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    PutU32(sector.data() + kSeqOffset, seq);
+    PutU32(sector.data() + kCrcOffset,
+           Crc32(std::span<const std::uint8_t>(sector).subspan(0,
+                                                               kCrcOffset)));
+    return sector;
+  }
+
+  // The sequence clock must dominate every stamp on disk or the winner
+  // election above could prefer a stale copy. Mount max-merges it from the
+  // volume root (a floor persisted at every root write), from every trailer
+  // the preload sweep sees, and from every replayed log image; Format
+  // resets it alongside the zeroed regions.
+  void MergeSeq(std::uint32_t seq) {
+    std::uint32_t cur = seq_clock_.load(std::memory_order_relaxed);
+    while (seq > cur && !seq_clock_.compare_exchange_weak(
+                            cur, seq, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint32_t seq_clock() const {
+    return seq_clock_.load(std::memory_order_relaxed);
+  }
+  void ResetSeqClock(std::uint32_t value) {
+    seq_clock_.store(value, std::memory_order_relaxed);
+  }
 
   Status ReadPage(btree::PageId id, std::span<std::uint8_t> out) override {
-    if (fsd_->cache_.ReadInto(id, out)) {
+    std::array<std::uint8_t, 512> cached;
+    if (fsd_->cache_.ReadInto(id, cached)) {
+      std::copy_n(cached.begin(), kPayload, out.begin());
       return OkStatus();
     }
     // Miss: read an aligned cluster of pages from each region in one
     // request (tree pages allocate roughly sequentially, so siblings come
     // along for free — the clustering effect the paper gets from its larger
-    // name-table pages), cross-check the copies, and repair disagreements.
+    // name-table pages), validate trailers, elect the newest valid copy,
+    // and repair the loser in place (remapping its home sector when the
+    // rewrite hits permanently bad media).
     const std::uint32_t cluster = fsd_->config_.durability.nt_read_ahead_pages;
     const std::uint32_t first = (id / cluster) * cluster;
     const std::uint32_t count =
@@ -50,62 +126,83 @@ class Fsd::NtStore : public btree::PageStore {
     std::vector<std::uint32_t> bad_a;
     std::vector<std::uint32_t> bad_b;
     CEDAR_RETURN_IF_ERROR(
-        fsd_->ReadWithRetry(fsd_->layout_.nta_base + first, a, &bad_a));
-    fsd_->ChargeSectors(count);
-    bool read_b = fsd_->config_.durability.double_read_check || !bad_a.empty();
-    if (read_b) {
-      CEDAR_RETURN_IF_ERROR(
-          fsd_->ReadWithRetry(fsd_->layout_.ntb_base + first, b, &bad_b));
-      fsd_->ChargeSectors(count);
-    }
-
+        ReadRegion(fsd_->layout_.nta_base + first, count, a, &bad_a));
     auto is_bad = [](const std::vector<std::uint32_t>& bad,
                      std::uint32_t i) {
       return std::find(bad.begin(), bad.end(), i) != bad.end();
     };
+    auto sector_of = [](std::vector<std::uint8_t>& region, std::uint32_t i) {
+      return std::span<const std::uint8_t>(region).subspan(
+          static_cast<std::size_t>(i) * 512, 512);
+    };
+    std::uint32_t seq_req = 0;
+    const bool req_a_valid =
+        !is_bad(bad_a, id - first) &&
+        ParseTrailer(sector_of(a, id - first), &seq_req);
+    const bool read_b = fsd_->config_.durability.double_read_check ||
+                        !bad_a.empty() || !req_a_valid;
+    if (read_b) {
+      CEDAR_RETURN_IF_ERROR(
+          ReadRegion(fsd_->layout_.ntb_base + first, count, b, &bad_b));
+    }
+
     bool found = false;
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t pid = first + i;
-      auto page_a = std::span<const std::uint8_t>(a).subspan(
-          static_cast<std::size_t>(i) * 512, 512);
-      auto page_b = std::span<const std::uint8_t>(b).subspan(
-          static_cast<std::size_t>(i) * 512, 512);
-      const bool ok_a = !is_bad(bad_a, i);
-      const bool ok_b = read_b && !is_bad(bad_b, i);
+      auto page_a = sector_of(a, i);
+      auto page_b = sector_of(b, i);
+      std::uint32_t seq_a = 0;
+      std::uint32_t seq_b = 0;
+      const bool readable_a = !is_bad(bad_a, i);
+      const bool readable_b = read_b && !is_bad(bad_b, i);
+      const bool ok_a = readable_a && ParseTrailer(page_a, &seq_a);
+      const bool ok_b = readable_b && ParseTrailer(page_b, &seq_b);
+      // A readable sector whose CRC fails while the other copy proves the
+      // page holds real data is silent corruption, caught.
+      if (readable_a && !ok_a && ok_b) {
+        fsd_->c_.corruption_detected->Increment();
+      }
+      if (readable_b && !ok_b && ok_a) {
+        fsd_->c_.corruption_detected->Increment();
+      }
       if (!ok_a && !ok_b) {
         if (pid == id) {
+          fsd_->NoteLostNtPage(pid);
           return MakeError(ErrorCode::kSectorDamaged,
                            "both name-table copies unreadable, page " +
                                std::to_string(pid));
         }
-        continue;
+        continue;  // a free page, or a loss the per-page path will report
       }
-      // The primary is written first at every flush, so when the copies
-      // disagree the primary is the newer one; repair the other side.
-      auto good = ok_a ? page_a : page_b;
-      if (!fsd_->cache_.InsertIfAbsent(pid, good)) {
+      // Winner: the valid copy with the higher write sequence; on a tie
+      // (the common case — both copies carry the same composed sector) the
+      // primary wins, preserving the historical repair direction.
+      const bool b_wins = ok_b && (!ok_a || seq_b > seq_a);
+      auto good = b_wins ? page_b : page_a;
+      if (!fsd_->cache_.InsertIfAbsent(
+              pid, std::vector<std::uint8_t>(good.begin(), good.end()))) {
         // Cached — never clobber a (possibly dirty) frame, and skip the
         // repair: a frame with a newer image will reach home through the
         // third-flush path anyway.
         if (pid == id) {
-          CEDAR_CHECK(fsd_->cache_.ReadInto(id, out));
+          CEDAR_CHECK(fsd_->cache_.ReadInto(id, cached));
+          std::copy_n(cached.begin(), kPayload, out.begin());
           found = true;
         }
         continue;
       }
-      if (ok_a && read_b &&
-          (!ok_b || !std::equal(page_a.begin(), page_a.end(),
-                                page_b.begin()))) {
-        CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
-            fsd_->layout_.ntb_base + pid, good));
-        fsd_->c_.nt_repairs->Increment();
-      } else if (!ok_a) {
-        CEDAR_RETURN_IF_ERROR(fsd_->disk_->Write(
-            fsd_->layout_.nta_base + pid, good));
-        fsd_->c_.nt_repairs->Increment();
+      MergeSeq(std::max(ok_a ? seq_a : 0u, ok_b ? seq_b : 0u));
+      const bool diverged =
+          read_b && (!ok_a || !ok_b ||
+                     !std::equal(page_a.begin(), page_a.end(),
+                                 page_b.begin()));
+      if (diverged) {
+        const sim::Lba loser_home = b_wins ? fsd_->layout_.nta_base + pid
+                                           : fsd_->layout_.ntb_base + pid;
+        CEDAR_RETURN_IF_ERROR(fsd_->RepairNtCopy(loser_home, good));
       }
       if (pid == id) {
-        std::copy(good.begin(), good.end(), out.begin());
+        std::copy_n(good.begin(), kPayload, out.begin());
         found = true;
       }
     }
@@ -115,9 +212,10 @@ class Fsd::NtStore : public btree::PageStore {
 
   Status WritePage(btree::PageId id,
                    std::span<const std::uint8_t> data) override {
+    std::vector<std::uint8_t> sector = Compose(data);
     bool became_pending = false;
     fsd_->cache_.Upsert(id, [&](cache::Frame& frame, bool) {
-      frame.data.assign(data.begin(), data.end());
+      frame.data = std::move(sector);
       frame.dirty = true;
       if (!frame.dirty_since_log) {
         frame.dirty_since_log = true;
@@ -164,7 +262,37 @@ class Fsd::NtStore : public btree::PageStore {
   }
 
  private:
+  // One region's slice of the cluster: a single bulk request, then the
+  // handful of remapped home sectors patched in individually (the bulk read
+  // saw the dead original, the live content sits on the spare).
+  Status ReadRegion(sim::Lba base, std::uint32_t count,
+                    std::vector<std::uint8_t>& buf,
+                    std::vector<std::uint32_t>* bad) {
+    CEDAR_RETURN_IF_ERROR(fsd_->ReadWithRetry(base, buf, bad));
+    fsd_->ChargeSectors(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const sim::Lba home = base + i;
+      const sim::Lba mapped = fsd_->MapNt(home);
+      if (mapped == home) {
+        continue;
+      }
+      auto slot = std::span<std::uint8_t>(buf).subspan(
+          static_cast<std::size_t>(i) * 512, 512);
+      bad->erase(std::remove(bad->begin(), bad->end(), i), bad->end());
+      std::vector<std::uint32_t> spare_bad;
+      const Status spare = fsd_->ReadWithRetry(mapped, slot, &spare_bad);
+      if (spare.code() == ErrorCode::kDeviceCrashed) {
+        return spare;
+      }
+      if (!spare.ok() || !spare_bad.empty()) {
+        bad->push_back(i);
+      }
+    }
+    return OkStatus();
+  }
+
   Fsd* fsd_;
+  std::atomic<std::uint32_t> seq_clock_{0};
 };
 
 Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
@@ -203,6 +331,12 @@ Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
   c_.ckpt_pages = metrics_.GetCounter("fsd.ckpt_pages");
   c_.ckpt_advances = metrics_.GetCounter("fsd.ckpt_advances");
   c_.third_flush_fallbacks = metrics_.GetCounter("fsd.third_flush_fallbacks");
+  c_.repairs = metrics_.GetCounter("fsd.repairs");
+  c_.remaps = metrics_.GetCounter("fsd.remaps");
+  c_.corruption_detected = metrics_.GetCounter("fsd.corruption_detected");
+  c_.read_retry_exhausted = metrics_.GetCounter("fsd.read_retry_exhausted");
+  c_.scrub_healed = metrics_.GetCounter("fsd.scrub_healed");
+  c_.scrub_unrepairable = metrics_.GetCounter("fsd.scrub_unrepairable");
   h_.create = metrics_.GetHistogram("op.fsd.create.us");
   h_.open = metrics_.GetHistogram("op.fsd.open.us");
   h_.read = metrics_.GetHistogram("op.fsd.read.us");
@@ -237,6 +371,12 @@ FsdStats Fsd::stats() const {
   s.ckpt_pages = c_.ckpt_pages->value();
   s.ckpt_advances = c_.ckpt_advances->value();
   s.third_flush_fallbacks = c_.third_flush_fallbacks->value();
+  s.repairs = c_.repairs->value();
+  s.remaps = c_.remaps->value();
+  s.corruption_detected = c_.corruption_detected->value();
+  s.read_retry_exhausted = c_.read_retry_exhausted->value();
+  s.scrub_healed = c_.scrub_healed->value();
+  s.scrub_unrepairable = c_.scrub_unrepairable->value();
   s.max_parallel_ops = gate_.max_outstanding();
   const CommitQueue::Stats queue_stats = log_->commit_queue().stats();
   s.force_requests = queue_stats.force_requests;
@@ -255,7 +395,42 @@ Status Fsd::ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
     c_.read_retries->Increment();
     status = disk_->Read(start, out, bad);
   }
+  if (status.code() == ErrorCode::kReadTransient) {
+    // The retry budget is spent and the sector still reads soft: surface it
+    // with the failing span attached, so callers (and their callers'
+    // operators) see WHICH sectors gave up instead of a bare device error.
+    c_.read_retry_exhausted->Increment();
+    const sim::Lba last = start + static_cast<sim::Lba>(out.size() / 512) - 1;
+    std::string span_text = "lba " + std::to_string(start);
+    if (last > start) {
+      span_text += ".." + std::to_string(last);
+    }
+    return MakeError(ErrorCode::kReadTransient,
+                     "read retries exhausted (" +
+                         std::to_string(config_.durability.read_retry_limit) +
+                         "), " + span_text + ": " + status.message());
+  }
   return status;
+}
+
+Status Fsd::RepairLeader(const FsdEntry& entry, std::uint32_t version) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return OkStatus();  // read-only: the entry serves as the authority
+  }
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.repair");
+  const std::vector<std::uint8_t> image =
+      SerializeLeader(MakeLeader(entry, version));
+  const Status wrote = disk_->Write(entry.leader_lba, image);
+  if (wrote.ok()) {
+    c_.repairs->Increment();
+    return OkStatus();
+  }
+  if (wrote.code() == ErrorCode::kDeviceCrashed) {
+    return wrote;
+  }
+  NoteUnrepairable("leader unrepairable at lba " +
+                   std::to_string(entry.leader_lba) + ": " + wrote.message());
+  return wrote;
 }
 
 Fsd::~Fsd() {
@@ -327,6 +502,10 @@ Status Fsd::WriteVolumeRoot(bool clean) {
   w.U32(config_.log_sectors);
   w.U32(config_.nt_pages);
   w.U32(boot_count_);
+  // Name-table write-sequence high-water mark: a clean shutdown persists
+  // the exact clock, every other root write a floor, so the next mount can
+  // never stamp new home sectors below ones already on disk.
+  w.U32(nt_store_->seq_clock());
   w.U8(clean ? 1 : 0);
   std::vector<std::uint8_t> root = w.Take();
   const std::uint32_t crc = Crc32(root);
@@ -341,7 +520,15 @@ Status Fsd::WriteVolumeRoot(bool clean) {
 }
 
 Status Fsd::ReadVolumeRoot(bool* clean) {
-  auto parse = [&](std::span<const std::uint8_t> sector) -> Status {
+  struct RootFields {
+    std::uint32_t log_sectors = 0;
+    std::uint32_t nt_pages = 0;
+    std::uint32_t boot_count = 0;
+    std::uint32_t nt_seq = 0;
+    bool clean = false;
+  };
+  auto parse = [&](std::span<const std::uint8_t> sector,
+                   RootFields* fields) -> Status {
     ByteReader r(sector);
     if (r.U32() != kRootMagic) {
       return MakeError(ErrorCode::kCorruptMetadata, "bad root magic");
@@ -351,10 +538,11 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
         r.U32() != disk_->geometry().sectors_per_track) {
       return MakeError(ErrorCode::kCorruptMetadata, "geometry mismatch");
     }
-    config_.log_sectors = r.U32();
-    config_.nt_pages = r.U32();
-    boot_count_ = r.U32();
-    *clean = r.U8() != 0;
+    fields->log_sectors = r.U32();
+    fields->nt_pages = r.U32();
+    fields->boot_count = r.U32();
+    fields->nt_seq = r.U32();
+    fields->clean = r.U8() != 0;
     if (!r.ok()) {
       return MakeError(ErrorCode::kCorruptMetadata, "truncated root");
     }
@@ -370,15 +558,45 @@ Status Fsd::ReadVolumeRoot(bool* clean) {
   std::vector<std::uint32_t> bad;
   CEDAR_RETURN_IF_ERROR(ReadWithRetry(layout_.root_lba, buf, &bad));
   auto span = std::span<const std::uint8_t>(buf);
-  const bool bad0 = std::find(bad.begin(), bad.end(), 0u) != bad.end();
-  const bool bad2 = std::find(bad.begin(), bad.end(), 2u) != bad.end();
-  if (!bad0 && parse(span.subspan(0, 512)).ok()) {
-    return OkStatus();
+  RootFields f0;
+  RootFields f2;
+  const bool ok0 = std::find(bad.begin(), bad.end(), 0u) == bad.end() &&
+                   parse(span.subspan(0, 512), &f0).ok();
+  const bool ok2 = std::find(bad.begin(), bad.end(), 2u) == bad.end() &&
+                   parse(span.subspan(2 * 512, 512), &f2).ok();
+  if (!ok0 && !ok2) {
+    return MakeError(ErrorCode::kCorruptMetadata, "volume root unreadable");
   }
-  if (!bad2) {
-    return parse(span.subspan(2 * 512, 512));
+  // Both copies ride in one 3-sector write, so they normally match; a torn
+  // root write leaves one copy a boot behind — the higher boot count is the
+  // one that finished.
+  const bool use2 = ok2 && (!ok0 || f2.boot_count > f0.boot_count);
+  const RootFields& f = use2 ? f2 : f0;
+  config_.log_sectors = f.log_sectors;
+  config_.nt_pages = f.nt_pages;
+  boot_count_ = f.boot_count;
+  nt_store_->MergeSeq(f.nt_seq);
+  *clean = f.clean;
+  // Heal the lost/stale copy from the survivor while we are here (never in
+  // degraded mode — nothing writes there).
+  const bool diverged =
+      ok0 != ok2 ||
+      !std::equal(span.begin(), span.begin() + 512, span.begin() + 2 * 512);
+  if (diverged && !degraded_.load(std::memory_order_relaxed)) {
+    auto good = span.subspan(use2 ? 2 * 512 : 0, 512);
+    const sim::Lba stale = layout_.root_lba + (use2 ? 0 : 2);
+    const Status repaired = disk_->Write(stale, good);
+    if (repaired.code() == ErrorCode::kDeviceCrashed) {
+      return repaired;
+    }
+    if (repaired.ok()) {
+      c_.repairs->Increment();
+    } else {
+      NoteUnrepairable("volume root copy unwritable at lba " +
+                       std::to_string(stale) + ": " + repaired.message());
+    }
   }
-  return MakeError(ErrorCode::kCorruptMetadata, "volume root unreadable");
+  return OkStatus();
 }
 
 Status Fsd::Format() {
@@ -404,8 +622,45 @@ Status Fsd::FormatLocked() {
   metrics_.Reset();
   cache_.Clear();
   open_files_.clear();
+  degraded_.store(false, std::memory_order_relaxed);
+  nt_store_->ResetSeqClock(0);
+  {
+    std::lock_guard<std::mutex> lock(remap_mu_);
+    nt_remap_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_notes_.clear();
+    nt_pages_lost_ = 0;
+    unrepairable_ = 0;
+  }
 
   CEDAR_RETURN_IF_ERROR(log_->Format(0));
+
+  // Zero both name-table home regions: a reused disk could hold sectors
+  // from a previous volume whose trailers still validate, and the
+  // newest-copy election must never resurrect them. Write errors (a
+  // pre-damaged sector) are tolerated — the first real write to that page
+  // goes through the repair/remap path.
+  {
+    constexpr std::uint32_t kZeroChunk = 1024;
+    std::vector<std::uint8_t> zeros(
+        static_cast<std::size_t>(std::min(kZeroChunk, config_.nt_pages)) *
+        512);
+    for (const sim::Lba base : {layout_.nta_base, layout_.ntb_base}) {
+      for (std::uint32_t off = 0; off < config_.nt_pages; off += kZeroChunk) {
+        const std::uint32_t take = std::min(kZeroChunk, config_.nt_pages - off);
+        const Status wiped = disk_->Write(
+            base + off, std::span<const std::uint8_t>(
+                            zeros.data(), static_cast<std::size_t>(take) * 512));
+        if (wiped.code() == ErrorCode::kDeviceCrashed) {
+          return wiped;
+        }
+      }
+    }
+  }
+  // Fresh volume, empty remap directory (both copies).
+  CEDAR_RETURN_IF_ERROR(SaveRemapTable());
 
   vam_.Reset(disk_->geometry().TotalSectors(), config_.nt_pages);
   vam_.free().SetRange(0, vam_.free().size(), true);
@@ -422,8 +677,8 @@ Status Fsd::FormatLocked() {
       fresh.emplace_back(key, &frame);
     }
   });
-  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
+  HomeBatch primary(disk_, config_.durability.batched_writeback);
+  HomeBatch replica(disk_, config_.durability.batched_writeback);
   for (auto& [key, frame] : fresh) {
     QueueHome(primary, replica, key, frame->data);
   }
@@ -458,8 +713,12 @@ Status Fsd::Mount() {
 
 Status Fsd::MountLocked() {
   obs::ScopedOp op_scope(disk_->tracer(), "fsd.mount");
+  degraded_.store(false, std::memory_order_relaxed);
   bool clean = false;
   CEDAR_RETURN_IF_ERROR(ReadVolumeRoot(&clean));
+  // The remap table routes every name-table home access from here on, so
+  // it loads before recovery replay or the preload sweep touch the region.
+  CEDAR_RETURN_IF_ERROR(LoadRemapTable());
   const std::uint32_t previous_boot = boot_count_;
   ++boot_count_;
   uid_counter_ = 0;
@@ -479,7 +738,7 @@ Status Fsd::MountLocked() {
           for (const PageImage& page : pages) {
             switch (page.kind) {
               case PageKind::kTombstone:
-                replay.erase(page.primary);
+                replay.erase(MapNt(page.primary));
                 break;
               case PageKind::kVamDelta: {
                 std::vector<VamDelta> parsed;
@@ -489,9 +748,24 @@ Status Fsd::MountLocked() {
                 }
                 break;
               }
-              case PageKind::kPage:
-                replay[page.primary] = page;
+              case PageKind::kPage: {
+                // Key the replay map on the remapped home so a record
+                // captured before a remap and one captured after collapse to
+                // the same page (LSN order keeps the newest). Known edge: a
+                // record carrying a spare LBA whose mapping later moved to a
+                // different spare is not renormalized.
+                PageImage mapped = page;
+                mapped.primary = MapNt(page.primary);
+                if (page.secondary != kNoLba) {
+                  mapped.secondary = MapNt(page.secondary);
+                  std::uint32_t seq = 0;
+                  if (NtStore::ParseTrailer(mapped.data, &seq)) {
+                    nt_store_->MergeSeq(seq);
+                  }
+                }
+                replay[mapped.primary] = std::move(mapped);
                 break;
+              }
             }
           }
           return OkStatus();
@@ -501,8 +775,8 @@ Status Fsd::MountLocked() {
     // (name-table pages cluster, so this turns hundreds of rotational
     // misses into a few streaming writes). Primaries flush before replicas
     // so the two copies of a page never share a transfer.
-    sim::IoScheduler primaries(disk_, config_.durability.batched_writeback);
-    sim::IoScheduler secondaries(disk_, config_.durability.batched_writeback);
+    HomeBatch primaries(disk_, config_.durability.batched_writeback);
+    HomeBatch secondaries(disk_, config_.durability.batched_writeback);
     for (const auto& [lba, page] : replay) {
       primaries.QueueWrite(page.primary, page.data);
       if (page.secondary != kNoLba) {
@@ -561,6 +835,139 @@ Status Fsd::MountLocked() {
   return OkStatus();
 }
 
+Status Fsd::MountDegraded() {
+  CEDAR_RETURN_IF_ERROR(config_.Validate());
+  StopCkptDaemon();
+  StopDaemon();
+  // No daemons are started: a degraded mount is read-only and quiescent.
+  ScopedQuiesce quiesce(this);
+  return MountDegradedLocked();
+}
+
+Status Fsd::MountDegradedLocked() {
+  obs::ScopedOp op_scope(disk_->tracer(), "fsd.mount_degraded");
+  mounted_ = false;
+  // Set FIRST: every write path below (root repair, preload repairs, remap
+  // saves) checks this flag and stands down — the medium is preserved
+  // exactly as found for offline salvage.
+  degraded_.store(true, std::memory_order_relaxed);
+  bool clean = false;
+  const Status root = ReadVolumeRoot(&clean);
+  if (root.code() == ErrorCode::kDeviceCrashed) {
+    return root;
+  }
+  if (!root.ok()) {
+    // Keep the constructed config and assume unclean so the log replay
+    // below recovers whatever it can.
+    NoteUnrepairable("volume root unreadable: " + root.message());
+    clean = false;
+  }
+  ++boot_count_;  // in-memory only; nothing writes the root in this mode
+  uid_counter_ = 0;
+  cache_.Clear();
+  open_files_.clear();
+  vam_.Reset(disk_->geometry().TotalSectors(), config_.nt_pages);
+  const Status remap = LoadRemapTable();
+  if (remap.code() == ErrorCode::kDeviceCrashed) {
+    return remap;
+  }
+
+  // Unclean volume: collect the committed log images. FsdLog::Recover is
+  // read-only, so this is safe on damaged media; if the log itself is
+  // unreadable the mount continues with whatever the home copies hold.
+  std::map<sim::Lba, PageImage> replay;
+  if (!clean) {
+    const Status recovered = log_->Recover(
+        [&](std::uint64_t, const std::vector<PageImage>& pages) {
+          for (const PageImage& page : pages) {
+            switch (page.kind) {
+              case PageKind::kTombstone:
+                replay.erase(MapNt(page.primary));
+                break;
+              case PageKind::kVamDelta:
+                break;  // the VAM is not reconstructed in degraded mode
+              case PageKind::kPage: {
+                PageImage mapped = page;
+                mapped.primary = MapNt(page.primary);
+                if (page.secondary != kNoLba) {
+                  mapped.secondary = MapNt(page.secondary);
+                }
+                replay[mapped.primary] = std::move(mapped);
+                break;
+              }
+            }
+          }
+          return OkStatus();
+        },
+        boot_count_);
+    if (recovered.code() == ErrorCode::kDeviceCrashed) {
+      return recovered;
+    }
+    if (!recovered.ok()) {
+      NoteUnrepairable("log unreadable, recovery skipped: " +
+                       recovered.message());
+      replay.clear();
+    }
+  }
+
+  // Fill the cache from the surviving home copies (repairs stand down via
+  // the degraded flag), then overlay the replayed images — they are newer
+  // than any home copy. Overlaid frames are marked dirty: dirty frames are
+  // never evicted and nothing flushes in this mode, so the log's images
+  // stay pinned in memory without ever touching the disk.
+  const Status preload = PreloadNameTable();
+  if (preload.code() == ErrorCode::kDeviceCrashed) {
+    return preload;
+  }
+  if (!preload.ok()) {
+    NoteUnrepairable("name-table preload failed: " + preload.message());
+  }
+  for (const auto& [lba, page] : replay) {
+    std::uint32_t key = 0;
+    bool is_leader = false;
+    sim::Lba home = lba;
+    if (!IsNtHome(home)) {
+      // A spare, or a leader. Reverse-map spares to their original home.
+      std::lock_guard<std::mutex> lock(remap_mu_);
+      bool spare = false;
+      for (const auto& [orig, target] : nt_remap_) {
+        if (target == lba) {
+          home = orig;
+          spare = true;
+          break;
+        }
+      }
+      if (!spare) {
+        is_leader = true;
+      }
+    }
+    if (is_leader) {
+      key = kLeaderKeyBit | lba;
+    } else if (home >= layout_.nta_base &&
+               home < layout_.nta_base + config_.nt_pages) {
+      key = home - layout_.nta_base;
+    } else {
+      continue;  // a replica-home image; the primary image covers the page
+    }
+    cache_.Upsert(key, [&](cache::Frame& frame, bool) {
+      frame.data = page.data;
+      frame.dirty = true;  // pins the frame; nothing writes it back
+      frame.dirty_since_log = false;
+      frame.logged_third = -1;
+      frame.logged_image.clear();
+      frame.logged_lsn = 0;
+      frame.is_leader = is_leader;
+    });
+    c_.recovery_pages_replayed->Increment();
+  }
+
+  gate_.SetBudget(log_->MaxGroupPages());
+  gate_.ResetPendingCapture();
+  last_force_.store(disk_->clock().now(), std::memory_order_relaxed);
+  mounted_ = true;
+  return OkStatus();
+}
+
 Status Fsd::PreloadNameTable() {
   const std::uint32_t n = config_.nt_pages;
   std::vector<std::uint8_t> region_a(static_cast<std::size_t>(n) * 512);
@@ -601,29 +1008,68 @@ Status Fsd::PreloadNameTable() {
       chunk.sink->push_back(chunk.off + b);
     }
   }
-  const std::unordered_set<std::uint32_t> bad_a_set(bad_a.begin(),
-                                                    bad_a.end());
-  const std::unordered_set<std::uint32_t> bad_b_set(bad_b.begin(),
-                                                    bad_b.end());
-  sim::IoScheduler repairs(disk_, config_.durability.batched_writeback);
+  std::unordered_set<std::uint32_t> bad_a_set(bad_a.begin(), bad_a.end());
+  std::unordered_set<std::uint32_t> bad_b_set(bad_b.begin(), bad_b.end());
+  // The sweep read the (possibly dead) original home sectors; patch in the
+  // spare contents for every remapped home.
+  auto patch_remapped = [&](std::vector<std::uint8_t>& region, sim::Lba base,
+                            std::unordered_set<std::uint32_t>& bad_set) {
+    for (std::uint32_t pid = 0; pid < n; ++pid) {
+      const sim::Lba home = base + pid;
+      const sim::Lba mapped = MapNt(home);
+      if (mapped == home) {
+        continue;
+      }
+      auto slot = std::span<std::uint8_t>(region).subspan(
+          static_cast<std::size_t>(pid) * 512, 512);
+      bad_set.erase(pid);
+      std::vector<std::uint32_t> spare_bad;
+      const Status spare = ReadWithRetry(mapped, slot, &spare_bad);
+      if (spare.code() == ErrorCode::kDeviceCrashed) {
+        return spare;
+      }
+      if (!spare.ok() || !spare_bad.empty()) {
+        bad_set.insert(pid);
+      }
+    }
+    return OkStatus();
+  };
+  CEDAR_RETURN_IF_ERROR(patch_remapped(region_a, layout_.nta_base, bad_a_set));
+  CEDAR_RETURN_IF_ERROR(patch_remapped(region_b, layout_.ntb_base, bad_b_set));
+  HomeBatch repairs(disk_, config_.durability.batched_writeback);
+  const bool degraded = degraded_.load(std::memory_order_relaxed);
   for (std::uint32_t pid = 0; pid < n; ++pid) {
     auto a = std::span<const std::uint8_t>(region_a)
                  .subspan(static_cast<std::size_t>(pid) * 512, 512);
     auto b = std::span<const std::uint8_t>(region_b)
                  .subspan(static_cast<std::size_t>(pid) * 512, 512);
-    const bool ok_a = !bad_a_set.contains(pid);
-    const bool ok_b = !bad_b_set.contains(pid);
+    std::uint32_t seq_a = 0;
+    std::uint32_t seq_b = 0;
+    const bool readable_a = !bad_a_set.contains(pid);
+    const bool readable_b = !bad_b_set.contains(pid);
+    const bool ok_a = readable_a && NtStore::ParseTrailer(a, &seq_a);
+    const bool ok_b = readable_b && NtStore::ParseTrailer(b, &seq_b);
     if (!ok_a && !ok_b) {
-      continue;  // per-page read path will report if the page is live
+      continue;  // free page, or a loss the per-page read path will report
     }
-    // Primary is written first at flushes, so it wins a disagreement.
-    auto good = ok_a ? a : b;
-    if (ok_a && (!ok_b || !std::equal(a.begin(), a.end(), b.begin()))) {
-      repairs.QueueWrite(layout_.ntb_base + pid, good);
+    if (readable_a && !ok_a) {
+      c_.corruption_detected->Increment();
+    }
+    if (readable_b && !ok_b) {
+      c_.corruption_detected->Increment();
+    }
+    nt_store_->MergeSeq(std::max(ok_a ? seq_a : 0u, ok_b ? seq_b : 0u));
+    // Winner: newest valid copy; tie → primary (historical direction).
+    const bool b_wins = ok_b && (!ok_a || seq_b > seq_a);
+    auto good = b_wins ? b : a;
+    const bool diverged =
+        !ok_a || !ok_b || !std::equal(a.begin(), a.end(), b.begin());
+    if (diverged && !degraded) {
+      const sim::Lba loser_home =
+          b_wins ? layout_.nta_base + pid : layout_.ntb_base + pid;
+      repairs.QueueWrite(MapNt(loser_home), good);
       c_.nt_repairs->Increment();
-    } else if (!ok_a) {
-      repairs.QueueWrite(layout_.nta_base + pid, good);
-      c_.nt_repairs->Increment();
+      c_.repairs->Increment();
     }
     cache_.Insert(pid, std::vector<std::uint8_t>(good.begin(), good.end()));
   }
@@ -660,26 +1106,283 @@ Status Fsd::RebuildVolatileState() {
   return scan;
 }
 
-void Fsd::QueueHome(sim::IoScheduler& primary, sim::IoScheduler& replica,
-                    std::uint32_t key, std::span<const std::uint8_t> image) {
+void Fsd::QueueHome(HomeBatch& primary, HomeBatch& replica, std::uint32_t key,
+                    std::span<const std::uint8_t> image) {
   if (key & kLeaderKeyBit) {
     primary.QueueWrite(key & ~kLeaderKeyBit, image);
     return;
   }
-  primary.QueueWrite(layout_.nta_base + key, image);
-  replica.QueueWrite(layout_.ntb_base + key, image);
+  primary.QueueWrite(MapNt(layout_.nta_base + key), image);
+  replica.QueueWrite(MapNt(layout_.ntb_base + key), image);
 }
 
-Status Fsd::FlushHomeBatch(sim::IoScheduler& sched) {
-  if (sched.pending() == 0) {
+Status Fsd::FlushHomeBatch(HomeBatch& batch) {
+  if (batch.pending() == 0) {
     return OkStatus();
   }
-  sim::BatchStats batch;
-  Status status = sched.Flush(&batch);
+  sim::BatchStats stats;
+  Status status = batch.sched.Flush(&stats);
   c_.home_write_batches->Increment();
-  c_.home_write_requests->Add(batch.requests_queued);
-  c_.home_writes_coalesced->Add(batch.requests_merged);
-  return status;
+  c_.home_write_requests->Add(stats.requests_queued);
+  c_.home_writes_coalesced->Add(stats.requests_merged);
+  if (status.ok() || status.code() == ErrorCode::kDeviceCrashed) {
+    return status;
+  }
+  // The elevator flush hit bad media somewhere in the batch; replay the
+  // recorded writes individually so the one bad sector is isolated, retried,
+  // and (for name-table homes) remapped instead of failing the whole sweep.
+  for (const auto& [lba, image] : batch.writes) {
+    CEDAR_RETURN_IF_ERROR(RetryHomeWrite(
+        lba, std::span<const std::uint8_t>(image)));
+  }
+  return OkStatus();
+}
+
+bool Fsd::NtTrailerValid(std::span<const std::uint8_t> sector,
+                         std::uint32_t* seq) {
+  return NtStore::ParseTrailer(sector, seq);
+}
+
+sim::Lba Fsd::MapNt(sim::Lba lba) const {
+  std::lock_guard<std::mutex> lock(remap_mu_);
+  const auto it = nt_remap_.find(lba);
+  return it == nt_remap_.end() ? lba : it->second;
+}
+
+bool Fsd::IsNtHome(sim::Lba lba) const {
+  return (lba >= layout_.nta_base &&
+          lba < layout_.nta_base + config_.nt_pages) ||
+         (lba >= layout_.ntb_base && lba < layout_.ntb_base + config_.nt_pages);
+}
+
+Status Fsd::RemapNtSector(sim::Lba from, std::span<const std::uint8_t> image) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return OkStatus();  // read-only: serve what survives, write nothing
+  }
+  const sim::Lba spare_low = layout_.remap_base + FsdLayout::kRemapDirCopies;
+  const sim::Lba spare_high = layout_.remap_base + layout_.remap_sectors;
+  for (sim::Lba spare = spare_low; spare < spare_high; ++spare) {
+    bool in_use = false;
+    {
+      std::lock_guard<std::mutex> lock(remap_mu_);
+      for (const auto& [orig, target] : nt_remap_) {
+        // A spare already serving any mapping is off limits — including
+        // `from`'s own current spare, which is exactly the sector that just
+        // failed when a remap moves.
+        if (target == spare) {
+          in_use = true;
+          break;
+        }
+      }
+    }
+    if (in_use) {
+      continue;
+    }
+    const Status wrote = disk_->Write(spare, image);
+    if (wrote.code() == ErrorCode::kDeviceCrashed) {
+      return wrote;
+    }
+    if (!wrote.ok()) {
+      continue;  // this spare is bad too; try the next
+    }
+    {
+      std::lock_guard<std::mutex> lock(remap_mu_);
+      nt_remap_[from] = spare;
+    }
+    CEDAR_RETURN_IF_ERROR(SaveRemapTable());
+    c_.remaps->Increment();
+    return OkStatus();
+  }
+  NoteUnrepairable("spare pool exhausted remapping name-table home lba " +
+                   std::to_string(from));
+  return MakeError(ErrorCode::kNoFreeSpace,
+                   "name-table spare pool exhausted");
+}
+
+Status Fsd::RetryHomeWrite(sim::Lba lba, std::span<const std::uint8_t> image) {
+  const Status status = disk_->Write(lba, image);
+  if (status.ok() || status.code() == ErrorCode::kDeviceCrashed) {
+    return status;
+  }
+  if (IsNtHome(lba)) {
+    return RemapNtSector(lba, image);
+  }
+  // A spare serving a remapped home can itself go bad; move the mapping.
+  std::optional<sim::Lba> original;
+  {
+    std::lock_guard<std::mutex> lock(remap_mu_);
+    for (const auto& [orig, target] : nt_remap_) {
+      if (target == lba) {
+        original = orig;
+        break;
+      }
+    }
+  }
+  if (original.has_value()) {
+    return RemapNtSector(*original, image);
+  }
+  // A leader page: reconstructible from its name-table entry, so the loss
+  // degrades reads (served via RepairLeader / the entry) but never the
+  // namespace. Attribute it and keep going.
+  NoteUnrepairable("unwritable sector at lba " + std::to_string(lba) + ": " +
+                   status.message());
+  return OkStatus();
+}
+
+Status Fsd::RepairNtCopy(sim::Lba home, std::span<const std::uint8_t> image) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return OkStatus();  // reads keep serving the surviving copy
+  }
+  const Status wrote = disk_->Write(MapNt(home), image);
+  if (wrote.ok()) {
+    c_.nt_repairs->Increment();
+    c_.repairs->Increment();
+    return OkStatus();
+  }
+  if (wrote.code() == ErrorCode::kDeviceCrashed) {
+    return wrote;
+  }
+  const Status remapped = RemapNtSector(home, image);
+  if (remapped.code() == ErrorCode::kDeviceCrashed) {
+    return remapped;
+  }
+  // Remap exhaustion was already attributed; the page still has one good
+  // copy, so the read succeeds either way.
+  return OkStatus();
+}
+
+Status Fsd::SaveRemapTable() {
+  std::vector<std::pair<sim::Lba, sim::Lba>> entries;
+  {
+    std::lock_guard<std::mutex> lock(remap_mu_);
+    entries.assign(nt_remap_.begin(), nt_remap_.end());
+  }
+  ByteWriter w;
+  w.U32(kRemapMagic);
+  w.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [from, to] : entries) {
+    w.U32(from);
+    w.U32(to);
+  }
+  std::vector<std::uint8_t> dir = w.Take();
+  const std::uint32_t crc = Crc32(dir);
+  ByteWriter tail(&dir);
+  tail.U32(crc);
+  dir.resize(512, 0);
+  // Two directory copies; losing one is survivable, losing both means the
+  // table cannot be made durable (in-memory mappings still serve reads).
+  Status first;
+  bool any_ok = false;
+  for (std::uint32_t copy = 0; copy < FsdLayout::kRemapDirCopies; ++copy) {
+    const Status wrote = disk_->Write(layout_.remap_base + copy, dir);
+    if (wrote.code() == ErrorCode::kDeviceCrashed) {
+      return wrote;
+    }
+    if (wrote.ok()) {
+      any_ok = true;
+    } else if (first.ok()) {
+      first = wrote;
+    }
+  }
+  if (any_ok) {
+    return OkStatus();
+  }
+  NoteUnrepairable("remap directory unwritable: " + first.message());
+  return first;
+}
+
+Status Fsd::LoadRemapTable() {
+  {
+    std::lock_guard<std::mutex> lock(remap_mu_);
+    nt_remap_.clear();
+  }
+  bool damage_seen = false;
+  for (std::uint32_t copy = 0; copy < FsdLayout::kRemapDirCopies; ++copy) {
+    std::vector<std::uint8_t> dir(512);
+    std::vector<std::uint32_t> bad;
+    const Status read = ReadWithRetry(layout_.remap_base + copy, dir, &bad);
+    if (read.code() == ErrorCode::kDeviceCrashed) {
+      return read;
+    }
+    if (!read.ok() || !bad.empty()) {
+      damage_seen = true;
+      continue;
+    }
+    ByteReader r(dir);
+    if (r.U32() != kRemapMagic) {
+      continue;  // a fresh volume formatted before the table existed
+    }
+    const std::uint32_t count = r.U32();
+    if (count > (512 - 12) / 8) {
+      damage_seen = true;
+      continue;
+    }
+    std::map<sim::Lba, sim::Lba> parsed;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const sim::Lba from = r.U32();
+      const sim::Lba to = r.U32();
+      parsed[from] = to;
+    }
+    if (!r.ok()) {
+      damage_seen = true;
+      continue;
+    }
+    const std::size_t body = r.position();
+    ByteReader cr(std::span<const std::uint8_t>(dir).subspan(body, 4));
+    if (cr.U32() != Crc32(std::span<const std::uint8_t>(dir).subspan(0,
+                                                                     body))) {
+      damage_seen = true;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(remap_mu_);
+      nt_remap_ = std::move(parsed);
+    }
+    if (copy != 0 && !degraded_.load(std::memory_order_relaxed)) {
+      // Copy 0 was lost or stale; refresh it from the survivor.
+      if (disk_->Write(layout_.remap_base, dir).ok()) {
+        c_.repairs->Increment();
+      }
+    }
+    return OkStatus();
+  }
+  // No valid directory. An empty table is the common (undamaged) case; only
+  // note when we actually saw damage — mappings may exist that we cannot
+  // recover, and reads through dead originals will surface per page.
+  if (damage_seen) {
+    NoteUnrepairable("remap directory unreadable (both copies)");
+  }
+  return OkStatus();
+}
+
+void Fsd::NoteUnrepairable(const std::string& note) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_notes_.push_back(note);
+  ++unrepairable_;
+}
+
+void Fsd::NoteLostNtPage(std::uint32_t pid) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_notes_.push_back("name-table page " + std::to_string(pid) +
+                          ": both home copies unreadable");
+  ++nt_pages_lost_;
+  ++unrepairable_;
+}
+
+fs::HealthStats Fsd::Health() {
+  fs::HealthStats h;
+  h.degraded = degraded_.load(std::memory_order_relaxed);
+  h.repairs = c_.repairs->value();
+  h.remaps = c_.remaps->value();
+  h.corruption_detected = c_.corruption_detected->value();
+  h.read_retry_exhausted = c_.read_retry_exhausted->value();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    h.nt_pages_lost = nt_pages_lost_;
+    h.unrepairable = unrepairable_;
+    h.notes = health_notes_;
+  }
+  return h;
 }
 
 Status Fsd::FlushThird(int third) {
@@ -726,8 +1429,8 @@ Status Fsd::FlushThird(int third) {
   // went home (and was retired) long before the log wrapped back into it —
   // this counter measures what the daemon did NOT get to in time.
   c_.third_flush_fallbacks->Increment();
-  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
+  HomeBatch primary(disk_, config_.durability.batched_writeback);
+  HomeBatch replica(disk_, config_.durability.batched_writeback);
   for (const Victim& victim : victims) {
     QueueHome(primary, replica, victim.key, victim.image);
   }
@@ -838,8 +1541,10 @@ Status Fsd::ForceLogImpl(GateMode mode, std::uint64_t* covered_seq) {
     if (key & kLeaderKeyBit) {
       page.primary = key & ~kLeaderKeyBit;
     } else {
-      page.primary = layout_.nta_base + key;
-      page.secondary = layout_.ntb_base + key;
+      // Capture post-remap addresses so recovery replay is self-contained:
+      // replaying a record never writes to a sector already known bad.
+      page.primary = MapNt(layout_.nta_base + key);
+      page.secondary = MapNt(layout_.ntb_base + key);
     }
     const bool present = cache_.Apply(key, [&](cache::Frame& frame) {
       page.data = frame.data;
@@ -961,7 +1666,7 @@ Status Fsd::ForceLogImpl(GateMode mode, std::uint64_t* covered_seq) {
 }
 
 Status Fsd::MaybeDeadlineForce(std::uint64_t* await_seq) {
-  if (!mounted_) {
+  if (!mounted_ || degraded_.load(std::memory_order_relaxed)) {
     return OkStatus();
   }
   const sim::Micros now = disk_->clock().now();
@@ -1037,14 +1742,10 @@ Status Fsd::Tick() {
 
 Status Fsd::Force() {
   obs::ScopedLatency op_latency(h_.force, &disk_->clock());
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   if (!config_.commit.daemon) {
     util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
-    if (!mounted_) {
-      return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-    }
+    CEDAR_RETURN_IF_ERROR(CheckWritable());
     return ForceLogImpl(GateMode::kCloseAndReopen);
   }
   // Group commit (paper section 3.2): block until a daemon force covers
@@ -1118,7 +1819,7 @@ std::uint32_t Fsd::CheckpointWindowSectors() const {
 
 void Fsd::CkptRound() {
   util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
-  if (!mounted_) {
+  if (!mounted_ || degraded_.load(std::memory_order_relaxed)) {
     return;
   }
   const std::uint32_t window = CheckpointWindowSectors();
@@ -1176,8 +1877,8 @@ Status Fsd::CheckpointBatch(std::uint64_t target) {
       std::max<std::uint32_t>(1, config_.checkpoint.batch_pages);
   for (std::size_t begin = 0; begin < victims.size(); begin += chunk) {
     const std::size_t n = std::min(chunk, victims.size() - begin);
-    sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
-    sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
+    HomeBatch primary(disk_, config_.durability.batched_writeback);
+    HomeBatch replica(disk_, config_.durability.batched_writeback);
     for (std::size_t j = 0; j < n; ++j) {
       QueueHome(primary, replica, victims[begin + j].key,
                 victims[begin + j].image);
@@ -1224,9 +1925,7 @@ Status Fsd::CheckpointBatch(std::uint64_t target) {
 
 Status Fsd::Checkpoint() {
   util::RankedLockGuard lock(force_mu_, util::LockRank::kForce);
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   // Maximal advance: everything except the newest record (the on-disk
   // pointer must keep naming a current-boot record).
   const std::uint64_t target = log_->CheckpointTarget(0);
@@ -1278,6 +1977,14 @@ Status Fsd::ShutdownLocked() {
   if (!mounted_) {
     return OkStatus();
   }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // Degraded mounts are read-only: nothing to flush and the medium must
+    // not be written. Tear down the volatile state only; degraded_ stays
+    // set until the next Format/Mount resets it.
+    open_files_.clear();
+    mounted_ = false;
+    return OkStatus();
+  }
   CEDAR_RETURN_IF_ERROR(ForceLogImpl(GateMode::kAlreadyClosed));
   // Write every dirty page home (the force above made cache contents equal
   // to the last logged images): all primaries in one elevator sweep, then
@@ -1288,8 +1995,8 @@ Status Fsd::ShutdownLocked() {
       dirty.emplace_back(key, &frame);
     }
   });
-  sim::IoScheduler primary(disk_, config_.durability.batched_writeback);
-  sim::IoScheduler replica(disk_, config_.durability.batched_writeback);
+  HomeBatch primary(disk_, config_.durability.batched_writeback);
+  HomeBatch replica(disk_, config_.durability.batched_writeback);
   for (auto& [key, frame] : dirty) {
     QueueHome(primary, replica, key, frame->data);
   }
@@ -1413,9 +2120,7 @@ Result<fs::FileUid> Fsd::CreateFile(std::string_view name,
 Result<fs::FileUid> Fsd::CreateFileLocked(
     std::string_view name, std::span<const std::uint8_t> contents) {
   ChargeOp();
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   std::uint32_t version = 1;
   std::uint16_t keep = 0;
   if (auto highest = HighestVersion(name); highest.ok()) {
@@ -1603,6 +2308,19 @@ Status Fsd::ReadLocked(const fs::FileHandle& file, const OpenState& state,
                          MapPages(entry, first_page, count));
 
   std::vector<std::uint8_t> buf(static_cast<std::size_t>(count) * 512);
+  // File data has no redundancy by design (the paper logs only metadata),
+  // so a damaged data sector is an attributed loss — named LBA, hard error,
+  // never silently wrong bytes.
+  auto read_data = [&](sim::Lba start, std::span<std::uint8_t> dst) {
+    std::vector<std::uint32_t> bad;
+    CEDAR_RETURN_IF_ERROR(ReadWithRetry(start, dst, &bad));
+    if (!bad.empty()) {
+      return MakeError(ErrorCode::kSectorDamaged,
+                       "file data sector damaged, lba " +
+                           std::to_string(start + bad.front()));
+    }
+    return OkStatus();
+  };
   std::size_t pos = 0;
   for (std::size_t r = 0; r < extents.size(); ++r) {
     const fs::Extent& run = extents[r];
@@ -1624,7 +2342,7 @@ Status Fsd::ReadLocked(const fs::FileHandle& file, const OpenState& state,
       if (!cached_leader.empty()) {
         CEDAR_RETURN_IF_ERROR(
             VerifyLeader(cached_leader, entry, state.version));
-        CEDAR_RETURN_IF_ERROR(ReadWithRetry(
+        CEDAR_RETURN_IF_ERROR(read_data(
             run.start,
             std::span<std::uint8_t>(buf.data() + pos,
                                     static_cast<std::size_t>(run.count) *
@@ -1634,17 +2352,50 @@ Status Fsd::ReadLocked(const fs::FileHandle& file, const OpenState& state,
         // costs only the transfer time for a page to read the leader").
         std::vector<std::uint8_t> tmp(
             static_cast<std::size_t>(1 + run.count) * 512);
-        CEDAR_RETURN_IF_ERROR(ReadWithRetry(entry.leader_lba, tmp));
-        CEDAR_RETURN_IF_ERROR(VerifyLeader(
-            std::span<const std::uint8_t>(tmp).subspan(0, 512), entry,
-            state.version));
-        std::copy(tmp.begin() + 512, tmp.end(), buf.begin() + pos);
+        std::vector<std::uint32_t> bad;
+        CEDAR_RETURN_IF_ERROR(ReadWithRetry(entry.leader_lba, tmp, &bad));
+        const bool leader_readable =
+            std::find(bad.begin(), bad.end(), 0u) == bad.end();
+        const bool leader_ok =
+            leader_readable &&
+            VerifyLeader(std::span<const std::uint8_t>(tmp).subspan(0, 512),
+                         entry, state.version)
+                .ok();
+        if (!leader_ok) {
+          // The name-table entry is authoritative — the leader is a
+          // derived, reconstructible structure. A readable sector whose
+          // content disagrees is caught silent corruption; either way the
+          // leader is rebuilt in place and the read is SERVED, not failed.
+          if (leader_readable) {
+            c_.corruption_detected->Increment();
+          }
+          const Status repaired = RepairLeader(entry, state.version);
+          if (repaired.code() == ErrorCode::kDeviceCrashed) {
+            return repaired;
+          }
+        }
+        bool data_clean = true;
+        for (std::uint32_t b : bad) {
+          if (b != 0) {
+            data_clean = false;
+            break;
+          }
+        }
+        if (data_clean) {
+          std::copy(tmp.begin() + 512, tmp.end(), buf.begin() + pos);
+        } else {
+          CEDAR_RETURN_IF_ERROR(read_data(
+              run.start,
+              std::span<std::uint8_t>(buf.data() + pos,
+                                      static_cast<std::size_t>(run.count) *
+                                          512)));
+        }
         c_.piggyback_leader_verifies->Increment();
       }
       MarkLeaderVerified(file.uid);
       ChargeDataSectors(1 + run.count);
     } else {
-      CEDAR_RETURN_IF_ERROR(ReadWithRetry(
+      CEDAR_RETURN_IF_ERROR(read_data(
           run.start,
           std::span<std::uint8_t>(buf.data() + pos,
                                   static_cast<std::size_t>(run.count) * 512)));
@@ -1684,6 +2435,7 @@ Status Fsd::WriteLocked(const fs::FileHandle& file, const OpenState& state,
                         std::uint64_t offset,
                         std::span<const std::uint8_t> data) {
   ChargeOp();
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
                          GetEntry(state.name, state.version));
   if (data.empty()) {
@@ -1788,6 +2540,7 @@ Status Fsd::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
 Status Fsd::ExtendLocked(const fs::FileHandle& file, const OpenState& state,
                          std::uint64_t bytes) {
   ChargeOp();
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(FsdEntry entry,
                          GetEntry(state.name, state.version));
   const std::uint64_t new_size = entry.byte_size + bytes;
@@ -1893,9 +2646,7 @@ Status Fsd::DeleteFile(std::string_view name) {
 
 Status Fsd::DeleteFileLocked(std::string_view name) {
   ChargeOp();
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   Status status = DeleteVersion(name, found.first, found.second);
   if (status.ok()) {
@@ -1962,6 +2713,7 @@ Status Fsd::SetKeep(std::string_view name, std::uint16_t keep) {
 
 Status Fsd::SetKeepLocked(std::string_view name, std::uint16_t keep) {
   ChargeOp();
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
   entry.keep = keep;
@@ -2051,6 +2803,7 @@ Status Fsd::Touch(std::string_view name) {
 
 Status Fsd::TouchLocked(std::string_view name) {
   ChargeOp();
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(name));
   auto [version, entry] = found;
   entry.last_used = disk_->clock().now();
@@ -2073,12 +2826,80 @@ Result<Fsd::ScrubReport> Fsd::Scrub() {
 }
 
 Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   // Settle pending work first so the tree and VAM are a consistent pair.
   CEDAR_RETURN_IF_ERROR(ForceLogImpl(GateMode::kAlreadyClosed));
   ScrubReport report;
+
+  // Pass 0: name-table media patrol (section 4h). Every live tree page has
+  // two home copies; read both (through the remap table), validate the CRC
+  // trailers, and settle any disagreement from the newest valid copy — the
+  // scrub is where latent faults are found BEFORE a second fault makes the
+  // page unrecoverable.
+  {
+    std::vector<btree::PageId> live;
+    CEDAR_RETURN_IF_ERROR(tree_->CollectPages(&live));
+    for (btree::PageId pid : live) {
+      std::array<std::uint8_t, 512> a{};
+      std::array<std::uint8_t, 512> b{};
+      std::uint32_t seq_a = 0;
+      std::uint32_t seq_b = 0;
+      std::vector<std::uint32_t> bad;
+      const Status ra = ReadWithRetry(MapNt(layout_.nta_base + pid), a, &bad);
+      if (ra.code() == ErrorCode::kDeviceCrashed) {
+        return ra;
+      }
+      const bool readable_a = ra.ok() && bad.empty();
+      bad.clear();
+      const Status rb = ReadWithRetry(MapNt(layout_.ntb_base + pid), b, &bad);
+      if (rb.code() == ErrorCode::kDeviceCrashed) {
+        return rb;
+      }
+      const bool readable_b = rb.ok() && bad.empty();
+      ChargeSectors(2);
+      const bool ok_a = readable_a && NtStore::ParseTrailer(a, &seq_a);
+      const bool ok_b = readable_b && NtStore::ParseTrailer(b, &seq_b);
+      if (!ok_a && !ok_b) {
+        NoteLostNtPage(pid);
+        ++report.unrepairable;
+        c_.scrub_unrepairable->Increment();
+        continue;
+      }
+      if (readable_a && !ok_a) {
+        c_.corruption_detected->Increment();
+      }
+      if (readable_b && !ok_b) {
+        c_.corruption_detected->Increment();
+      }
+      const bool diverged =
+          !ok_a || !ok_b || !std::equal(a.begin(), a.end(), b.begin());
+      if (!diverged) {
+        continue;
+      }
+      const bool b_wins = ok_b && (!ok_a || seq_b > seq_a);
+      const auto good = std::span<const std::uint8_t>(b_wins ? b : a);
+      const sim::Lba loser_home =
+          b_wins ? layout_.nta_base + pid : layout_.ntb_base + pid;
+      const std::uint64_t remaps_before = c_.remaps->value();
+      const Status fixed = RetryHomeWrite(MapNt(loser_home), good);
+      if (fixed.code() == ErrorCode::kDeviceCrashed) {
+        return fixed;
+      }
+      if (!fixed.ok()) {
+        // Spare pool exhausted: the page still has one good copy, but the
+        // redundancy cannot be restored.
+        ++report.unrepairable;
+        c_.scrub_unrepairable->Increment();
+      } else if (c_.remaps->value() > remaps_before) {
+        ++report.remapped;
+      } else {
+        ++report.healed;
+        c_.scrub_healed->Increment();
+        c_.nt_repairs->Increment();
+        c_.repairs->Increment();
+      }
+    }
+  }
 
   // Pass 1: walk every entry, verify its leader, and accumulate the set of
   // sectors the name table actually references.
@@ -2124,19 +2945,23 @@ Result<Fsd::ScrubReport> Fsd::ScrubLocked() {
   });
   CEDAR_RETURN_IF_ERROR(scan);
 
-  // Repair stale leaders from the authoritative name-table entries, as one
-  // elevator-ordered batch (leaders scatter across the whole data region,
-  // so unsorted repair writes would seek worst-case per leader).
-  std::vector<std::vector<std::uint8_t>> leader_images;
-  leader_images.reserve(stale_leaders.size());
-  sim::IoScheduler repairs(disk_, config_.durability.batched_writeback);
+  // Repair stale leaders from the authoritative name-table entries, one
+  // write each so a bad leader sector fails (and is attributed) alone
+  // instead of sinking a whole elevator batch.
   for (const Damaged& damaged : stale_leaders) {
-    leader_images.push_back(
-        SerializeLeader(MakeLeader(damaged.entry, damaged.version)));
-    repairs.QueueWrite(damaged.entry.leader_lba, leader_images.back());
-    ++report.leaders_repaired;
+    const Status repaired = RepairLeader(damaged.entry, damaged.version);
+    if (repaired.code() == ErrorCode::kDeviceCrashed) {
+      return repaired;
+    }
+    if (repaired.ok()) {
+      ++report.leaders_repaired;
+      ++report.healed;
+      c_.scrub_healed->Increment();
+    } else {
+      ++report.unrepairable;
+      c_.scrub_unrepairable->Increment();
+    }
   }
-  CEDAR_RETURN_IF_ERROR(FlushHomeBatch(repairs));
 
   // Pass 2: reconcile the VAM. A data sector is leaked if it is marked
   // used but nothing references it; it is missing-used (a latent double
@@ -2225,9 +3050,7 @@ Status Fsd::Rename(std::string_view from, std::string_view to) {
 
 Status Fsd::RenameLocked(std::string_view from, std::string_view to) {
   ChargeOp();
-  if (!mounted_) {
-    return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
-  }
+  CEDAR_RETURN_IF_ERROR(CheckWritable());
   CEDAR_ASSIGN_OR_RETURN(auto found, HighestVersion(from));
   auto [from_version, entry] = found;
   // The new name continues its own version chain (a rename onto an

@@ -112,6 +112,20 @@ struct FsdStats {
   std::uint64_t ckpt_pages = 0;
   std::uint64_t ckpt_advances = 0;
   std::uint64_t third_flush_fallbacks = 0;
+
+  // Media-fault handling (section 4h). repairs counts every successful
+  // repair from redundancy (name-table copy rewrites, leader rebuilds,
+  // volume-root copy restores); remaps counts name-table home sectors
+  // durably remapped to spares; corruption_detected counts content-CRC
+  // mismatches caught on otherwise-successful reads; read_retry_exhausted
+  // counts reads whose bounded soft-error retry gave up.
+  std::uint64_t repairs = 0;
+  std::uint64_t remaps = 0;
+  std::uint64_t corruption_detected = 0;
+  std::uint64_t read_retry_exhausted = 0;
+  // Scrub repair-pass outcomes (mirrors the last ScrubReport, cumulatively).
+  std::uint64_t scrub_healed = 0;
+  std::uint64_t scrub_unrepairable = 0;
 };
 
 // One finding from Fsd::Fsck(). Warnings are conditions the system repairs
@@ -190,6 +204,17 @@ class Fsd : public fs::FileSystem {
   // the name table; after a clean shutdown it loads the saved VAM.
   Status Mount();
 
+  // Degraded read-only mount (DESIGN.md section 4h): the fallback when
+  // Mount() fails because media damage exceeds what the A/B redundancy and
+  // the remap table can absorb. Replayed log images and whatever home
+  // copies still validate are served from the cache; NOTHING is written to
+  // the disk (no root update, no repairs, no log format), so the medium is
+  // preserved for offline salvage. Every mutating operation (and Force)
+  // fails with kFailedPrecondition; reads succeed where at least one good
+  // copy of the metadata survives and fail with attribution elsewhere.
+  // Health() reports what was lost.
+  Status MountDegraded();
+
   // fs::FileSystem:
   Result<fs::FileUid> CreateFile(std::string_view name,
                                  std::span<const std::uint8_t> contents) override;
@@ -218,6 +243,10 @@ class Fsd : public fs::FileSystem {
   Result<std::uint64_t> RecoveryWindow() override;
   fs::MaintenanceStats Maintenance() override;
 
+  // Media-health snapshot: the fault counters plus degraded-mount state and
+  // per-find attribution notes. Safe from any thread.
+  fs::HealthStats Health() override;
+
   // Moves the highest version of `from` to `to` (becoming to's next
   // version); the uid is unchanged, so open handles keep working. Takes
   // both name shards in index order — the one cross-shard operation.
@@ -243,6 +272,16 @@ class Fsd : public fs::FileSystem {
     std::uint64_t leaked_sectors_reclaimed = 0;
     std::uint64_t missing_used_sectors_fixed = 0;
     std::uint64_t nt_pages_reconciled = 0;
+    // Latent-error patrol outcomes (section 4h): healed counts every repair
+    // the pass completed (leader rebuilds that reached the disk plus
+    // name-table copies re-written from the surviving copy), remapped the
+    // name-table home sectors moved to spares because the rewrite hit a
+    // permanently bad sector, unrepairable the damage no redundancy covered
+    // (e.g. a leader whose home sector cannot be written — the entry stays
+    // authoritative, but the on-disk leader is gone for good).
+    std::uint64_t healed = 0;
+    std::uint64_t remapped = 0;
+    std::uint64_t unrepairable = 0;
   };
   Result<ScrubReport> Scrub();
 
@@ -362,7 +401,21 @@ class Fsd : public fs::FileSystem {
   // quiesced (FormatLocked ends by calling MountLocked).
   Status FormatLocked();
   Status MountLocked();
+  Status MountDegradedLocked();
   Status ShutdownLocked();
+
+  // kFailedPrecondition unless mounted read-write; every mutating locked
+  // body calls this first (degraded mounts are read-only).
+  Status CheckWritable() const {
+    if (!mounted_) {
+      return MakeError(ErrorCode::kFailedPrecondition, "not mounted");
+    }
+    if (degraded_.load(std::memory_order_relaxed)) {
+      return MakeError(ErrorCode::kFailedPrecondition,
+                       "degraded read-only mount");
+    }
+    return OkStatus();
+  }
 
   // Bodies of the public file operations; each runs with its name's shard
   // mutex held (handle ops: the shard of the handle's resolved name) and
@@ -446,20 +499,85 @@ class Fsd : public fs::FileSystem {
   // free-type deltas after, so a torn force can only leak sectors, never
   // double-allocate them.
   void RecordDelta(VamDelta::Op op, std::uint32_t start, std::uint32_t count);
+  // A batch of home-sector writes: the elevator scheduler plus a record of
+  // every queued (lba, image) pair, so a flush that hits a bad sector can
+  // replay the batch per-write through the repair/remap path instead of
+  // failing the whole operation. Queued spans are borrowed until Flush.
+  struct HomeBatch {
+    HomeBatch(sim::SimDisk* disk, bool reorder) : sched(disk, reorder) {}
+    void QueueWrite(sim::Lba lba, std::span<const std::uint8_t> image) {
+      sched.QueueWrite(lba, image);
+      writes.emplace_back(lba, image);
+    }
+    std::size_t pending() const { return writes.size(); }
+    sim::IoScheduler sched;
+    std::vector<std::pair<sim::Lba, std::span<const std::uint8_t>>> writes;
+  };
+
   // Queues one page image for its home sector(s): the single home (leader
   // keys) or the primary into `primary` and the replica into `replica`.
   // The two batches are flushed separately so coalescing can never merge a
   // page's two copies and so every primary is written before any replica.
-  void QueueHome(sim::IoScheduler& primary, sim::IoScheduler& replica,
-                 std::uint32_t key, std::span<const std::uint8_t> image);
-  // Issues a queued batch and folds its counters into stats_.
-  Status FlushHomeBatch(sim::IoScheduler& sched);
+  // Name-table home LBAs are routed through the remap table.
+  void QueueHome(HomeBatch& primary, HomeBatch& replica, std::uint32_t key,
+                 std::span<const std::uint8_t> image);
+  // Issues a queued batch and folds its counters into stats_. When the
+  // elevator flush hits a media error, the batch is replayed one write at a
+  // time: name-table homes on permanently bad sectors are remapped to
+  // spares; other targets (leader pages) are recorded as unrepairable in
+  // health_ and dropped — their content is reconstructible from the entry,
+  // so losing the home copy degrades reads, never the namespace.
+  Status FlushHomeBatch(HomeBatch& batch);
+
+  // ---- Bad-sector remap table (section 4h). nt_remap_ maps an original
+  // name-table home LBA to the spare currently serving it; the table lives
+  // in layout_.remap_base's duplicated directory sector and is loaded at
+  // mount. MapNt is applied on every name-table home read and write (and at
+  // force capture time, so log records carry post-remap addresses and
+  // recovery replay is self-contained).
+  sim::Lba MapNt(sim::Lba lba) const;
+  // True if `lba` is inside either name-table home region.
+  bool IsNtHome(sim::Lba lba) const;
+  // Validates a composed name-table home sector's CRC trailer (delegates to
+  // the NtStore; lets fsck.cc check trailers without the class definition).
+  // On success stores the write sequence in *seq when non-null.
+  static bool NtTrailerValid(std::span<const std::uint8_t> sector,
+                             std::uint32_t* seq);
+  // Durably remaps the (original) name-table home `from` to a fresh spare
+  // and writes `image` there. Fails when the spare pool is exhausted or the
+  // directory cannot be persisted.
+  Status RemapNtSector(sim::Lba from, std::span<const std::uint8_t> image);
+  // Per-write fallback after a failed batch flush: retries `lba`, remapping
+  // a name-table home whose sector is permanently bad; non-remappable
+  // targets are attributed in health_ and dropped (returns OK).
+  Status RetryHomeWrite(sim::Lba lba, std::span<const std::uint8_t> image);
+  // Rewrites one stale/corrupt name-table home copy from the surviving
+  // copy's image, remapping `home` when its sector is permanently bad.
+  // A no-op in degraded mode (reads still serve the surviving copy).
+  Status RepairNtCopy(sim::Lba home, std::span<const std::uint8_t> image);
+  Status LoadRemapTable();
+  Status SaveRemapTable();
+
+  // Health bookkeeping: counters live in the metrics registry; notes and
+  // the lost-page tally live here under health_mu_.
+  void NoteUnrepairable(const std::string& note);
+  // Records a name-table page with no usable copy anywhere (health note +
+  // nt_pages_lost tally).
+  void NoteLostNtPage(std::uint32_t pid);
 
   // SimDisk::Read with bounded retry on kReadTransient (satellite of the
   // paper's section 5.8 transient-error class); every retry is counted in
-  // fsd.read_retries.
+  // fsd.read_retries. When the retry budget is exhausted the error comes
+  // back annotated with the failing LBA span and is counted in
+  // fsd.read_retry_exhausted — a permanently soft-failing sector surfaces
+  // cleanly instead of as a bare device error.
   Status ReadWithRetry(sim::Lba start, std::span<std::uint8_t> out,
                        std::vector<std::uint32_t>* bad = nullptr);
+
+  // Rebuilds `entry`'s leader page from the authoritative name-table entry
+  // and writes it home, counting the outcome (fsd.repairs on success, an
+  // unrepairable health note when the sector cannot be written).
+  Status RepairLeader(const FsdEntry& entry, std::uint32_t version);
 
   Status WriteVolumeRoot(bool clean);
   Status ReadVolumeRoot(bool* clean);
@@ -532,6 +650,22 @@ class Fsd : public fs::FileSystem {
   // so eviction would orphan it.
   std::unordered_set<std::uint32_t> capture_keys_;
   std::atomic<bool> mounted_{false};  // written quiesced; read lock-free
+  // Degraded read-only mount (section 4h): set by MountDegraded, cleared by
+  // Format/Mount/Shutdown. Read lock-free on every mutating path.
+  std::atomic<bool> degraded_{false};
+
+  // Bad-sector remap table: original name-table home LBA -> spare LBA.
+  // remap_mu_ is a leaf mutex (taken with any of the structure locks held,
+  // never the other way around; critical sections are map lookups only).
+  mutable std::mutex remap_mu_;
+  std::map<sim::Lba, sim::Lba> nt_remap_;
+
+  // Health attribution: notes and the lost-metadata tallies that have no
+  // natural counter. Leaf mutex, same discipline as remap_mu_.
+  mutable std::mutex health_mu_;
+  std::vector<std::string> health_notes_;
+  std::uint64_t nt_pages_lost_ = 0;
+  std::uint64_t unrepairable_ = 0;
 
   // Locking hierarchy (DESIGN.md section 4f, ranks in util/lockrank.h):
   //   name shard (10) -> force_mu_ (20) -> op gate (30) -> tree (40/45) ->
@@ -587,6 +721,12 @@ class Fsd : public fs::FileSystem {
     obs::Counter* ckpt_pages = nullptr;
     obs::Counter* ckpt_advances = nullptr;
     obs::Counter* third_flush_fallbacks = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::Counter* remaps = nullptr;
+    obs::Counter* corruption_detected = nullptr;
+    obs::Counter* read_retry_exhausted = nullptr;
+    obs::Counter* scrub_healed = nullptr;
+    obs::Counter* scrub_unrepairable = nullptr;
   } c_;
   struct HistogramSet {
     obs::Histogram* create = nullptr;

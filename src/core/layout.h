@@ -138,9 +138,19 @@ struct FsdConfig {
 };
 
 struct FsdLayout {
+  // Bad-sector remap region (DESIGN.md section 4h): a tiny directory
+  // (duplicated, non-adjacent) mapping permanently bad name-table home
+  // sectors to spare sectors, plus the spare pool itself. Only name-table
+  // home LBAs are ever remapped — leaders are reconstructible from their
+  // entries, the root is triple-written, and the VAM is rebuildable.
+  static constexpr std::uint32_t kRemapDirCopies = 2;
+  static constexpr std::uint32_t kRemapSpares = 14;
+
   sim::Lba root_lba = 0;  // volume root, copy at root_lba + 2
   sim::Lba vam_base = 0;
   std::uint32_t vam_sectors = 0;
+  sim::Lba remap_base = 0;  // [dir][dir'][spares...]
+  std::uint32_t remap_sectors = 0;
   sim::Lba ntb_base = 0;  // name-table replica: central, below the log
   sim::Lba log_base = 0;  // central cylinders
   sim::Lba nta_base = 0;  // name-table primary, right after the log
@@ -176,7 +186,9 @@ struct FsdLayout {
     layout.log_base = layout.ntb_base + config.nt_pages;
     layout.nta_base = layout.log_base + config.log_sectors;
 
-    layout.data_low = layout.vam_base + layout.vam_sectors;
+    layout.remap_base = layout.vam_base + layout.vam_sectors;
+    layout.remap_sectors = kRemapDirCopies + kRemapSpares;
+    layout.data_low = layout.remap_base + layout.remap_sectors;
     layout.data_high = geometry.TotalSectors();
 
     CEDAR_CHECK(layout.data_low < layout.ntb_base);

@@ -61,6 +61,24 @@ struct MaintenanceStats {
                                             // still had to do work
 };
 
+// Media-health summary: what the file system has detected, healed, or given
+// up on so far. `degraded` means the volume is mounted read-only because
+// damage exceeded what the built-in redundancy could repair; mutating
+// operations fail with kFailedPrecondition until the medium is replaced or
+// repaired offline. `notes` attributes the damage (one human-readable line
+// per unrepairable find) — the contract is that data is never silently
+// wrong: every loss is either healed or listed here / surfaced as an error.
+struct HealthStats {
+  bool degraded = false;
+  std::uint64_t repairs = 0;               // successful media repairs
+  std::uint64_t remaps = 0;                // sectors remapped to spares
+  std::uint64_t corruption_detected = 0;   // checksum mismatches caught
+  std::uint64_t read_retry_exhausted = 0;  // soft-error retries that gave up
+  std::uint64_t nt_pages_lost = 0;         // both home copies unusable
+  std::uint64_t unrepairable = 0;          // damage no redundancy covered
+  std::vector<std::string> notes;          // attribution, one line per find
+};
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -133,6 +151,10 @@ class FileSystem {
 
   // Snapshot of the maintenance counters above.
   virtual MaintenanceStats Maintenance() { return MaintenanceStats{}; }
+
+  // Media-health snapshot (see HealthStats). Systems without media-fault
+  // handling report the default: healthy, nothing detected.
+  virtual HealthStats Health() { return HealthStats{}; }
 
   // The metrics registry this file system (and its attached disk) records
   // into. Benches and tests read counters/histograms through this instead

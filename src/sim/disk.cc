@@ -121,6 +121,63 @@ bool SimDisk::ConsumeTransientReadFault(Lba start, std::uint32_t count) {
   return true;
 }
 
+bool SimDisk::ReadBlocked(Lba lba) const {
+  if (damaged_[lba]) {
+    return true;
+  }
+  const auto it = persistent_faults_.find(lba);
+  return it != persistent_faults_.end() &&
+         (it->second == FaultMode::kReadFail ||
+          it->second == FaultMode::kDead);
+}
+
+void SimDisk::CorruptLocked(Lba lba, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint8_t* sector =
+      data_.data() + static_cast<std::size_t>(lba) * kSectorSize;
+  // Bit rot flips a seeded handful of bits; the label stays intact and no
+  // request ever errors, so only a content CRC above the device notices.
+  const std::uint32_t flips = 1 + static_cast<std::uint32_t>(rng.Below(8));
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    sector[rng.Below(kSectorSize)] ^=
+        static_cast<std::uint8_t>(1u << rng.Below(8));
+  }
+}
+
+SimDisk::ScheduledFaults SimDisk::DrawScheduledFaults(Lba start,
+                                                      std::uint32_t count,
+                                                      std::uint64_t seq) {
+  ScheduledFaults sched;
+  if (!fault_schedule_.Active()) {
+    return sched;
+  }
+  auto budget = [&] {
+    return fault_schedule_.max_events == 0 ||
+           fault_events_ < fault_schedule_.max_events;
+  };
+  Rng rng(fault_schedule_.seed ^ (seq * 0x9E3779B97F4A7C15ull));
+  if (budget() && fault_schedule_.persistent_ppm != 0 &&
+      rng.Below(1000000) < fault_schedule_.persistent_ppm) {
+    const Lba lba = start + static_cast<Lba>(rng.Below(count));
+    const auto mode = static_cast<FaultMode>(1 + rng.Below(3));
+    sched.grown = std::make_pair(lba, mode);
+    ++fault_events_;
+  }
+  if (budget() && fault_schedule_.write_fault_ppm != 0 &&
+      rng.Below(1000000) < fault_schedule_.write_fault_ppm) {
+    sched.self = rng.Below(2) == 0 ? WriteFaultKind::kDropped
+                                   : WriteFaultKind::kTorn;
+    ++fault_events_;
+  }
+  if (budget() && fault_schedule_.corrupt_ppm != 0 &&
+      rng.Below(1000000) < fault_schedule_.corrupt_ppm) {
+    sched.corrupt = std::make_pair(
+        static_cast<Lba>(rng.Below(geometry_.TotalSectors())), rng.Next());
+    ++fault_events_;
+  }
+  return sched;
+}
+
 Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
                      std::vector<std::uint32_t>* bad) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -136,10 +193,12 @@ Status SimDisk::Read(Lba start, std::span<std::uint8_t> out,
     const Lba lba = start + i;
     auto dst = out.subspan(static_cast<std::size_t>(i) * kSectorSize,
                            kSectorSize);
-    if (damaged_[lba]) {
+    if (ReadBlocked(lba)) {
       if (bad == nullptr) {
         return MakeError(ErrorCode::kSectorDamaged,
-                         "damaged sector at lba " + std::to_string(lba));
+                         (damaged_[lba] ? "damaged sector at lba "
+                                        : "persistent media fault at lba ") +
+                             std::to_string(lba));
       }
       std::fill(dst.begin(), dst.end(), std::uint8_t{0});
       bad->push_back(i);
@@ -190,18 +249,68 @@ SimDisk::WriteOutcome SimDisk::MaybeCrashOnWrite(
   return WriteOutcome::kCrashed;
 }
 
-Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  CEDAR_CHECK(!data.empty() && data.size() % kSectorSize == 0);
+Status SimDisk::WriteImpl(Lba start, std::span<const std::uint8_t> data,
+                          std::span<const Label> new_labels) {
   const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
-  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
-  const WriteOutcome outcome = MaybeCrashOnWrite(start, data, {});
+  const std::uint64_t seq = write_seq_++;
+  const WriteOutcome outcome = MaybeCrashOnWrite(start, data, new_labels);
   if (outcome == WriteOutcome::kCrashed) {
     return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
+  }
+  ScheduledFaults sched = DrawScheduledFaults(start, count, seq);
+  if (sched.grown.has_value() &&
+      sched.grown->second != FaultMode::kReadFail) {
+    persistent_faults_[sched.grown->first] = sched.grown->second;
+  }
+  // Persistent write-blocking defects fail the request loudly before any
+  // data moves; the failed request still occupied the device.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto it = persistent_faults_.find(start + i);
+    if (it != persistent_faults_.end() &&
+        it->second != FaultMode::kReadFail) {
+      AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
+      return MakeError(ErrorCode::kSectorDamaged,
+                       "persistent write fault at lba " +
+                           std::to_string(start + i));
+    }
   }
   AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
   if (outcome == WriteOutcome::kDropped) {
     return OkStatus();  // acked, but the medium never saw it
+  }
+  // One-shot armed lying writes trump the schedule's decision for this
+  // request; every armed fault in the range is consumed.
+  std::optional<WriteFaultKind> lie = sched.self;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = pending_write_faults_.find(start + i);
+    if (it != pending_write_faults_.end()) {
+      lie = it->second;
+      pending_write_faults_.erase(it);
+    }
+  }
+  if (lie == WriteFaultKind::kDropped) {
+    return OkStatus();  // acked; the old data and labels survive untouched
+  }
+  if (lie == WriteFaultKind::kTorn) {
+    // A prefix lands, the sector at the cut is garbled with its old label
+    // kept (the damage is silent), and nothing after transfers — yet the
+    // host sees a successful completion.
+    Rng rng(fault_schedule_.seed ^ seq ^ 0x7EA57ED5u);
+    const std::uint32_t done =
+        count == 1 ? 0 : static_cast<std::uint32_t>(rng.Below(count));
+    for (std::uint32_t i = 0; i < done; ++i) {
+      const Lba lba = start + i;
+      std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
+                data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
+                data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
+      damaged_[lba] = false;
+      persistent_faults_.erase(lba);
+      if (!new_labels.empty()) {
+        labels_[lba] = new_labels[i];
+      }
+    }
+    CorruptLocked(start + done, rng.Next());
+    return OkStatus();
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
@@ -209,8 +318,29 @@ Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
               data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
               data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
     damaged_[lba] = false;  // a successful rewrite revives the sector
+    persistent_faults_.erase(lba);  // ...and heals a grown read defect
+    if (!new_labels.empty()) {
+      labels_[lba] = new_labels[i];
+    }
+  }
+  if (sched.grown.has_value() &&
+      sched.grown->second == FaultMode::kReadFail) {
+    // The write landed, then the sector rotted: the defect is discovered
+    // on the next read.
+    persistent_faults_[sched.grown->first] = FaultMode::kReadFail;
+  }
+  if (sched.corrupt.has_value()) {
+    CorruptLocked(sched.corrupt->first, sched.corrupt->second);
   }
   return OkStatus();
+}
+
+Status SimDisk::Write(Lba start, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CEDAR_CHECK(!data.empty() && data.size() % kSectorSize == 0);
+  const auto count = static_cast<std::uint32_t>(data.size() / kSectorSize);
+  CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
+  return WriteImpl(start, data, {});
 }
 
 Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
@@ -228,9 +358,11 @@ Status SimDisk::ReadLabeled(Lba start, std::span<std::uint8_t> out,
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lba lba = start + i;
-    if (damaged_[lba]) {
+    if (ReadBlocked(lba)) {
       return MakeError(ErrorCode::kSectorDamaged,
-                       "damaged sector at lba " + std::to_string(lba));
+                       (damaged_[lba] ? "damaged sector at lba "
+                                      : "persistent media fault at lba ") +
+                           std::to_string(lba));
     }
     if (!(labels_[lba] == expected[i])) {
       return MakeError(ErrorCode::kLabelMismatch,
@@ -262,23 +394,7 @@ Status SimDisk::WriteLabeled(Lba start, std::span<const std::uint8_t> data,
       return check;
     }
   }
-  const WriteOutcome outcome = MaybeCrashOnWrite(start, data, new_labels);
-  if (outcome == WriteOutcome::kCrashed) {
-    return MakeError(ErrorCode::kDeviceCrashed, "crash during write");
-  }
-  AccountRequest(start, count, /*is_write=*/true, /*label_only=*/false);
-  if (outcome == WriteOutcome::kDropped) {
-    return OkStatus();  // acked, but the medium never saw it
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Lba lba = start + i;
-    std::copy(data.begin() + static_cast<std::size_t>(i) * kSectorSize,
-              data.begin() + static_cast<std::size_t>(i + 1) * kSectorSize,
-              data_.begin() + static_cast<std::size_t>(lba) * kSectorSize);
-    labels_[lba] = new_labels[i];
-    damaged_[lba] = false;
-  }
-  return OkStatus();
+  return WriteImpl(start, data, new_labels);
 }
 
 Status SimDisk::ReadLabels(Lba start, std::span<Label> out) {
@@ -287,9 +403,12 @@ Status SimDisk::ReadLabels(Lba start, std::span<Label> out) {
   CEDAR_RETURN_IF_ERROR(CheckRange(start, count));
   AccountRequest(start, count, /*is_write=*/false, /*label_only=*/true);
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (damaged_[start + i]) {
+    if (ReadBlocked(start + i)) {
       return MakeError(ErrorCode::kSectorDamaged,
-                       "damaged sector at lba " + std::to_string(start + i));
+                       (damaged_[start + i]
+                            ? "damaged sector at lba "
+                            : "persistent media fault at lba ") +
+                           std::to_string(start + i));
     }
     out[i] = labels_[start + i];
   }
@@ -305,6 +424,15 @@ Status SimDisk::WriteLabels(Lba start, std::span<const Label> labels,
   AccountRequest(start, count, /*is_write=*/true, /*label_only=*/true);
   if (!expected.empty()) {
     CEDAR_RETURN_IF_ERROR(CheckLabels(start, expected));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto it = persistent_faults_.find(start + i);
+    if (it != persistent_faults_.end() &&
+        it->second != FaultMode::kReadFail) {
+      return MakeError(ErrorCode::kSectorDamaged,
+                       "persistent write fault at lba " +
+                           std::to_string(start + i));
+    }
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     labels_[start + i] = labels[i];
@@ -354,12 +482,61 @@ void SimDisk::WildWrite(Lba lba, std::uint64_t seed) {
   damaged_[lba] = false;
 }
 
+void SimDisk::InjectPersistentFault(Lba lba, FaultMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CEDAR_CHECK(lba < geometry_.TotalSectors());
+  persistent_faults_[lba] = mode;
+}
+
+void SimDisk::ClearPersistentFault(Lba lba) {
+  std::lock_guard<std::mutex> lock(mu_);
+  persistent_faults_.erase(lba);
+}
+
+std::optional<FaultMode> SimDisk::PersistentFault(Lba lba) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = persistent_faults_.find(lba);
+  if (it == persistent_faults_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SimDisk::InjectWriteFault(Lba lba, WriteFaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CEDAR_CHECK(lba < geometry_.TotalSectors());
+  pending_write_faults_[lba] = kind;
+}
+
+void SimDisk::CorruptSector(Lba lba, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CEDAR_CHECK(lba < geometry_.TotalSectors());
+  CorruptLocked(lba, seed);
+}
+
+void SimDisk::SetFaultSchedule(const FaultSchedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_schedule_ = schedule;
+  fault_events_ = 0;
+}
+
 namespace {
 // v02 appends crash/fault-injection state after the damage map so that a
 // crashed disk dumped by the harness replays bit-identically when reloaded.
+// v03 appends the media-fault state (persistent defects, armed lying
+// writes, the seeded fault schedule and its counters) after the v02 tail.
 constexpr char kImageMagicV1[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '1'};
 constexpr char kImageMagicV2[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '2'};
+constexpr char kImageMagicV3[8] = {'C', 'E', 'D', 'I', 'M', 'G', '0', '3'};
 
+void PutU8(std::ofstream& out, std::uint8_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint8_t GetU8(std::ifstream& in) {
+  std::uint8_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
 void PutU32(std::ofstream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -384,7 +561,7 @@ Status SimDisk::SaveImage(const std::string& path) const {
   if (!out) {
     return MakeError(ErrorCode::kInternal, "cannot open " + path);
   }
-  out.write(kImageMagicV2, sizeof(kImageMagicV2));
+  out.write(kImageMagicV3, sizeof(kImageMagicV3));
   const std::uint32_t header[3] = {geometry_.cylinders, geometry_.heads,
                                    geometry_.sectors_per_track};
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
@@ -419,6 +596,23 @@ Status SimDisk::SaveImage(const std::string& path) const {
     PutU32(out, lba);
     PutU32(out, failures);
   }
+  PutU32(out, static_cast<std::uint32_t>(persistent_faults_.size()));
+  for (const auto& [lba, mode] : persistent_faults_) {
+    PutU32(out, lba);
+    PutU8(out, static_cast<std::uint8_t>(mode));
+  }
+  PutU32(out, static_cast<std::uint32_t>(pending_write_faults_.size()));
+  for (const auto& [lba, kind] : pending_write_faults_) {
+    PutU32(out, lba);
+    PutU8(out, static_cast<std::uint8_t>(kind));
+  }
+  PutU64(out, fault_schedule_.seed);
+  PutU32(out, fault_schedule_.persistent_ppm);
+  PutU32(out, fault_schedule_.write_fault_ppm);
+  PutU32(out, fault_schedule_.corrupt_ppm);
+  PutU32(out, fault_schedule_.max_events);
+  PutU64(out, fault_events_);
+  PutU64(out, write_seq_);
   out.flush();
   if (!out) {
     return MakeError(ErrorCode::kInternal, "write failed: " + path);
@@ -438,7 +632,9 @@ Status SimDisk::LoadImage(const std::string& path) {
       in && std::memcmp(magic, kImageMagicV1, sizeof(magic)) == 0;
   const bool is_v2 =
       in && std::memcmp(magic, kImageMagicV2, sizeof(magic)) == 0;
-  if (!is_v1 && !is_v2) {
+  const bool is_v3 =
+      in && std::memcmp(magic, kImageMagicV3, sizeof(magic)) == 0;
+  if (!is_v1 && !is_v2 && !is_v3) {
     return MakeError(ErrorCode::kCorruptMetadata, "not a cedar disk image");
   }
   std::uint32_t header[3];
@@ -465,7 +661,12 @@ Status SimDisk::LoadImage(const std::string& path) {
   crash_plan_.reset();
   crash_writes_seen_ = 0;
   transient_read_faults_.clear();
-  if (is_v2) {
+  persistent_faults_.clear();
+  pending_write_faults_.clear();
+  fault_schedule_ = FaultSchedule{};
+  fault_events_ = 0;
+  write_seq_ = 0;
+  if (is_v2 || is_v3) {
     std::uint8_t crashed = 0;
     in.read(reinterpret_cast<char*>(&crashed), 1);
     crashed_ = crashed != 0;
@@ -497,6 +698,31 @@ Status SimDisk::LoadImage(const std::string& path) {
       transient_read_faults_[lba] = failures;
     }
   }
+  if (is_v3) {
+    const std::uint32_t npersistent = GetU32(in);
+    if (!in || npersistent > geometry_.TotalSectors()) {
+      return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
+    }
+    for (std::uint32_t i = 0; i < npersistent; ++i) {
+      const Lba lba = GetU32(in);
+      persistent_faults_[lba] = static_cast<FaultMode>(GetU8(in));
+    }
+    const std::uint32_t npending = GetU32(in);
+    if (!in || npending > geometry_.TotalSectors()) {
+      return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
+    }
+    for (std::uint32_t i = 0; i < npending; ++i) {
+      const Lba lba = GetU32(in);
+      pending_write_faults_[lba] = static_cast<WriteFaultKind>(GetU8(in));
+    }
+    fault_schedule_.seed = GetU64(in);
+    fault_schedule_.persistent_ppm = GetU32(in);
+    fault_schedule_.write_fault_ppm = GetU32(in);
+    fault_schedule_.corrupt_ppm = GetU32(in);
+    fault_schedule_.max_events = GetU32(in);
+    fault_events_ = GetU64(in);
+    write_seq_ = GetU64(in);
+  }
   if (!in) {
     return MakeError(ErrorCode::kCorruptMetadata, "truncated disk image");
   }
@@ -523,6 +749,11 @@ DiskSnapshot SimDisk::Snapshot() const {
   snap.crash_plan = crash_plan_;
   snap.crash_writes_seen = crash_writes_seen_;
   snap.transient_read_faults = transient_read_faults_;
+  snap.persistent_faults = persistent_faults_;
+  snap.pending_write_faults = pending_write_faults_;
+  snap.fault_schedule = fault_schedule_;
+  snap.fault_events = fault_events_;
+  snap.write_seq = write_seq_;
   return snap;
 }
 
@@ -538,6 +769,11 @@ void SimDisk::Restore(const DiskSnapshot& snapshot) {
   crash_plan_ = snapshot.crash_plan;
   crash_writes_seen_ = snapshot.crash_writes_seen;
   transient_read_faults_ = snapshot.transient_read_faults;
+  persistent_faults_ = snapshot.persistent_faults;
+  pending_write_faults_ = snapshot.pending_write_faults;
+  fault_schedule_ = snapshot.fault_schedule;
+  fault_events_ = snapshot.fault_events;
+  write_seq_ = snapshot.write_seq;
 }
 
 bool SimDisk::StateEquals(const DiskSnapshot& snapshot) const {
@@ -563,7 +799,12 @@ bool SimDisk::StateEquals(const DiskSnapshot& snapshot) const {
          damaged_ == snapshot.damaged && crashed_ == snapshot.crashed &&
          plans_equal(crash_plan_, snapshot.crash_plan) &&
          crash_writes_seen_ == snapshot.crash_writes_seen &&
-         transient_read_faults_ == snapshot.transient_read_faults;
+         transient_read_faults_ == snapshot.transient_read_faults &&
+         persistent_faults_ == snapshot.persistent_faults &&
+         pending_write_faults_ == snapshot.pending_write_faults &&
+         fault_schedule_ == snapshot.fault_schedule &&
+         fault_events_ == snapshot.fault_events &&
+         write_seq_ == snapshot.write_seq;
 }
 
 }  // namespace cedar::sim

@@ -5,6 +5,14 @@
 // ("weak atomic" writes — the last one or two transferred sectors may be
 // detectably damaged, everything after the cut is untouched).
 //
+// Beyond the paper's fail-loud model the disk can also lie, the way real
+// media do: persistent grown defects (reads and/or writes fail until the
+// sector is rewritten or remapped), one-shot lying writes (acked but
+// dropped or torn, discovered only on a later read), and silent corruption
+// (bit rot: data altered, label intact, no error) — injectable per-LBA or
+// via a seeded random schedule, and preserved across Snapshot/SaveImage.
+// See DESIGN.md section 4h for the fault taxonomy and how FSD heals.
+//
 // Thread safety: one internal mutex serializes every device request (and the
 // fault-injection / snapshot entry points), modeling a single-spindle device
 // with one head assembly — requests from concurrent client threads are
@@ -63,6 +71,46 @@ struct CrashPlan {
   std::vector<std::uint64_t> drop_writes;
 };
 
+// Persistent (grown) media defects — the sector stays broken across any
+// number of requests, unlike the self-healing `damaged_` map a crash leaves
+// behind. kReadFail models a grown read defect that the drive re-allocates
+// on the next successful write (so a rewrite heals it); kWriteFail and
+// kDead model defects the drive cannot hide — only a file-system-level
+// remap to a spare sector avoids the LBA.
+enum class FaultMode : std::uint8_t {
+  kReadFail = 1,   // reads fail; a successful rewrite heals the sector
+  kWriteFail = 2,  // writes fail loudly; reads still serve the old data
+  kDead = 3,       // both fail forever; only remapping avoids the LBA
+};
+
+// One-shot lying writes: the request is acknowledged as successful but the
+// medium keeps the old data (kDropped) or lands a garbled tail (kTorn,
+// label intact — the damage is silent and only a later read can notice).
+enum class WriteFaultKind : std::uint8_t {
+  kDropped = 1,
+  kTorn = 2,
+};
+
+// A seeded background fault schedule: every write request draws from an RNG
+// keyed by (seed, request sequence number) and with the given
+// parts-per-million probabilities grows a persistent defect in the written
+// range, turns the request itself into a dropped/torn lying write, or
+// silently corrupts a pseudo-random sector anywhere on the medium (bit
+// rot). Deterministic for a fixed seed and request sequence; the snapshot
+// carries only the schedule and its counters, so clones replay identically.
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::uint32_t persistent_ppm = 0;   // grow a defect in the written range
+  std::uint32_t write_fault_ppm = 0;  // ack this write but drop/tear it
+  std::uint32_t corrupt_ppm = 0;      // flip bits in a random sector
+  std::uint32_t max_events = 0;       // total event cap; 0 = unlimited
+
+  bool Active() const {
+    return persistent_ppm != 0 || write_fault_ppm != 0 || corrupt_ppm != 0;
+  }
+  bool operator==(const FaultSchedule&) const = default;
+};
+
 // Complete device state for in-memory cloning: media contents, labels, the
 // damage map, and armed-crash/fault-injection state. The crash harness
 // snapshots a disk once and restores it before every enumerated crash
@@ -75,6 +123,11 @@ struct DiskSnapshot {
   std::optional<CrashPlan> crash_plan;
   std::uint64_t crash_writes_seen = 0;
   std::map<Lba, std::uint32_t> transient_read_faults;
+  std::map<Lba, FaultMode> persistent_faults;
+  std::map<Lba, WriteFaultKind> pending_write_faults;
+  FaultSchedule fault_schedule;
+  std::uint64_t fault_events = 0;
+  std::uint64_t write_seq = 0;
 };
 
 class SimDisk {
@@ -178,6 +231,38 @@ class SimDisk {
   // refused it; callers model that by using WriteLabeled.)
   void WildWrite(Lba lba, std::uint64_t seed);
 
+  // Marks one sector as a persistent (grown) defect; see FaultMode for how
+  // each mode fails and heals. Overwrites any previous mode for the LBA.
+  void InjectPersistentFault(Lba lba, FaultMode mode);
+  // Removes a persistent defect (test/ops hook — the file system never
+  // clears faults, it heals kReadFail by rewriting or remaps around them).
+  void ClearPersistentFault(Lba lba);
+  // The persistent fault currently recorded for `lba`, if any.
+  std::optional<FaultMode> PersistentFault(Lba lba) const;
+
+  // Arms a one-shot lying write on `lba`: the next write request covering
+  // it is acknowledged as successful but dropped or torn (see
+  // WriteFaultKind), then the sector writes normally again.
+  void InjectWriteFault(Lba lba, WriteFaultKind kind);
+
+  // Silent corruption (bit rot): flips a seeded handful of bits in the
+  // sector's data in place. The label survives and no error is ever
+  // returned — only a content check above the device can notice.
+  void CorruptSector(Lba lba, std::uint64_t seed);
+
+  // Installs (or, with a default-constructed schedule, clears) the seeded
+  // background fault schedule applied to subsequent write requests.
+  void SetFaultSchedule(const FaultSchedule& schedule);
+  FaultSchedule fault_schedule() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_schedule_;
+  }
+  // Scheduled fault events fired so far (counts toward max_events).
+  std::uint64_t fault_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_events_;
+  }
+
   // Arms a crash: the `index`-th write request from now is torn per `plan`,
   // and every request after it fails with kDeviceCrashed until Reopen().
   void ArmCrash(const CrashPlan& plan);
@@ -233,7 +318,8 @@ class SimDisk {
   // ---- Image persistence: the full device state (data, labels, damage
   // map, and crash/fault-injection state) as a host file, so volumes —
   // including crashed ones dumped by the harness — survive across tool
-  // invocations. Format "CEDIMG02"; v01 images (no crash state) still load.
+  // invocations. Format "CEDIMG03" (adds persistent/lying-write/corruption
+  // fault state); v01 (no crash state) and v02 images still load.
   Status SaveImage(const std::string& path) const;
   // Loads an image saved with SaveImage; the geometry must match.
   Status LoadImage(const std::string& path);
@@ -259,6 +345,25 @@ class SimDisk {
   // Consumes one transient-read fault covering [start, start+count) if any;
   // returns true if the request should fail with kReadTransient.
   bool ConsumeTransientReadFault(Lba start, std::uint32_t count);
+
+  // What the fault schedule decided for one write request.
+  struct ScheduledFaults {
+    std::optional<std::pair<Lba, FaultMode>> grown;
+    std::optional<WriteFaultKind> self;  // this request is dropped/torn
+    std::optional<std::pair<Lba, std::uint64_t>> corrupt;  // lba, bit seed
+  };
+  // Draws the schedule's decisions for write request `seq` over
+  // [start, start+count); bumps fault_events_ per fired event.
+  ScheduledFaults DrawScheduledFaults(Lba start, std::uint32_t count,
+                                      std::uint64_t seq);
+  // True when reads of `lba` must fail (crash damage or a persistent
+  // read-blocking defect).
+  bool ReadBlocked(Lba lba) const;
+  // Common body of Write/WriteLabeled after the label check: crash plan,
+  // fault schedule, persistent write faults, pending lying writes, copy.
+  Status WriteImpl(Lba start, std::span<const std::uint8_t> data,
+                   std::span<const Label> new_labels);
+  void CorruptLocked(Lba lba, std::uint64_t seed);
 
   // Serializes every request and all fault-injection/snapshot entry points.
   mutable std::mutex mu_;
@@ -296,6 +401,16 @@ class SimDisk {
 
   // lba -> remaining transient-read failures.
   std::map<Lba, std::uint32_t> transient_read_faults_;
+
+  // lba -> persistent grown defect (see FaultMode for heal semantics).
+  std::map<Lba, FaultMode> persistent_faults_;
+  // lba -> armed one-shot lying write, consumed by the next covering write.
+  std::map<Lba, WriteFaultKind> pending_write_faults_;
+  FaultSchedule fault_schedule_;
+  std::uint64_t fault_events_ = 0;  // scheduled events fired so far
+  // Monotonic write-request sequence number (always ticks, so arming a
+  // schedule mid-run stays deterministic for a fixed request history).
+  std::uint64_t write_seq_ = 0;
 
   std::uint32_t batch_counter_ = 0;  // last batch id handed out
   std::uint32_t current_batch_ = 0;  // open batch, 0 = none

@@ -467,6 +467,80 @@ TEST(ParallelCommitCrashTest, AcknowledgedCreatesSurviveCrash) {
 }
 
 // ---------------------------------------------------------------------------
+// Media fault AND crash cut in the same run: the primary name-table homes
+// die under the running volume, then the disk crashes mid-commit. Recovery
+// must replay the log with the defects still armed, serve every surviving
+// page from the replica region, and remap or repair around the dead
+// sectors — every acknowledged file intact afterwards.
+
+TEST(FaultPlusCrashTest, RecoveryHealsFromReplicaAcrossACrashCut) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  std::vector<std::string> acknowledged;
+  sim::Lba nta_base = 0;
+  {
+    Fsd fsd(&disk, SmallConfig());
+    nta_base = fsd.layout().nta_base;
+    ASSERT_TRUE(fsd.Format().ok());
+    for (int i = 0; i < 20; ++i) {
+      const std::string name = "mix/a" + std::to_string(i);
+      ASSERT_TRUE(fsd.CreateFile(name, Bytes(1000, 51)).ok());
+      acknowledged.push_back(name);
+    }
+    ASSERT_TRUE(fsd.Force().ok());
+
+    // The primary name-table homes grow dead sectors under load...
+    for (std::uint32_t pid = 0; pid < 4; ++pid) {
+      disk.InjectPersistentFault(nta_base + pid, sim::FaultMode::kDead);
+    }
+    // ...and a few writes later the whole disk crashes mid-commit.
+    disk.ArmCrash(CleanCut(6));
+    for (int i = 0; i < 20; ++i) {
+      const std::string name = "mix/b" + std::to_string(i);
+      if (!fsd.CreateFile(name, Bytes(1000, 53)).ok()) {
+        break;
+      }
+      if (!fsd.Force().ok()) {
+        break;
+      }
+      acknowledged.push_back(name);
+    }
+  }
+  ASSERT_TRUE(disk.crashed());
+
+  // The defects survive the crash: replay runs with the dead primaries
+  // still armed and must leave a clean volume anyway.
+  disk.Reopen();
+  ASSERT_TRUE(disk.PersistentFault(nta_base).has_value());
+  {
+    Fsd fsd(&disk, SmallConfig());
+    ASSERT_TRUE(fsd.Mount().ok());
+    auto fsck = fsd.Fsck();
+    ASSERT_TRUE(fsck.ok());
+    EXPECT_TRUE(fsck->Clean()) << fsck->Summary();
+    for (const std::string& name : acknowledged) {
+      auto handle = fsd.Open(name);
+      ASSERT_TRUE(handle.ok()) << "acknowledged " << name << " lost";
+      const std::uint8_t seed = name[4] == 'a' ? 51 : 53;
+      std::vector<std::uint8_t> out(handle->byte_size);
+      ASSERT_TRUE(fsd.Read(*handle, 0, out).ok()) << name;
+      EXPECT_EQ(out, Bytes(1000, seed)) << name << " corrupt after recovery";
+    }
+    // Shutdown flushes every dirty page home, so by now the dead primaries
+    // have been written around: repaired from the replica or remapped.
+    ASSERT_TRUE(fsd.Shutdown().ok());
+    EXPECT_GE(fsd.Health().repairs + fsd.Health().remaps, 1u);
+  }
+
+  // And the healed volume survives a clean restart, defects still armed.
+  Fsd again(&disk, SmallConfig());
+  ASSERT_TRUE(again.Mount().ok());
+  auto fsck = again.Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->Clean()) << fsck->Summary();
+}
+
+// ---------------------------------------------------------------------------
 // Regression: the clean-mount crash window with VAM logging. Mount used to
 // write the unclean volume root BEFORE saving the fresh VAM base, so a
 // crash between the two left a stale base whose LSN exceeded every delta

@@ -1,0 +1,244 @@
+// FSD self-healing against the media-fault model (DESIGN.md section 4h):
+// CRC-trailer corruption detection on name-table pages, A/B copy repair,
+// durable bad-sector remapping to spares, lying-write divergence arbitration
+// by write sequence, bounded-retry exhaustion attribution, the degraded
+// read-only mount, and the scrub patrol's healed/remapped/unrepairable
+// accounting. Companion to sim_fault_test.cc (device model) and the
+// faultcampaign tool (randomized end-to-end sweeps).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fsd.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/check.h"
+
+namespace cedar {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::size_t n, std::uint8_t seed) {
+  return std::vector<std::uint8_t>(n, seed);
+}
+
+core::FsdConfig FaultCfg() {
+  core::FsdConfig config;
+  config.log_sectors = 400;
+  config.nt_pages = 128;
+  config.cache_frames = 512;
+  return config;
+}
+
+class FsdFaultTest : public ::testing::Test {
+ protected:
+  FsdFaultTest() : disk_(sim::TestGeometry(), sim::DiskTimingParams{}, &clock_) {
+    fsd_ = std::make_unique<core::Fsd>(&disk_, FaultCfg());
+    CEDAR_CHECK_OK(fsd_->Format());
+    for (int i = 0; i < 40; ++i) {
+      CEDAR_CHECK_OK(
+          fsd_->CreateFile("lib/m" + std::to_string(i), Bytes(1200, 7))
+              .status());
+    }
+    CEDAR_CHECK_OK(fsd_->Force());
+  }
+
+  // Replaces fsd_ with a freshly constructed instance (not mounted).
+  core::Fsd* Remake() {
+    fsd_ = std::make_unique<core::Fsd>(&disk_, FaultCfg());
+    return fsd_.get();
+  }
+
+  void ExpectReadable(core::Fsd* fsd, const std::string& name) {
+    auto handle = fsd->Open(name);
+    ASSERT_TRUE(handle.ok()) << handle.status().message();
+    std::vector<std::uint8_t> out(1200);
+    ASSERT_TRUE(fsd->Read(*handle, 0, out).ok());
+    EXPECT_EQ(out, Bytes(1200, 7));
+    EXPECT_TRUE(fsd->Close(*handle).ok());
+  }
+
+  sim::VirtualClock clock_;
+  sim::SimDisk disk_;
+  std::unique_ptr<core::Fsd> fsd_;
+};
+
+// Bit rot on name-table primary homes: the CRC trailer catches it on the
+// first access, the replica serves, and the corrupt copy is rewritten in
+// place. (A clean mount reads name-table pages lazily, so the detection
+// counters advance when the namespace is first walked, not at Mount().)
+TEST_F(FsdFaultTest, NtPrimaryCorruptionDetectedAndRepairedOnAccess) {
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  const core::FsdLayout layout = fsd_->layout();
+  for (std::uint32_t pid = 0; pid < 8; ++pid) {
+    disk_.CorruptSector(layout.nta_base + pid, 1000 + pid);
+  }
+  core::Fsd* fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  auto list = fsd->List("lib/");
+  ASSERT_TRUE(list.ok()) << list.status().message();
+  EXPECT_EQ(list->size(), 40u);
+  const fs::HealthStats health = fsd->Health();
+  EXPECT_GE(health.corruption_detected, 1u);
+  EXPECT_GE(health.repairs, 1u);
+  ExpectReadable(fsd, "lib/m5");
+  // The repair reached the disk: a fresh mount finds both copies agreeing.
+  ASSERT_TRUE(fsd->Shutdown().ok());
+  fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  ASSERT_TRUE(fsd->List("lib/").ok());
+  EXPECT_EQ(fsd->Health().corruption_detected, 0u);
+}
+
+// A primary home sector that dies outright is remapped to a spare, and the
+// remap table survives remount — the dead LBA is never touched again.
+TEST_F(FsdFaultTest, DeadNtPrimaryRemapsToSpareDurably) {
+  const core::FsdLayout layout = fsd_->layout();
+  for (std::uint32_t pid = 0; pid < 8; ++pid) {
+    disk_.InjectPersistentFault(layout.nta_base + pid, sim::FaultMode::kDead);
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        fsd_->CreateFile("post/p" + std::to_string(i), Bytes(1200, 7)).ok());
+  }
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  EXPECT_GE(fsd_->Health().remaps, 1u);
+
+  // The faults are still armed, yet the volume mounts and reads cleanly:
+  // every access to the dead sectors goes through the spares.
+  core::Fsd* fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  EXPECT_TRUE(disk_.PersistentFault(layout.nta_base).has_value());
+  ExpectReadable(fsd, "lib/m3");
+  ExpectReadable(fsd, "post/p3");
+  ASSERT_TRUE(fsd->Shutdown().ok());
+}
+
+// A lying (dropped) home write leaves a stale-but-valid primary; the write
+// sequence in the CRC trailer arbitrates and the stale copy is rewritten.
+TEST_F(FsdFaultTest, DroppedHomeWriteHealedBySequenceArbitration) {
+  const core::FsdLayout layout = fsd_->layout();
+  for (std::uint32_t pid = 0; pid < 16; ++pid) {
+    disk_.InjectWriteFault(layout.nta_base + pid,
+                           sim::WriteFaultKind::kDropped);
+  }
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        fsd_->CreateFile("post/q" + std::to_string(i), Bytes(1200, 7)).ok());
+  }
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+
+  core::Fsd* fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  auto list = fsd->List("post/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 40u);
+  // A dropped write is not corruption (the stale copy has a valid CRC) —
+  // it is a divergence, repaired toward the newer sequence on first access.
+  EXPECT_GE(fsd->Health().repairs, 1u);
+  ExpectReadable(fsd, "post/q7");
+  ASSERT_TRUE(fsd->Shutdown().ok());
+}
+
+// When the bounded soft-error retry gives up, the error names the failing
+// LBA span and the give-up is counted — not a bare device error.
+TEST_F(FsdFaultTest, ReadRetryExhaustionIsAttributed) {
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  disk_.InjectTransientReadError(fsd_->layout().root_lba, 100);
+  core::Fsd* fsd = Remake();
+  const Status mount = fsd->Mount();
+  ASSERT_EQ(mount.code(), ErrorCode::kReadTransient);
+  EXPECT_NE(mount.message().find("read retries exhausted"), std::string::npos)
+      << mount.message();
+  EXPECT_NE(mount.message().find("lba"), std::string::npos);
+  EXPECT_GE(fsd->Health().read_retry_exhausted, 1u);
+}
+
+// Losing both copies of a live name-table page fails Mount with attribution;
+// MountDegraded then serves what survives, read-only, and Health() says
+// exactly what was lost.
+TEST_F(FsdFaultTest, DegradedMountIsReadOnlyAndAttributed) {
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  const core::FsdLayout layout = fsd_->layout();
+  for (std::uint32_t pid = 2; pid < 6; ++pid) {
+    disk_.InjectPersistentFault(layout.nta_base + pid, sim::FaultMode::kDead);
+    disk_.InjectPersistentFault(layout.ntb_base + pid, sim::FaultMode::kDead);
+  }
+  // Damage the saved VAM too, so the mount must rebuild from a full
+  // name-table scan — which walks straight into the lost pages. (With the
+  // saved VAM intact a clean mount reads pages lazily and only the first
+  // access would fail.)
+  disk_.DamageSectors(layout.vam_base, 2);
+  core::Fsd* fsd = Remake();
+  const Status mount = fsd->Mount();
+  ASSERT_FALSE(mount.ok());
+  ASSERT_NE(mount.code(), ErrorCode::kDeviceCrashed);
+
+  ASSERT_TRUE(fsd->MountDegraded().ok());
+  const fs::HealthStats health = fsd->Health();
+  EXPECT_TRUE(health.degraded);
+  EXPECT_GE(health.nt_pages_lost, 1u);
+  EXPECT_FALSE(health.notes.empty());
+  // Read-only: every mutating surface refuses with kFailedPrecondition.
+  EXPECT_EQ(fsd->CreateFile("new", Bytes(10, 1)).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(fsd->DeleteFile("lib/m0").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(fsd->Force().code(), ErrorCode::kFailedPrecondition);
+  // Nothing was written to the medium: the dead sectors aside, the image is
+  // exactly as found (no root update — a second degraded mount still works).
+  core::Fsd* again = Remake();
+  EXPECT_TRUE(again->MountDegraded().ok());
+}
+
+// The scrub patrol rewrites a rotted replica copy in place (healed), and
+// reports damage no redundancy covers (unrepairable) without touching it.
+TEST_F(FsdFaultTest, ScrubCountsHealedAndUnrepairable) {
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  core::Fsd* fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  // Walk the namespace first so every name-table page is cached: the rot
+  // injected below is then invisible to the double-read path and only the
+  // scrub patrol — which always reads the home copies — can find it.
+  ASSERT_TRUE(fsd->List("lib/").ok());
+  const core::FsdLayout layout = fsd->layout();
+  for (std::uint32_t pid = 0; pid < 8; ++pid) {
+    disk_.CorruptSector(layout.ntb_base + pid, 2000 + pid);
+  }
+  auto report = fsd->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->healed, 1u);
+  EXPECT_EQ(report->unrepairable, 0u);
+  EXPECT_GE(fsd->Health().corruption_detected, 1u);
+
+  // Now kill both copies of a live page: the next patrol can only report.
+  for (std::uint32_t pid = 2; pid < 6; ++pid) {
+    disk_.InjectPersistentFault(layout.nta_base + pid, sim::FaultMode::kDead);
+    disk_.InjectPersistentFault(layout.ntb_base + pid, sim::FaultMode::kDead);
+  }
+  report = fsd->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->unrepairable, 1u);
+  EXPECT_GE(fsd->Health().nt_pages_lost, 1u);
+  EXPECT_FALSE(fsd->Health().notes.empty());
+}
+
+// The volume root rides in three sectors with two copies; a grown read
+// defect on the first copy is healed by the mount-time rewrite.
+TEST_F(FsdFaultTest, RootCopyReadFaultHealedOnMount) {
+  ASSERT_TRUE(fsd_->Shutdown().ok());
+  const sim::Lba root = fsd_->layout().root_lba;
+  disk_.InjectPersistentFault(root, sim::FaultMode::kReadFail);
+  core::Fsd* fsd = Remake();
+  ASSERT_TRUE(fsd->Mount().ok());
+  EXPECT_GE(fsd->Health().repairs, 1u);
+  // The healing rewrite re-allocated the sector: the defect is gone.
+  EXPECT_FALSE(disk_.PersistentFault(root).has_value());
+  ExpectReadable(fsd, "lib/m1");
+  ASSERT_TRUE(fsd->Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace cedar

@@ -203,8 +203,19 @@ TEST_F(FsdTest, LeaderCatchesWildWrite) {
   disk_.WildWrite(fsd_.layout().data_low, 999);
   auto handle = fsd_.Open("smashed");
   ASSERT_TRUE(handle.ok());
+  // The read detects the smashed leader, rebuilds it from the entry (the
+  // entry is authoritative), and serves the data anyway — heal-and-serve.
   std::vector<std::uint8_t> out(512);
-  EXPECT_EQ(fsd_.Read(*handle, 0, out).code(), ErrorCode::kCorruptMetadata);
+  EXPECT_TRUE(fsd_.Read(*handle, 0, out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), Bytes(512, 5).begin()));
+  const auto health = fsd_.Health();
+  EXPECT_GE(health.corruption_detected, 1u);
+  EXPECT_GE(health.repairs, 1u);
+  // A second open+read sees the repaired leader: no further detection.
+  auto handle2 = fsd_.Open("smashed");
+  ASSERT_TRUE(handle2.ok());
+  EXPECT_TRUE(fsd_.Read(*handle2, 0, out).ok());
+  EXPECT_EQ(fsd_.Health().corruption_detected, health.corruption_detected);
 }
 
 TEST_F(FsdTest, ExtendUpdatesEntryAndLeader) {

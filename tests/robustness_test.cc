@@ -135,7 +135,12 @@ TEST_F(RobustnessTest, DamagedBootPagesSurviveViaReplicas) {
   EXPECT_TRUE(after.Mount().ok());
 }
 
-// Wild stores: the leader/name-table cross-check.
+// Wild stores: the leader/name-table cross-check. The first access detects
+// the mismatch and rebuilds the leader from the entry (the entry is
+// authoritative); the read itself is served from the entry's run table.
+// File data carries no checksum (paper fidelity), so the wild-written
+// payload is the caller's to verify — what FSD guarantees is that the
+// metadata damage is detected, counted, and healed, not silently ignored.
 TEST_F(RobustnessTest, WildWriteOverLeaderDetectedOnFirstAccess) {
   ASSERT_TRUE(fsd_->Shutdown().ok());
   core::Fsd reader(&disk_, FsdCfg());
@@ -148,8 +153,15 @@ TEST_F(RobustnessTest, WildWriteOverLeaderDetectedOnFirstAccess) {
   auto handle = reader.Open("lib/m0");
   ASSERT_TRUE(handle.ok());  // metadata is intact (name table untouched)
   std::vector<std::uint8_t> out(1200);
-  EXPECT_EQ(reader.Read(*handle, 0, out).code(),
-            ErrorCode::kCorruptMetadata);
+  ASSERT_TRUE(reader.Read(*handle, 0, out).ok());
+  const auto health = reader.Health();
+  EXPECT_GE(health.corruption_detected, 1u);  // the wild store was caught
+  EXPECT_GE(health.repairs, 1u);              // and the leader rebuilt
+  // The repair stuck: a fresh access is clean (no new detection).
+  auto handle2 = reader.Open("lib/m0");
+  ASSERT_TRUE(handle2.ok());
+  ASSERT_TRUE(reader.Read(*handle2, 0, out).ok());
+  EXPECT_EQ(reader.Health().corruption_detected, health.corruption_detected);
 }
 
 // Data-sector damage stays contained to one file.

@@ -83,6 +83,18 @@ int SelfTest(const std::string& dir) {
   CEDAR_CHECK_OK(handle.status());
   std::vector<std::uint8_t> out(900);
   CEDAR_CHECK_OK(fsd.Read(*handle, 0, out));
+
+  // Exercise the self-healing paths so their op attributions land in the
+  // trace: lose a track of the small-file area, then scrub. The patrol's
+  // reads carry "fsd.scrub"; the leader rewrites carry "fsd.repair".
+  const auto chs = disk.geometry().ToChs(fsd.layout().data_low);
+  disk.DamageTrack(chs.cylinder, chs.head);
+  auto scrubbed = fsd.Scrub();
+  CEDAR_CHECK_OK(scrubbed.status());
+  if (scrubbed->leaders_repaired == 0) {
+    std::fprintf(stderr, "selftest: scrub repaired no leaders\n");
+    return 1;
+  }
   CEDAR_CHECK_OK(fsd.Shutdown());
 
   const std::string bin = dir + "/trace.bin";
@@ -102,6 +114,12 @@ int SelfTest(const std::string& dir) {
   if (created.requests == 0 || roundtrip.requests != created.requests) {
     std::fprintf(stderr, "selftest: fsd.create aggregate mismatch\n");
     return 1;
+  }
+  for (const char* op : {"fsd.scrub", "fsd.repair"}) {
+    if (reloaded->AggregateFor(op).requests == 0) {
+      std::fprintf(stderr, "selftest: no %s ops attributed in the trace\n", op);
+      return 1;
+    }
   }
   Summarize(*reloaded);
   std::printf("\nselftest OK: %s, %s\n", bin.c_str(), jsonl.c_str());
