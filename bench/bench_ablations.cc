@@ -63,6 +63,7 @@ ColdScanCost MeasureColdScan(std::uint32_t read_ahead, bool double_read) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   const bool smoke = SmokeMode(argc, argv);
   const std::vector<std::uint32_t> read_aheads =
       smoke ? std::vector<std::uint32_t>{1u, 8u}

@@ -151,6 +151,7 @@ FragResult RunChurn(bool split_enabled) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   if (SmokeMode(argc, argv)) {
     g_steps = 5000;
     g_target_files = 2000;

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <string>
 
 #include "src/sim/clock.h"
@@ -22,6 +23,67 @@
 namespace cedar::bench {
 
 // ---- Command-line helpers shared by every bench binary. ----
+
+// A flag a bench accepts: its exact "--name", and whether it consumes a
+// value (given as the next token or "--name=value").
+struct FlagSpec {
+  const char* name;
+  bool takes_value = false;
+};
+
+// Strict argv validation: every bench declares its flags up front and any
+// unknown "--flag" (or stray positional) aborts with exit code 2 instead
+// of being silently ignored — a mistyped CI gate invocation must fail
+// loudly, not pass vacuously. `passthrough_prefixes` whitelists flag
+// families owned by an embedded library (bench_micro forwards
+// "--benchmark_*" to google-benchmark).
+inline void CheckFlags(int argc, char** argv,
+                       std::initializer_list<FlagSpec> specs,
+                       std::initializer_list<const char*> passthrough_prefixes =
+                           {}) {
+  auto reject = [&](const char* arg) {
+    std::fprintf(stderr, "%s: unknown argument '%s'\naccepted flags:", argv[0],
+                 arg);
+    for (const FlagSpec& spec : specs) {
+      std::fprintf(stderr, " %s%s", spec.name, spec.takes_value ? " <v>" : "");
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      reject(arg);
+    }
+    bool matched = false;
+    for (const FlagSpec& spec : specs) {
+      const std::size_t n = std::strlen(spec.name);
+      if (std::strcmp(arg, spec.name) == 0) {
+        if (spec.takes_value) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: flag '%s' needs a value\n", argv[0],
+                         spec.name);
+            std::exit(2);
+          }
+          ++i;  // value consumed
+        }
+        matched = true;
+        break;
+      }
+      if (spec.takes_value && std::strncmp(arg, spec.name, n) == 0 &&
+          arg[n] == '=') {
+        matched = true;
+        break;
+      }
+    }
+    for (const char* prefix : passthrough_prefixes) {
+      matched = matched || std::strncmp(arg, prefix, std::strlen(prefix)) == 0;
+    }
+    if (!matched) {
+      reject(arg);
+    }
+  }
+}
 
 inline bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
@@ -42,6 +104,22 @@ inline int IntFlag(int argc, char** argv, const char* flag, int fallback) {
     if (std::strncmp(argv[i], flag, flag_len) == 0 &&
         argv[i][flag_len] == '=') {
       return std::atoi(argv[i] + flag_len + 1);
+    }
+  }
+  return fallback;
+}
+
+// Parses `--name VALUE` (or `--name=VALUE`); nullptr when absent.
+inline const char* StringFlag(int argc, char** argv, const char* flag,
+                              const char* fallback = nullptr) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
     }
   }
   return fallback;

@@ -120,6 +120,7 @@ void PrintMode(const char* label, const FlushResult& r) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   if (SmokeMode(argc, argv)) {
     g_files = 300;
     g_rounds = 8;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/core/fsd.h"
 #include "src/util/random.h"
 #include "src/workload/workload.h"
@@ -281,56 +282,39 @@ void PrintSatPoint(const SatPoint& p) {
               p.virtual_updates_per_sec);
 }
 
-// Machine-readable trajectory point for BENCH_group_commit.json.
-void WriteJson(const char* path, const std::vector<SatPoint>& saturation,
+// Machine-readable trajectory point for BENCH_group_commit.json. Virtual
+// times gate; wall-clock figures are machine-dependent and stay info-only.
+void WriteJson(const char* path, const char* mode, int rounds,
+               const std::vector<SatPoint>& saturation,
                const std::vector<CurvePoint>& amortization) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  BenchReport report("group_commit");
+  report.SetConfig("mode", mode);
+  report.SetConfig("rounds", rounds);
+  std::string threads_list;
+  for (const SatPoint& p : saturation) {
+    threads_list += std::to_string(p.threads) + ",";
   }
-  std::fprintf(f, "{\n  \"bench\": \"group_commit\",\n");
-  std::fprintf(f, "  \"throughput_unit\": \"updates per virtual second\",\n");
-  std::fprintf(f, "  \"saturation\": [\n");
-  for (std::size_t i = 0; i < saturation.size(); ++i) {
-    const SatPoint& p = saturation[i];
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"updates\": %llu, \"forces\": %llu, "
-                 "\"forces_per_update\": %.4f, \"virtual_us\": %llu, "
-                 "\"disk_us\": %llu, \"virtual_updates_per_sec\": %.1f, "
-                 "\"wall_updates_per_sec\": %.1f}%s\n",
-                 p.threads, (unsigned long long)p.updates,
-                 (unsigned long long)p.forces, p.forces_per_update,
-                 (unsigned long long)p.virtual_us,
-                 (unsigned long long)p.disk_us, p.virtual_updates_per_sec,
-                 p.wall_updates_per_sec,
-                 i + 1 < saturation.size() ? "," : "");
+  report.SetConfig("sat_threads", threads_list);
+  char key[64];
+  for (const SatPoint& p : saturation) {
+    std::snprintf(key, sizeof(key), "sat_%dt_updates_per_vsec", p.threads);
+    report.AddMetric(key, p.virtual_updates_per_sec,
+                     Direction::kHigherIsBetter, "updates/vsec");
+    std::snprintf(key, sizeof(key), "sat_%dt_forces_per_update", p.threads);
+    report.AddMetric(key, p.forces_per_update, Direction::kLowerIsBetter);
+    std::snprintf(key, sizeof(key), "sat_%dt_disk_ms", p.threads);
+    report.AddInfo(key, static_cast<double>(p.disk_us) / 1000.0);
+    std::snprintf(key, sizeof(key), "sat_%dt_wall_updates_per_sec",
+                  p.threads);
+    report.AddInfo(key, p.wall_updates_per_sec);
   }
-  std::fprintf(f, "  ],\n  \"amortization\": [\n");
-  for (std::size_t i = 0; i < amortization.size(); ++i) {
-    const CurvePoint& p = amortization[i];
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"updates\": %llu, \"forces\": %llu, "
-                 "\"force_requests\": %llu, \"piggybacked\": %llu, "
-                 "\"forces_per_update\": %.4f}%s\n",
-                 p.threads, (unsigned long long)p.updates,
-                 (unsigned long long)p.forces,
-                 (unsigned long long)p.force_requests,
-                 (unsigned long long)p.piggybacked, p.forces_per_update,
-                 i + 1 < amortization.size() ? "," : "");
+  for (const CurvePoint& p : amortization) {
+    std::snprintf(key, sizeof(key), "amort_%dt_forces_per_update", p.threads);
+    report.AddMetric(key, p.forces_per_update, Direction::kLowerIsBetter);
+    std::snprintf(key, sizeof(key), "amort_%dt_piggybacked", p.threads);
+    report.AddInfo(key, static_cast<double>(p.piggybacked));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
-}
-
-const char* StringFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
-      return argv[i + 1];
-    }
-  }
-  return nullptr;
+  CEDAR_CHECK_OK(report.WriteFile(path));
 }
 
 void PrintCurveHeader() {
@@ -350,6 +334,11 @@ void PrintCurvePoint(const CurvePoint& p) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv,
+             {{"--smoke"},
+              {"--scaling"},
+              {"--threads", /*takes_value=*/true},
+              {"--json", /*takes_value=*/true}});
   const bool smoke = SmokeMode(argc, argv);
   const int curve_rounds = smoke ? 10 : 40;
   const int sat_rounds = smoke ? 60 : 200;
@@ -372,7 +361,7 @@ int main(int argc, char** argv) {
                 t1 > 0 ? t8 / t1 : 0,
                 t8 > t1 ? "rising" : "NOT RISING");
     if (json_path != nullptr) {
-      WriteJson(json_path, curve, {});
+      WriteJson(json_path, "scaling", sat_rounds, curve, {});
     }
     return t8 > t1 ? 0 : 1;
   }
@@ -476,7 +465,7 @@ int main(int argc, char** argv) {
                              : 0;
   std::printf("8-thread vs 1-thread throughput: x%.2f\n", speedup);
   if (json_path != nullptr) {
-    WriteJson(json_path, sat, curve);
+    WriteJson(json_path, "full", sat_rounds, sat, curve);
   }
   return strictly_decreasing ? 0 : 1;
 }

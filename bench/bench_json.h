@@ -1,0 +1,144 @@
+// Shared machine-readable bench report emitter: every bench that
+// participates in the perf trajectory writes its BENCH_*.json through this,
+// so tools/benchdiff sees one schema regardless of which bench ran.
+//
+// Envelope (schema_version 2 — see src/obs/benchcmp.h, which consumes it):
+//   schema_version  gate compatibility; benchdiff refuses mismatches
+//   bench           bench name; benchdiff refuses cross-bench compares
+//   git_commit      the commit the binary was built from (informational;
+//                   baselines and candidates are *expected* to differ here)
+//   config_digest   CRC32 of the canonical config key=value list. Digest
+//                   equality is what makes two reports comparable: it
+//                   covers the workload *shape* (ops, threads, skew,
+//                   tenants), deliberately NOT the machine/CPU model —
+//                   a perf regression must compare, not refuse.
+//   config          the canonical parameters, for humans
+//   metrics         gated values, each {value, direction, unit}
+//   info            context numbers the gate never fails on
+//
+// Gated metrics carry their own comparison direction ("higher" = a drop
+// beyond tolerance fails, "lower" = a rise fails) so the gate never
+// guesses from key names.
+
+#ifndef CEDAR_BENCH_BENCH_JSON_H_
+#define CEDAR_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "src/obs/benchcmp.h"
+#include "src/util/crc32.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+// The build system stamps the commit; a plain source checkout still works.
+#ifndef CEDAR_GIT_COMMIT
+#define CEDAR_GIT_COMMIT "unknown"
+#endif
+
+namespace cedar::bench {
+
+enum class Direction {
+  kHigherIsBetter,
+  kLowerIsBetter,
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string_view bench_name)
+      : bench_(bench_name),
+        config_(util::JsonValue::Object()),
+        metrics_(util::JsonValue::Object()),
+        info_(util::JsonValue::Object()) {}
+
+  void SetConfig(std::string_view key, double value) {
+    config_.Set(std::string(key), util::JsonValue::Number(value));
+  }
+  void SetConfig(std::string_view key, std::string_view value) {
+    config_.Set(std::string(key), util::JsonValue::String(std::string(value)));
+  }
+
+  void AddMetric(std::string_view name, double value, Direction direction,
+                 std::string_view unit = "") {
+    util::JsonValue m = util::JsonValue::Object();
+    m.Set("value", util::JsonValue::Number(value));
+    m.Set("direction",
+          util::JsonValue::String(
+              direction == Direction::kHigherIsBetter ? "higher" : "lower"));
+    if (!unit.empty()) {
+      m.Set("unit", util::JsonValue::String(std::string(unit)));
+    }
+    metrics_.Set(std::string(name), std::move(m));
+  }
+
+  void AddInfo(std::string_view name, double value) {
+    info_.Set(std::string(name), util::JsonValue::Number(value));
+  }
+  void AddInfo(std::string_view name, std::string_view value) {
+    info_.Set(std::string(name), util::JsonValue::String(std::string(value)));
+  }
+
+  // The canonical config string the digest covers: "k=v;" in insertion
+  // order, numbers printed as Dump() prints them.
+  std::string CanonicalConfig() const {
+    std::string canon;
+    for (const auto& [key, value] : config_.members()) {
+      canon += key;
+      canon += '=';
+      if (value.is_string()) {
+        canon += value.AsString();
+      } else {
+        util::JsonValue num = value;
+        std::string dumped = num.Dump();
+        if (!dumped.empty() && dumped.back() == '\n') dumped.pop_back();
+        canon += dumped;
+      }
+      canon += ';';
+    }
+    return canon;
+  }
+
+  util::JsonValue Build() const {
+    const std::string canon = CanonicalConfig();
+    char digest[16];
+    std::snprintf(digest, sizeof(digest), "%08x",
+                  Crc32({reinterpret_cast<const std::uint8_t*>(canon.data()),
+                         canon.size()}));
+    util::JsonValue root = util::JsonValue::Object();
+    root.Set("schema_version",
+             util::JsonValue::Number(obs::kBenchSchemaVersion));
+    root.Set("bench", util::JsonValue::String(bench_));
+    root.Set("git_commit", util::JsonValue::String(CEDAR_GIT_COMMIT));
+    root.Set("config_digest", util::JsonValue::String(digest));
+    root.Set("config", config_);
+    root.Set("metrics", metrics_);
+    root.Set("info", info_);
+    return root;
+  }
+
+  Status WriteFile(const std::string& path) const {
+    const std::string text = Build().Dump();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return MakeError(ErrorCode::kInvalidArgument, "cannot write " + path);
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size()) {
+      return MakeError(ErrorCode::kInternal, "short write to " + path);
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return OkStatus();
+  }
+
+ private:
+  std::string bench_;
+  util::JsonValue config_;
+  util::JsonValue metrics_;
+  util::JsonValue info_;
+};
+
+}  // namespace cedar::bench
+
+#endif  // CEDAR_BENCH_BENCH_JSON_H_

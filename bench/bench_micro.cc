@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/btree/btree.h"
 #include "src/btree/mem_page_store.h"
 #include "src/core/fsd.h"
@@ -145,6 +146,7 @@ BENCHMARK(BM_FsdOpenWarm);
 // Expanded BENCHMARK_MAIN() with a --smoke flag: CI runs every benchmark
 // for a hundredth of a second just to prove the hot paths still work.
 int main(int argc, char** argv) {
+  cedar::bench::CheckFlags(argc, argv, {{"--smoke"}}, {"--benchmark_"});
   std::vector<char*> args(argv, argv + argc);
   char min_time[] = "--benchmark_min_time=0.01";
   for (int i = 1; i < argc; ++i) {

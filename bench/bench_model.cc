@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace cedar::model;
+  cedar::bench::CheckFlags(argc, argv, {{"--smoke"}});
   // The validation suite is already small; --smoke runs it unchanged.
   (void)cedar::bench::SmokeMode(argc, argv);
   std::printf(

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/bsd/ffs.h"
 #include "src/cfs/cfs.h"
 #include "src/core/fsd.h"
@@ -147,40 +148,31 @@ CkptPoint RunCkptFill(int touches, bool daemon) {
   return point;
 }
 
-const char* StringFlag(int argc, char** argv, const char* name,
-                       const char* fallback) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
-      return argv[i + 1];
-    }
+// Mount time and replay volume gate; the pre-crash window is the daemon's
+// contract and is already hard-gated below, so it rides along as info.
+void WriteCkptJson(const char* path, bool smoke,
+                   const std::vector<CkptPoint>& points) {
+  BenchReport report("recovery");
+  report.SetConfig("mode", "ckpt");
+  report.SetConfig("smoke", smoke ? 1.0 : 0.0);
+  report.SetConfig("window_sectors", kCkptWindowSectors);
+  std::string fills;
+  for (const CkptPoint& p : points) {
+    fills += std::to_string(p.touches) + (p.daemon ? "d," : "t,");
   }
-  return fallback;
-}
-
-void WriteCkptJson(const char* path, const std::vector<CkptPoint>& points) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  report.SetConfig("fills", fills);
+  char key[64];
+  for (const CkptPoint& p : points) {
+    const char* kind = p.daemon ? "daemon" : "thirds";
+    std::snprintf(key, sizeof(key), "mount_ms_%d_%s", p.touches, kind);
+    report.AddMetric(key, p.mount_ms, Direction::kLowerIsBetter, "vms");
+    std::snprintf(key, sizeof(key), "replay_pages_%d_%s", p.touches, kind);
+    report.AddMetric(key, static_cast<double>(p.replay_pages),
+                     Direction::kLowerIsBetter, "pages");
+    std::snprintf(key, sizeof(key), "window_bytes_%d_%s", p.touches, kind);
+    report.AddInfo(key, static_cast<double>(p.pre_crash_window_bytes));
   }
-  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n");
-  std::fprintf(f, "  \"window_sectors\": %u,\n", kCkptWindowSectors);
-  std::fprintf(f, "  \"time_unit\": \"virtual milliseconds\",\n");
-  std::fprintf(f, "  \"points\": [\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const CkptPoint& p = points[i];
-    std::fprintf(f,
-                 "    {\"touches\": %d, \"checkpoint_daemon\": %s, "
-                 "\"pre_crash_window_bytes\": %llu, \"replay_pages\": %llu, "
-                 "\"mount_ms\": %.1f}%s\n",
-                 p.touches, p.daemon ? "true" : "false",
-                 (unsigned long long)p.pre_crash_window_bytes,
-                 (unsigned long long)p.replay_pages, p.mount_ms,
-                 i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  CEDAR_CHECK_OK(report.WriteFile(path));
 }
 
 // Runs the sweep and gates: returns the process exit code.
@@ -206,7 +198,7 @@ int CkptMain(int argc, char** argv) {
                   (unsigned long long)p.replay_pages, p.mount_ms);
     }
   }
-  WriteCkptJson(json_path, points);
+  WriteCkptJson(json_path, smoke, points);
 
   // Gates (CI runs this mode and fails on nonzero exit):
   //   1. with the daemon, the pre-crash recovery window never exceeds the
@@ -249,6 +241,8 @@ int CkptMain(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv,
+             {{"--smoke"}, {"--ckpt"}, {"--json", /*takes_value=*/true}});
   if (HasFlag(argc, argv, "--ckpt")) {
     return CkptMain(argc, argv);
   }

@@ -199,6 +199,7 @@ OpTimes BenchFsd() {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   if (SmokeMode(argc, argv)) {
     g_scale = Scale{.ops = 15, .large_ops = 2, .pre_files = 60,
                     .fill_files = 600};

@@ -99,6 +99,7 @@ IoCounts Run(Rig& rig, Fs& file_system, const std::function<void()>& between,
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   if (SmokeMode(argc, argv)) {
     g_files = 25;
   }

@@ -85,6 +85,7 @@ std::pair<Utilization, Utilization> RunTransfer(Rig& rig, Fs& file_system) {
 
 int main(int argc, char** argv) {
   using namespace cedar::bench;
+  CheckFlags(argc, argv, {{"--smoke"}});
   if (SmokeMode(argc, argv)) {
     g_file_bytes = 512 * 1024;
   }

@@ -1,0 +1,81 @@
+// Comparison engine for BENCH_*.json perf-trajectory files.
+//
+// A bench report (written by bench/bench_json.h) is self-describing:
+//
+//   {
+//     "schema_version": 2,
+//     "bench": "workload",
+//     "git_commit": "abc1234",
+//     "config_digest": "9f83c1d2",
+//     "config": { ... canonical workload parameters ... },
+//     "metrics": {
+//       "replay_1t_ops_per_vsec": {"value": 804.2, "direction": "higher",
+//                                  "unit": "ops/vsec"},
+//       "replay_1t_disk_seek_us": {"value": 91853, "direction": "lower"}
+//     },
+//     "info": { ... never-gated context numbers ... }
+//   }
+//
+// CompareBenchReports refuses to compare mismatched schema versions, bench
+// names, or config digests (a digest mismatch means the workload shape
+// changed and the baseline must be regenerated, not gated against). It
+// then walks the candidate's metrics: a "higher" metric regresses when it
+// falls more than `tolerance` below the baseline, a "lower" metric when it
+// rises more than `tolerance` above. A gated metric present in the
+// baseline but missing from the candidate is a regression too — a renamed
+// key must not turn the gate vacuous. git_commit is expected to differ and
+// is never compared.
+//
+// This lives in src/obs (not in the benchdiff tool) so the bench binaries
+// can run the exact same comparison in-process — the gate-failure
+// demonstration test compares a deliberately slowed run against a normal
+// one with the very code CI uses.
+
+#ifndef CEDAR_OBS_BENCHCMP_H_
+#define CEDAR_OBS_BENCHCMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace cedar::obs {
+
+inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr double kDefaultTolerance = 0.10;  // the CI gate's 10%
+
+struct MetricDelta {
+  std::string name;
+  double base = 0;
+  double cand = 0;
+  double pct = 0;  // signed percent change, cand vs base
+  std::string direction;  // "higher" | "lower" | "info"
+  bool gated = false;
+  bool regressed = false;
+};
+
+struct BenchComparison {
+  std::string bench;
+  double tolerance = kDefaultTolerance;
+  std::vector<MetricDelta> deltas;      // candidate metric order
+  std::vector<std::string> notes;       // non-fatal observations
+  bool regression = false;              // any gated delta regressed
+};
+
+// Compares two parsed bench reports. Returns an error (refuses) on schema
+// version, bench name, or config digest mismatch; gate decisions live in
+// the returned comparison.
+Result<BenchComparison> CompareBenchReports(const util::JsonValue& baseline,
+                                            const util::JsonValue& candidate,
+                                            double tolerance =
+                                                kDefaultTolerance);
+
+// Renders the per-metric delta table; `markdown` emits a GitHub-flavored
+// table for the CI job summary, otherwise aligned plain text.
+std::string FormatDeltaTable(const BenchComparison& comparison,
+                             bool markdown);
+
+}  // namespace cedar::obs
+
+#endif  // CEDAR_OBS_BENCHCMP_H_

@@ -19,6 +19,31 @@ const MetricsSnapshot::HistogramData* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+std::uint64_t MetricsSnapshot::HistogramData::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    if (seen + n < rank) {
+      seen += n;
+      continue;
+    }
+    // The ranked sample falls in this bucket; interpolate within it, then
+    // clamp to the exactly-tracked min/max so tail queries are honest.
+    const std::uint64_t low = Histogram::BucketLow(index);
+    const std::uint64_t high = std::max(Histogram::BucketHigh(index), low + 1);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(n);
+    const std::uint64_t value =
+        low + static_cast<std::uint64_t>(frac * static_cast<double>(high - low));
+    return std::clamp(value, min, max);
+  }
+  return max;
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);

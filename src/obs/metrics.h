@@ -136,6 +136,14 @@ struct MetricsSnapshot {
     std::uint64_t min = 0;
     std::uint64_t max = 0;
     std::vector<std::pair<int, std::uint64_t>> buckets;  // non-empty only
+
+    // Approximate quantile (q in [0,1]) from the log2 buckets: the sample
+    // at rank ceil(q*count) is located in its bucket and interpolated
+    // linearly inside the bucket's [low, high) range. Resolution is a
+    // power-of-two bucket, so treat these as indicative (info metrics),
+    // never as gated values. Returns 0 on an empty histogram; min/max are
+    // honored exactly at the extremes.
+    std::uint64_t Percentile(double q) const;
   };
   std::vector<HistogramData> histograms;  // sorted by name
 

@@ -11,7 +11,8 @@
 namespace cedar::obs {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '2'};
+constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '3'};
+constexpr char kMagicV2[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '2'};
 constexpr std::string_view kNoContext = "(none)";
 
 std::uint64_t NextTracerKey() {
@@ -61,6 +62,7 @@ DiskTracer::DiskTracer(DiskTracer&& other) noexcept {
   op_names_ = std::move(other.op_names_);
   op_ids_ = std::move(other.op_ids_);
   aggregates_ = std::move(other.aggregates_);
+  root_aggregates_ = std::move(other.root_aggregates_);
 }
 
 DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
@@ -75,6 +77,7 @@ DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
   op_names_ = std::move(other.op_names_);
   op_ids_ = std::move(other.op_ids_);
   aggregates_ = std::move(other.aggregates_);
+  root_aggregates_ = std::move(other.root_aggregates_);
   return *this;
 }
 
@@ -124,10 +127,14 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
                         std::uint32_t batch) {
   // Read the caller's context from TLS before taking the tracer mutex.
   std::uint32_t op_id = 0;
+  std::uint32_t root_id = 0;
   {
     auto& stacks = TlsStacks();
     auto it = stacks.find(tls_key_.load(std::memory_order_relaxed));
-    if (it != stacks.end() && !it->second.empty()) op_id = it->second.back();
+    if (it != stacks.end() && !it->second.empty()) {
+      op_id = it->second.back();
+      root_id = it->second.front();
+    }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -142,6 +149,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   ev.transfer_us = transfer_us;
   ev.controller_us = controller_us;
   ev.op_id = op_id < op_names_.size() ? op_id : 0;
+  ev.root_id = root_id < op_names_.size() ? root_id : 0;
   ev.batch = batch;
 
   if (ring_.size() < capacity_) {
@@ -152,13 +160,15 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
     ++dropped_;
   }
 
-  OpClassAggregate& agg = aggregates_[op_names_[ev.op_id]];
-  ++agg.requests;
-  agg.sectors += sectors;
-  agg.seek_us += seek_us;
-  agg.rotational_us += rotational_us;
-  agg.transfer_us += transfer_us;
-  agg.controller_us += controller_us;
+  for (OpClassAggregate* agg : {&aggregates_[op_names_[ev.op_id]],
+                                &root_aggregates_[op_names_[ev.root_id]]}) {
+    ++agg->requests;
+    agg->sectors += sectors;
+    agg->seek_us += seek_us;
+    agg->rotational_us += rotational_us;
+    agg->transfer_us += transfer_us;
+    agg->controller_us += controller_us;
+  }
 }
 
 std::vector<TraceEvent> DiskTracer::EventsLocked() const {
@@ -209,6 +219,21 @@ std::vector<std::pair<std::string, OpClassAggregate>> DiskTracer::Aggregates()
   return out;
 }
 
+OpClassAggregate DiskTracer::RootAggregateFor(std::string_view op_class) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = root_aggregates_.find(op_class);
+  return it == root_aggregates_.end() ? OpClassAggregate{} : it->second;
+}
+
+std::vector<std::pair<std::string, OpClassAggregate>>
+DiskTracer::RootAggregates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, OpClassAggregate>> out;
+  out.reserve(root_aggregates_.size());
+  for (const auto& [name, agg] : root_aggregates_) out.emplace_back(name, agg);
+  return out;
+}
+
 std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
   std::lock_guard<std::mutex> lock(mu_);
   ByteWriter w;
@@ -232,6 +257,7 @@ std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
     w.U64(ev.transfer_us);
     w.U64(ev.controller_us);
     w.U32(ev.op_id);
+    w.U32(ev.root_id);
     w.U32(ev.batch);
   }
   return w.Take();
@@ -241,9 +267,14 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   const std::vector<std::uint8_t> magic = r.Bytes(sizeof(kMagic));
-  if (!r.ok() ||
-      !std::equal(magic.begin(), magic.end(),
-                  reinterpret_cast<const std::uint8_t*>(kMagic))) {
+  const bool is_v3 =
+      r.ok() && std::equal(magic.begin(), magic.end(),
+                           reinterpret_cast<const std::uint8_t*>(kMagic));
+  const bool is_v2 =
+      r.ok() && !is_v3 &&
+      std::equal(magic.begin(), magic.end(),
+                 reinterpret_cast<const std::uint8_t*>(kMagicV2));
+  if (!is_v3 && !is_v2) {
     return MakeError(ErrorCode::kCorruptMetadata, "bad trace magic");
   }
 
@@ -277,19 +308,26 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     ev.transfer_us = r.U64();
     ev.controller_us = r.U64();
     ev.op_id = r.U32();
+    // V2 dumps predate the root-context column; the innermost context is
+    // the best available root for them.
+    ev.root_id = is_v3 ? r.U32() : ev.op_id;
     ev.batch = r.U32();
     if (!r.ok()) {
       return MakeError(ErrorCode::kCorruptMetadata, "truncated trace event");
     }
     if (ev.op_id >= tracer.op_names_.size()) ev.op_id = 0;
+    if (ev.root_id >= tracer.op_names_.size()) ev.root_id = 0;
     tracer.ring_.push_back(ev);
-    OpClassAggregate& agg = tracer.aggregates_[tracer.op_names_[ev.op_id]];
-    ++agg.requests;
-    agg.sectors += ev.sectors;
-    agg.seek_us += ev.seek_us;
-    agg.rotational_us += ev.rotational_us;
-    agg.transfer_us += ev.transfer_us;
-    agg.controller_us += ev.controller_us;
+    for (OpClassAggregate* agg :
+         {&tracer.aggregates_[tracer.op_names_[ev.op_id]],
+          &tracer.root_aggregates_[tracer.op_names_[ev.root_id]]}) {
+      ++agg->requests;
+      agg->sectors += ev.sectors;
+      agg->seek_us += ev.seek_us;
+      agg->rotational_us += ev.rotational_us;
+      agg->transfer_us += ev.transfer_us;
+      agg->controller_us += ev.controller_us;
+    }
   }
   tracer.next_seq_ = total;
   tracer.dropped_ = dropped;
@@ -334,13 +372,18 @@ Status DiskTracer::DumpJsonl(const std::string& path) const {
     const std::string_view op =
         ev.op_id < op_names_.size() ? std::string_view(op_names_[ev.op_id])
                                     : kNoContext;
+    const std::string_view root =
+        ev.root_id < op_names_.size() ? std::string_view(op_names_[ev.root_id])
+                                      : kNoContext;
     std::snprintf(
         line, sizeof(line),
         "{\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64
-        ",\"op\":\"%s\",\"kind\":\"%s\",\"lba\":%u,\"sectors\":%u,"
+        ",\"op\":\"%s\",\"root\":\"%s\",\"kind\":\"%s\",\"lba\":%u,"
+        "\"sectors\":%u,"
         "\"seek_us\":%" PRIu64 ",\"rot_us\":%" PRIu64 ",\"xfer_us\":%" PRIu64
         ",\"ctl_us\":%" PRIu64 ",\"batch\":%u}\n",
         ev.seq, ev.start_us, std::string(op).c_str(),
+        std::string(root).c_str(),
         std::string(DiskOpKindName(ev.kind)).c_str(), ev.lba, ev.sectors,
         ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us,
         ev.batch);
@@ -365,6 +408,7 @@ void DiskTracer::Reset() {
   // which is the point of a reset.
   tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   aggregates_.clear();
+  root_aggregates_.clear();
 }
 
 }  // namespace cedar::obs

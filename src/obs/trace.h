@@ -69,6 +69,12 @@ struct TraceEvent {
   // Index into the tracer's op-name table; 0 is the reserved "(none)"
   // context for requests issued outside any scoped FS operation.
   std::uint32_t op_id = 0;
+  // Outermost context of the issuing thread (the root of its ScopedOp
+  // stack). Lets an embedding layer — the workload replayer tags each
+  // driver thread with a tenant scope before calling into the FS — claim
+  // disk time that inner "fsd.*" scopes would otherwise win. Equal to
+  // op_id when the stack has one frame; 0 outside any scope.
+  std::uint32_t root_id = 0;
   // Scheduler-batch identity: requests issued inside one IoScheduler::Flush
   // share a nonzero id (unique per disk); 0 means the request was issued
   // directly, outside any batch. Requests within one batch have no ordering
@@ -142,10 +148,18 @@ class DiskTracer {
   OpClassAggregate AggregateFor(std::string_view op_class) const;
   // All op classes with at least one request, sorted by name.
   std::vector<std::pair<std::string, OpClassAggregate>> Aggregates() const;
+  // Same, keyed by the ROOT (outermost) context instead of the innermost.
+  // This is how the workload replayer splits disk time per tenant: the
+  // replayer's "wl.t<k>" root scope owns every request a driver thread
+  // issues, regardless of which internal "fsd.*" phase issued it. Daemon
+  // threads (group commit, checkpoint) have their own roots.
+  OpClassAggregate RootAggregateFor(std::string_view op_class) const;
+  std::vector<std::pair<std::string, OpClassAggregate>> RootAggregates() const;
 
-  // Serialization. The binary format is versioned ("CEDTRC02") and carries
-  // the op-name table plus the ring contents; LoadBinary reconstructs a
-  // tracer whose Events()/Aggregates() reflect the dumped ring.
+  // Serialization. The binary format is versioned ("CEDTRC03", carrying the
+  // root-context column; "CEDTRC02" dumps still load, with root = innermost)
+  // and holds the op-name table plus the ring contents; LoadBinary
+  // reconstructs a tracer whose Events()/Aggregates() reflect the dump.
   Status DumpBinary(const std::string& path) const;
   static Result<DiskTracer> LoadBinary(const std::string& path);
   Status DumpJsonl(const std::string& path) const;
@@ -177,6 +191,7 @@ class DiskTracer {
   std::deque<std::string> op_names_;
   std::map<std::string, std::uint32_t, std::less<>> op_ids_;
   std::map<std::string, OpClassAggregate, std::less<>> aggregates_;
+  std::map<std::string, OpClassAggregate, std::less<>> root_aggregates_;
 };
 
 // RAII op context. A null tracer makes it a no-op, so instrumented code

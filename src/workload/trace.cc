@@ -1,10 +1,41 @@
 #include "src/workload/trace.h"
 
+#include <algorithm>
 #include <charconv>
+#include <fstream>
+#include <iterator>
 #include <sstream>
+
+#include "src/util/serial.h"
 
 namespace cedar::workload {
 namespace {
+
+constexpr char kBinaryMagic[8] = {'C', 'E', 'D', 'W', 'R', 'K', '0', '1'};
+
+// CEDWRK01 wire types (low 3 bits of a tag byte).
+enum WireType : std::uint8_t {
+  kWireU8 = 0,
+  kWireU16 = 1,
+  kWireU32 = 2,
+  kWireU64 = 3,
+  kWireStr = 4,
+};
+
+// CEDWRK01 field ids (tag >> 3).
+enum FieldId : std::uint8_t {
+  kFieldOp = 1,      // u8
+  kFieldName = 2,    // str
+  kFieldArg0 = 3,    // u64
+  kFieldArg1 = 4,    // u64
+  kFieldArg2 = 5,    // u64
+  kFieldTenant = 6,  // u16
+  kFieldVtime = 7,   // u64
+};
+
+constexpr std::uint8_t Tag(FieldId id, WireType type) {
+  return static_cast<std::uint8_t>((id << 3) | type);
+}
 
 std::vector<std::uint8_t> Payload(std::uint64_t size, std::uint64_t seed) {
   std::vector<std::uint8_t> out(size);
@@ -181,91 +212,238 @@ Result<std::vector<TraceEntry>> ParseTrace(std::string_view text) {
   return entries;
 }
 
-Result<ReplayStats> ReplayTrace(
-    fs::FileSystem* file_system, std::span<const TraceEntry> entries,
-    const std::function<Status(sim::Micros)>& advance) {
-  ReplayStats stats;
-  auto tolerate = [&stats](const Status& status) {
+std::vector<std::uint8_t> SerializeTraceBinary(
+    std::span<const TraceEntry> entries) {
+  ByteWriter w;
+  w.Bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kBinaryMagic),
+      sizeof(kBinaryMagic)));
+  w.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const TraceEntry& entry : entries) {
+    w.U8(7);  // field count
+    w.U8(Tag(kFieldOp, kWireU8));
+    w.U8(static_cast<std::uint8_t>(entry.op));
+    w.U8(Tag(kFieldName, kWireStr));
+    w.Str(entry.name);
+    w.U8(Tag(kFieldArg0, kWireU64));
+    w.U64(entry.arg0);
+    w.U8(Tag(kFieldArg1, kWireU64));
+    w.U64(entry.arg1);
+    w.U8(Tag(kFieldArg2, kWireU64));
+    w.U64(entry.arg2);
+    w.U8(Tag(kFieldTenant, kWireU16));
+    w.U16(entry.tenant);
+    w.U8(Tag(kFieldVtime, kWireU64));
+    w.U64(entry.vtime_us);
+  }
+  return w.Take();
+}
+
+Result<std::vector<TraceEntry>> ParseTraceBinary(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::vector<std::uint8_t> magic = r.Bytes(sizeof(kBinaryMagic));
+  if (!r.ok() ||
+      !std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const std::uint8_t*>(kBinaryMagic))) {
+    return MakeError(ErrorCode::kCorruptMetadata, "bad workload trace magic");
+  }
+  const std::uint32_t count = r.U32();
+  std::vector<TraceEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceEntry entry;
+    const std::uint8_t nfields = r.U8();
+    for (std::uint8_t f = 0; f < nfields && r.ok(); ++f) {
+      const std::uint8_t tag = r.U8();
+      const auto wire = static_cast<WireType>(tag & 0x7);
+      const std::uint8_t field = tag >> 3;
+      // Read the value by wire type first, so unknown fields are skipped
+      // correctly regardless of what they mean.
+      std::uint64_t scalar = 0;
+      std::string str;
+      switch (wire) {
+        case kWireU8:
+          scalar = r.U8();
+          break;
+        case kWireU16:
+          scalar = r.U16();
+          break;
+        case kWireU32:
+          scalar = r.U32();
+          break;
+        case kWireU64:
+          scalar = r.U64();
+          break;
+        case kWireStr:
+          str = r.Str();
+          break;
+        default:
+          return MakeError(ErrorCode::kCorruptMetadata,
+                           "workload trace entry " + std::to_string(i) +
+                               ": unknown wire type " +
+                               std::to_string(tag & 0x7));
+      }
+      switch (field) {
+        case kFieldOp:
+          if (scalar > static_cast<std::uint64_t>(TraceOp::kAdvance)) {
+            return MakeError(ErrorCode::kCorruptMetadata,
+                             "workload trace entry " + std::to_string(i) +
+                                 ": bad op code");
+          }
+          entry.op = static_cast<TraceOp>(scalar);
+          break;
+        case kFieldName:
+          entry.name = std::move(str);
+          break;
+        case kFieldArg0:
+          entry.arg0 = scalar;
+          break;
+        case kFieldArg1:
+          entry.arg1 = scalar;
+          break;
+        case kFieldArg2:
+          entry.arg2 = scalar;
+          break;
+        case kFieldTenant:
+          entry.tenant = static_cast<std::uint16_t>(scalar);
+          break;
+        case kFieldVtime:
+          entry.vtime_us = scalar;
+          break;
+        default:
+          break;  // unknown field from a newer writer: already skipped
+      }
+    }
+    if (!r.ok()) {
+      return MakeError(ErrorCode::kCorruptMetadata,
+                       "truncated workload trace at entry " +
+                           std::to_string(i));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status SaveTraceBinary(const std::string& path,
+                       std::span<const TraceEntry> entries) {
+  const std::vector<std::uint8_t> bytes = SerializeTraceBinary(entries);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "cannot open trace file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return MakeError(ErrorCode::kInternal, "short write to trace file");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<TraceEntry>> LoadTraceBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return MakeError(ErrorCode::kNotFound, "cannot open trace file: " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return ParseTraceBinary(bytes);
+}
+
+Status ApplyTraceOp(fs::FileSystem* file_system, const TraceEntry& entry,
+                    ReplayStats* stats,
+                    const std::function<Status(sim::Micros)>& advance) {
+  ++stats->ops;
+  auto tolerate = [stats](const Status& status) {
     if (status.code() == ErrorCode::kNotFound) {
-      ++stats.not_found;
+      ++stats->not_found;
       return OkStatus();
     }
     return status;
   };
 
-  for (const TraceEntry& entry : entries) {
-    ++stats.ops;
-    switch (entry.op) {
-      case TraceOp::kCreate:
-        CEDAR_RETURN_IF_ERROR(
-            file_system->CreateFile(entry.name, Payload(entry.arg0, entry.arg1))
-                .status());
-        break;
-      case TraceOp::kOpen:
-        CEDAR_RETURN_IF_ERROR(tolerate(file_system->Open(entry.name).status()));
-        break;
-      case TraceOp::kClose: {
-        auto handle = file_system->Open(entry.name);
-        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
-        if (handle.ok()) {
-          CEDAR_RETURN_IF_ERROR(file_system->Close(*handle));
-        }
-        break;
+  switch (entry.op) {
+    case TraceOp::kCreate:
+      CEDAR_RETURN_IF_ERROR(
+          file_system->CreateFile(entry.name, Payload(entry.arg0, entry.arg1))
+              .status());
+      break;
+    case TraceOp::kOpen:
+      CEDAR_RETURN_IF_ERROR(tolerate(file_system->Open(entry.name).status()));
+      break;
+    case TraceOp::kClose: {
+      auto handle = file_system->Open(entry.name);
+      CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+      if (handle.ok()) {
+        CEDAR_RETURN_IF_ERROR(file_system->Close(*handle));
       }
-      case TraceOp::kRead: {
-        auto handle = file_system->Open(entry.name);
-        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
-        if (handle.ok()) {
-          const std::uint64_t end =
-              std::min(handle->byte_size, entry.arg0 + entry.arg1);
-          if (end > entry.arg0) {
-            std::vector<std::uint8_t> out(end - entry.arg0);
-            CEDAR_RETURN_IF_ERROR(file_system->Read(*handle, entry.arg0, out));
-          }
-        }
-        break;
-      }
-      case TraceOp::kWrite: {
-        auto handle = file_system->Open(entry.name);
-        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
-        if (handle.ok()) {
-          const std::uint64_t end =
-              std::min(handle->byte_size, entry.arg0 + entry.arg1);
-          if (end > entry.arg0) {
-            CEDAR_RETURN_IF_ERROR(file_system->Write(
-                *handle, entry.arg0, Payload(end - entry.arg0, entry.arg2)));
-          }
-        }
-        break;
-      }
-      case TraceOp::kExtend: {
-        auto handle = file_system->Open(entry.name);
-        CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
-        if (handle.ok()) {
-          CEDAR_RETURN_IF_ERROR(file_system->Extend(*handle, entry.arg0));
-        }
-        break;
-      }
-      case TraceOp::kDelete:
-        CEDAR_RETURN_IF_ERROR(tolerate(file_system->DeleteFile(entry.name)));
-        break;
-      case TraceOp::kList:
-        CEDAR_RETURN_IF_ERROR(file_system->List(entry.name).status());
-        break;
-      case TraceOp::kTouch:
-        CEDAR_RETURN_IF_ERROR(tolerate(file_system->Touch(entry.name)));
-        break;
-      case TraceOp::kSetKeep:
-        CEDAR_RETURN_IF_ERROR(tolerate(file_system->SetKeep(
-            entry.name, static_cast<std::uint16_t>(entry.arg0))));
-        break;
-      case TraceOp::kForce:
-        CEDAR_RETURN_IF_ERROR(file_system->Force());
-        break;
-      case TraceOp::kAdvance:
-        CEDAR_RETURN_IF_ERROR(advance(entry.arg0 * sim::kMillisecond));
-        break;
+      break;
     }
+    case TraceOp::kRead: {
+      auto handle = file_system->Open(entry.name);
+      CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+      if (handle.ok()) {
+        const std::uint64_t end =
+            std::min(handle->byte_size, entry.arg0 + entry.arg1);
+        if (end > entry.arg0) {
+          std::vector<std::uint8_t> out(end - entry.arg0);
+          CEDAR_RETURN_IF_ERROR(file_system->Read(*handle, entry.arg0, out));
+        }
+      }
+      break;
+    }
+    case TraceOp::kWrite: {
+      auto handle = file_system->Open(entry.name);
+      CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+      if (handle.ok()) {
+        const std::uint64_t end =
+            std::min(handle->byte_size, entry.arg0 + entry.arg1);
+        if (end > entry.arg0) {
+          CEDAR_RETURN_IF_ERROR(file_system->Write(
+              *handle, entry.arg0, Payload(end - entry.arg0, entry.arg2)));
+        }
+      }
+      break;
+    }
+    case TraceOp::kExtend: {
+      auto handle = file_system->Open(entry.name);
+      CEDAR_RETURN_IF_ERROR(tolerate(handle.status()));
+      if (handle.ok()) {
+        CEDAR_RETURN_IF_ERROR(file_system->Extend(*handle, entry.arg0));
+      }
+      break;
+    }
+    case TraceOp::kDelete:
+      CEDAR_RETURN_IF_ERROR(tolerate(file_system->DeleteFile(entry.name)));
+      break;
+    case TraceOp::kList:
+      CEDAR_RETURN_IF_ERROR(file_system->List(entry.name).status());
+      break;
+    case TraceOp::kTouch:
+      CEDAR_RETURN_IF_ERROR(tolerate(file_system->Touch(entry.name)));
+      break;
+    case TraceOp::kSetKeep:
+      CEDAR_RETURN_IF_ERROR(tolerate(file_system->SetKeep(
+          entry.name, static_cast<std::uint16_t>(entry.arg0))));
+      break;
+    case TraceOp::kForce:
+      CEDAR_RETURN_IF_ERROR(file_system->Force());
+      break;
+    case TraceOp::kAdvance:
+      CEDAR_RETURN_IF_ERROR(advance(entry.arg0 * sim::kMillisecond));
+      break;
+  }
+  return OkStatus();
+}
+
+Result<ReplayStats> ReplayTrace(
+    fs::FileSystem* file_system, std::span<const TraceEntry> entries,
+    const std::function<Status(sim::Micros)>& advance) {
+  ReplayStats stats;
+  for (const TraceEntry& entry : entries) {
+    CEDAR_RETURN_IF_ERROR(ApplyTraceOp(file_system, entry, &stats, advance));
   }
   return stats;
 }

@@ -19,6 +19,13 @@
 // Payloads are derived deterministically from <seed>, so replaying the same
 // trace on two systems must produce byte-identical file contents — the
 // property the cross-system tests and benchmark comparisons rely on.
+//
+// Besides the text format there is a versioned binary format, "CEDWRK01",
+// which additionally carries a tenant id and a virtual timestamp per entry
+// (the text format ignores both). Every field in a binary entry is
+// tag-prefixed and self-sizing, so readers skip fields they do not know —
+// a CEDWRK01 reader stays compatible with traces recorded by future
+// writers that append new fields. See SerializeTraceBinary for the layout.
 
 #ifndef CEDAR_WORKLOAD_TRACE_H_
 #define CEDAR_WORKLOAD_TRACE_H_
@@ -56,6 +63,12 @@ struct TraceEntry {
   std::uint64_t arg0 = 0;  // bytes / offset / count / milliseconds
   std::uint64_t arg1 = 0;  // length / seed
   std::uint64_t arg2 = 0;  // seed (kWrite)
+  // Binary-format-only metadata (the text format carries neither):
+  std::uint16_t tenant = 0;     // issuing tenant (replay maps to a prefix)
+  std::uint64_t vtime_us = 0;   // virtual time the op was recorded at;
+                                // open-loop replay paces on the deltas
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
 };
 
 // Serializes a trace to the text format above.
@@ -65,10 +78,38 @@ std::string FormatTrace(std::span<const TraceEntry> entries);
 // names the line number).
 Result<std::vector<TraceEntry>> ParseTrace(std::string_view text);
 
+// ---- CEDWRK01 binary trace format. ----
+//
+// Layout: 8-byte magic "CEDWRK01", u32 entry count, then per entry a u8
+// field count followed by that many tagged fields. A tag byte is
+// (field_id << 3) | wire_type with wire types 0=u8, 1=u16, 2=u32, 3=u64,
+// 4=string (u16 length + bytes). Readers skip unknown field ids by wire
+// type, which is the forward-compatibility contract pinned in tests.
+std::vector<std::uint8_t> SerializeTraceBinary(
+    std::span<const TraceEntry> entries);
+Result<std::vector<TraceEntry>> ParseTraceBinary(
+    std::span<const std::uint8_t> bytes);
+Status SaveTraceBinary(const std::string& path,
+                       std::span<const TraceEntry> entries);
+Result<std::vector<TraceEntry>> LoadTraceBinary(const std::string& path);
+
 struct ReplayStats {
   std::uint64_t ops = 0;
   std::uint64_t not_found = 0;  // opens/deletes of absent files (tolerated)
+
+  void Merge(const ReplayStats& other) {
+    ops += other.ops;
+    not_found += other.not_found;
+  }
 };
+
+// Applies one trace entry to `file_system` (kAdvance goes through
+// `advance`). Exactly the per-entry semantics of ReplayTrace — kNotFound
+// from open-like ops is tolerated and counted, read/write ranges clamp to
+// the file's current size. The multi-threaded replayer drives this per op.
+Status ApplyTraceOp(fs::FileSystem* file_system, const TraceEntry& entry,
+                    ReplayStats* stats,
+                    const std::function<Status(sim::Micros)>& advance);
 
 // Replays a trace. `advance` receives kAdvance think time (wire it to the
 // virtual clock plus the system's Tick). Fails on any unexpected error;

@@ -14,8 +14,10 @@
 #include "src/bsd/ffs.h"
 #include "src/cfs/cfs.h"
 #include "src/core/fsd.h"
+#include "src/obs/benchcmp.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/json.h"
 #include "src/sim/clock.h"
 #include "src/sim/disk.h"
 
@@ -403,6 +405,171 @@ TEST(FsObservabilityTest, CfsCloseReleasesOpenState) {
   // still succeeds; a reopen then reports the file as absent.
   CEDAR_CHECK_OK(cfs.DeleteFile("x/f"));
   EXPECT_FALSE(cfs.Open("x/f").ok());
+}
+
+// ---- HistogramData::Percentile (log2-bucket interpolation). ----
+
+TEST(HistogramPercentileTest, InterpolatesAndClampsToObservedRange) {
+  MetricsRegistry single;
+  for (int i = 0; i < 100; ++i) {
+    single.GetHistogram("h")->Record(1000);
+  }
+  const MetricsSnapshot::HistogramData data =
+      single.Snapshot().histograms[0];
+  // Single-value distribution: every percentile is that value.
+  EXPECT_EQ(data.Percentile(0.50), 1000u);
+  EXPECT_EQ(data.Percentile(0.99), 1000u);
+
+  MetricsRegistry registry;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    registry.GetHistogram("s")->Record(v);
+  }
+  const auto sdata = registry.Snapshot().histograms[0];
+  // Log2 buckets are coarse; the percentile must land in the right bucket.
+  EXPECT_GE(sdata.Percentile(0.50), 256u);
+  EXPECT_LE(sdata.Percentile(0.50), 1000u);
+  EXPECT_GE(sdata.Percentile(0.99), sdata.Percentile(0.50));
+  EXPECT_LE(sdata.Percentile(1.0), 1000u);
+  EXPECT_EQ(MetricsSnapshot::HistogramData{}.Percentile(0.5), 0u);
+}
+
+// ---- Root-context attribution (the workload replayer's tenant split). ----
+
+TEST(DiskTracerRootTest, OutermostScopeClaimsTheRootAggregate) {
+  sim::VirtualClock clock;
+  sim::SimDisk disk(sim::TestGeometry(), sim::DiskTimingParams{}, &clock);
+  DiskTracer tracer;
+  disk.set_tracer(&tracer);
+  std::vector<std::uint8_t> page(512, 0xCD);
+  {
+    obs::ScopedOp root(&tracer, "wl.t1");
+    {
+      obs::ScopedOp inner(&tracer, "fsd.force");
+      CEDAR_CHECK_OK(disk.Write(100, page));
+    }
+  }
+  {
+    obs::ScopedOp root(&tracer, "wl.t2");
+    CEDAR_CHECK_OK(disk.Write(200, page));
+  }
+  // Innermost wins op attribution; outermost wins root attribution.
+  EXPECT_EQ(tracer.AggregateFor("fsd.force").requests, 1u);
+  EXPECT_EQ(tracer.RootAggregateFor("wl.t1").requests, 1u);
+  EXPECT_EQ(tracer.RootAggregateFor("wl.t2").requests, 1u);
+  EXPECT_EQ(tracer.RootAggregateFor("fsd.force").requests, 0u);
+
+  // root_id survives the binary roundtrip.
+  const std::string path = ::testing::TempDir() + "/obs_root_trace.bin";
+  CEDAR_CHECK_OK(tracer.DumpBinary(path));
+  auto reloaded = DiskTracer::LoadBinary(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().message();
+  EXPECT_EQ(reloaded->RootAggregateFor("wl.t1").requests, 1u);
+  EXPECT_EQ(reloaded->RootAggregateFor("wl.t2").requests, 1u);
+  std::remove(path.c_str());
+}
+
+// ---- The perf-gate comparison engine. ----
+
+namespace benchcmp {
+
+util::JsonValue Report(double throughput, double latency) {
+  auto metrics = util::JsonValue::Object();
+  auto higher = util::JsonValue::Object();
+  higher.Set("value", util::JsonValue::Number(throughput));
+  higher.Set("direction", util::JsonValue::String("higher"));
+  metrics.Set("ops_per_vsec", std::move(higher));
+  auto lower = util::JsonValue::Object();
+  lower.Set("value", util::JsonValue::Number(latency));
+  lower.Set("direction", util::JsonValue::String("lower"));
+  metrics.Set("seek_ms", std::move(lower));
+  auto report = util::JsonValue::Object();
+  report.Set("schema_version",
+             util::JsonValue::Number(obs::kBenchSchemaVersion));
+  report.Set("bench", util::JsonValue::String("t"));
+  report.Set("config_digest", util::JsonValue::String("cafe0001"));
+  report.Set("metrics", std::move(metrics));
+  return report;
+}
+
+}  // namespace benchcmp
+
+TEST(BenchCmpTest, GatesBothDirectionsAtTolerance) {
+  const util::JsonValue base = benchcmp::Report(100, 50);
+  // Within 10%: passes.
+  auto ok_cmp = obs::CompareBenchReports(base, benchcmp::Report(91, 54));
+  ASSERT_TRUE(ok_cmp.ok());
+  EXPECT_FALSE(ok_cmp.value().regression);
+  // Throughput drop beyond 10%: regression (higher-is-better).
+  auto drop = obs::CompareBenchReports(base, benchcmp::Report(85, 50));
+  ASSERT_TRUE(drop.ok());
+  EXPECT_TRUE(drop.value().regression);
+  // Disk-time rise beyond 10%: regression (lower-is-better).
+  auto rise = obs::CompareBenchReports(base, benchcmp::Report(100, 60));
+  ASSERT_TRUE(rise.ok());
+  EXPECT_TRUE(rise.value().regression);
+  // Improvements never regress.
+  auto better = obs::CompareBenchReports(base, benchcmp::Report(150, 20));
+  ASSERT_TRUE(better.ok());
+  EXPECT_FALSE(better.value().regression);
+}
+
+TEST(BenchCmpTest, RefusesIncomparableReports) {
+  const util::JsonValue base = benchcmp::Report(100, 50);
+  util::JsonValue other_schema = benchcmp::Report(100, 50);
+  other_schema.Set("schema_version", util::JsonValue::Number(1));
+  EXPECT_FALSE(obs::CompareBenchReports(base, other_schema).ok());
+  util::JsonValue no_schema = benchcmp::Report(100, 50);
+  no_schema.Set("schema_version", util::JsonValue::Null());
+  EXPECT_FALSE(obs::CompareBenchReports(base, no_schema).ok());
+  util::JsonValue other_bench = benchcmp::Report(100, 50);
+  other_bench.Set("bench", util::JsonValue::String("u"));
+  EXPECT_FALSE(obs::CompareBenchReports(base, other_bench).ok());
+  util::JsonValue other_digest = benchcmp::Report(100, 50);
+  other_digest.Set("config_digest", util::JsonValue::String("deadbeef"));
+  auto refused = obs::CompareBenchReports(base, other_digest);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("regenerate"),
+            std::string::npos);
+}
+
+TEST(BenchCmpTest, MissingGatedMetricIsARegression) {
+  const util::JsonValue base = benchcmp::Report(100, 50);
+  util::JsonValue renamed = benchcmp::Report(100, 50);
+  // Simulate a rename: drop "ops_per_vsec" by rebuilding metrics.
+  auto metrics = util::JsonValue::Object();
+  auto lower = util::JsonValue::Object();
+  lower.Set("value", util::JsonValue::Number(50));
+  lower.Set("direction", util::JsonValue::String("lower"));
+  metrics.Set("seek_ms", std::move(lower));
+  renamed.Set("metrics", std::move(metrics));
+  auto cmp = obs::CompareBenchReports(base, renamed);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(cmp.value().regression);
+
+  // A brand-new candidate metric is noted, never gated.
+  util::JsonValue extra = benchcmp::Report(100, 50);
+  auto added = util::JsonValue::Object();
+  added.Set("value", util::JsonValue::Number(7));
+  added.Set("direction", util::JsonValue::String("higher"));
+  const_cast<util::JsonValue*>(extra.Find("metrics"))
+      ->Set("brand_new", std::move(added));
+  auto cmp2 = obs::CompareBenchReports(base, extra);
+  ASSERT_TRUE(cmp2.ok());
+  EXPECT_FALSE(cmp2.value().regression);
+  EXPECT_FALSE(cmp2.value().notes.empty());
+}
+
+TEST(BenchCmpTest, DeltaTableNamesRegressedMetrics) {
+  const util::JsonValue base = benchcmp::Report(100, 50);
+  auto cmp = obs::CompareBenchReports(base, benchcmp::Report(50, 50));
+  ASSERT_TRUE(cmp.ok());
+  const std::string text = obs::FormatDeltaTable(cmp.value(), false);
+  EXPECT_NE(text.find("ops_per_vsec"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  const std::string md = obs::FormatDeltaTable(cmp.value(), true);
+  EXPECT_NE(md.find("| metric |"), std::string::npos);
+  EXPECT_NE(md.find("**REGRESSED**"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/util/crc32.h"
+#include "src/util/json.h"
 #include "src/util/random.h"
 #include "src/util/serial.h"
 #include "src/util/status.h"
@@ -185,6 +186,59 @@ TEST(RngTest, DoubleInUnitInterval) {
     sum += d;
   }
   EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  auto parsed = util::ParseJson(
+      R"({"n": 3.5, "i": -12, "s": "a\"b\n", "t": true, "z": null,
+          "arr": [1, 2, 3], "obj": {"k": "v"}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const util::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.NumberOr("n", 0), 3.5);
+  EXPECT_EQ(root.NumberOr("i", 0), -12);
+  EXPECT_EQ(root.StringOr("s", ""), "a\"b\n");
+  ASSERT_NE(root.Find("t"), nullptr);
+  EXPECT_TRUE(root.Find("t")->AsBool());
+  EXPECT_TRUE(root.Find("z")->is_null());
+  ASSERT_NE(root.Find("arr"), nullptr);
+  EXPECT_EQ(root.Find("arr")->items().size(), 3u);
+  EXPECT_EQ(root.Find("obj")->StringOr("k", ""), "v");
+}
+
+TEST(JsonTest, RejectsMalformedInputWithOffset) {
+  for (const char* bad :
+       {"{", "[1,]", "{\"a\": }", "tru", "\"unterminated", "1 2", ""}) {
+    auto parsed = util::ParseJson(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+  auto parsed = util::ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, DumpParseRoundTrips) {
+  auto obj = util::JsonValue::Object();
+  obj.Set("name", util::JsonValue::String("bench"));
+  obj.Set("count", util::JsonValue::Number(42));
+  obj.Set("ratio", util::JsonValue::Number(0.125));
+  auto arr = util::JsonValue::Array();
+  arr.Append(util::JsonValue::Bool(false));
+  arr.Append(util::JsonValue::Null());
+  obj.Set("tail", std::move(arr));
+  auto reparsed = util::ParseJson(obj.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed.value().StringOr("name", ""), "bench");
+  EXPECT_EQ(reparsed.value().NumberOr("count", 0), 42);
+  EXPECT_EQ(reparsed.value().NumberOr("ratio", 0), 0.125);
+  EXPECT_EQ(reparsed.value().Find("tail")->items().size(), 2u);
+}
+
+TEST(JsonTest, SetReplacesExistingKeys) {
+  auto obj = util::JsonValue::Object();
+  obj.Set("k", util::JsonValue::Number(1));
+  obj.Set("k", util::JsonValue::Number(2));
+  EXPECT_EQ(obj.members().size(), 1u);
+  EXPECT_EQ(obj.NumberOr("k", 0), 2);
 }
 
 }  // namespace

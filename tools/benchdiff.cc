@@ -1,0 +1,117 @@
+// benchdiff: the CI perf gate's comparison step.
+//
+//   benchdiff <baseline.json> <candidate.json> [--tolerance 0.10]
+//             [--markdown]
+//
+// Loads two BENCH_*.json reports (bench/bench_json.h schema), runs
+// obs::CompareBenchReports, and prints the per-metric delta table
+// (--markdown renders a GitHub table for $GITHUB_STEP_SUMMARY). Exit
+// codes: 0 comparison ran and passed, 1 a gated metric regressed, 2 the
+// reports were refused (schema/bench/config-digest mismatch) or unreadable
+// — CI treats both nonzero codes as a failed gate.
+//
+//   benchdiff --selftest    exercise pass/regress/refuse in-process
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/benchcmp.h"
+#include "src/util/json.h"
+
+namespace {
+
+using cedar::obs::BenchComparison;
+using cedar::obs::CompareBenchReports;
+using cedar::obs::FormatDeltaTable;
+using cedar::util::JsonValue;
+
+JsonValue MakeReport(double throughput) {
+  auto metric = JsonValue::Object();
+  metric.Set("value", JsonValue::Number(throughput));
+  metric.Set("direction", JsonValue::String("higher"));
+  auto metrics = JsonValue::Object();
+  metrics.Set("ops_per_vsec", std::move(metric));
+  auto report = JsonValue::Object();
+  report.Set("schema_version",
+             JsonValue::Number(cedar::obs::kBenchSchemaVersion));
+  report.Set("bench", JsonValue::String("selftest"));
+  report.Set("config_digest", JsonValue::String("0000beef"));
+  report.Set("metrics", std::move(metrics));
+  return report;
+}
+
+int Selftest() {
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    std::printf("benchdiff selftest: %-32s %s\n", what, cond ? "ok" : "FAIL");
+    failures += cond ? 0 : 1;
+  };
+  const JsonValue base = MakeReport(100);
+  auto same = CompareBenchReports(base, MakeReport(95));
+  expect(same.ok() && !same.value().regression, "within tolerance passes");
+  auto worse = CompareBenchReports(base, MakeReport(80));
+  expect(worse.ok() && worse.value().regression, "20% drop regresses");
+  JsonValue tampered = MakeReport(100);
+  tampered.Set("config_digest", JsonValue::String("deadbeef"));
+  expect(!CompareBenchReports(base, tampered).ok(),
+         "digest mismatch refused");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) {
+    return Selftest();
+  }
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  double tolerance = cedar::obs::kDefaultTolerance;
+  bool markdown = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--markdown") == 0) {
+      markdown = true;
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      std::fprintf(stderr, "benchdiff: too many arguments\n");
+      return 2;
+    }
+  }
+  if (candidate_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: benchdiff <baseline.json> <candidate.json> "
+                 "[--tolerance T] [--markdown]\n");
+    return 2;
+  }
+
+  auto baseline = cedar::util::LoadJsonFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "benchdiff: %s\n",
+                 baseline.status().message().c_str());
+    return 2;
+  }
+  auto candidate = cedar::util::LoadJsonFile(candidate_path);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "benchdiff: %s\n",
+                 candidate.status().message().c_str());
+    return 2;
+  }
+  auto comparison =
+      CompareBenchReports(baseline.value(), candidate.value(), tolerance);
+  if (!comparison.ok()) {
+    std::fprintf(stderr, "%s\n", comparison.status().message().c_str());
+    return 2;
+  }
+  std::printf("%s", FormatDeltaTable(comparison.value(), markdown).c_str());
+  return comparison.value().regression ? 1 : 0;
+}
