@@ -85,8 +85,8 @@ Ffs::Ffs(sim::SimDisk* disk, FfsConfig config)
   const sim::DiskGeometry& g = disk_->geometry();
   blocks_per_group_ = config_.cylinders_per_group * g.SectorsPerCylinder() /
                       config_.sectors_per_block;
-  const std::uint32_t all_blocks =
-      g.TotalSectors() / config_.sectors_per_block;
+  const auto all_blocks =
+      static_cast<std::uint32_t>(g.TotalSectors() / config_.sectors_per_block);
   group_count_ = all_blocks / blocks_per_group_;
   CEDAR_CHECK(group_count_ >= 2);
   total_blocks_ = group_count_ * blocks_per_group_;

@@ -34,7 +34,8 @@ std::vector<std::uint8_t> SerializeNtEntry(fs::FileUid uid,
                                            std::uint16_t keep) {
   ByteWriter w;
   w.U64(uid);
-  w.U32(header_lba);
+  // Wire stays 32-bit; CFS volumes sit on single spindles well under 2^32.
+  w.U32(static_cast<std::uint32_t>(header_lba));
   w.U16(keep);
   return w.Take();
 }
@@ -133,7 +134,8 @@ Cfs::~Cfs() = default;
 
 std::uint32_t Cfs::VamSectors() const {
   // 1 header sector + 1 bit per sector of the volume, 4096 bits per sector.
-  return 1 + (disk_->geometry().TotalSectors() + 4095) / 4096;
+  return static_cast<std::uint32_t>(
+      1 + (disk_->geometry().TotalSectors() + 4095) / 4096);
 }
 
 void Cfs::ChargeOp() const { disk_->clock().AdvanceCpu(config_.cpu_per_op); }
@@ -144,7 +146,8 @@ void Cfs::ChargeSectors(std::uint64_t n) const {
 
 Status Cfs::Format() {
   obs::ScopedOp op_scope(disk_->tracer(), "cfs.format");
-  const std::uint32_t total = disk_->geometry().TotalSectors();
+  const auto total =
+      static_cast<std::uint32_t>(disk_->geometry().TotalSectors());
   if (DataBase() >= total) {
     return MakeError(ErrorCode::kInvalidArgument, "volume too small");
   }
@@ -1047,7 +1050,7 @@ Status Cfs::Scavenge() {
   c_.scavenges->Increment();
   // Phase 1: read every label on the volume, one request per track.
   const sim::DiskGeometry& g = disk_->geometry();
-  const std::uint32_t total = g.TotalSectors();
+  const auto total = static_cast<std::uint32_t>(g.TotalSectors());
   std::vector<sim::Label> all_labels(total);
   const std::uint32_t spt = g.sectors_per_track;
   for (sim::Lba track = 0; track < total; track += spt) {

@@ -19,6 +19,8 @@
 
 #include "src/core/vam.h"
 #include "src/fsapi/extent.h"
+#include "src/sim/geometry.h"
+#include "src/util/check.h"
 #include "src/util/status.h"
 
 namespace cedar::core {
@@ -28,12 +30,18 @@ class RunAllocator {
   // Entries larger than this many runs no longer fit in a name-table page.
   static constexpr std::size_t kMaxRuns = 16;
 
-  RunAllocator(Vam* vam, std::uint32_t data_low, std::uint32_t data_high,
+  // Bounds arrive as 64-bit device LBAs (FsdLayout fields); the layout
+  // bounds a volume to 2^31 sectors, so run starts still fit the 32-bit
+  // on-disk extent encoding — checked here, not silently truncated.
+  RunAllocator(Vam* vam, sim::Lba data_low, sim::Lba data_high,
                std::uint32_t big_threshold_sectors)
       : vam_(vam),
-        data_low_(data_low),
-        data_high_(data_high),
-        big_threshold_(big_threshold_sectors) {}
+        data_low_(static_cast<std::uint32_t>(data_low)),
+        data_high_(static_cast<std::uint32_t>(data_high)),
+        big_threshold_(big_threshold_sectors) {
+    CEDAR_CHECK(data_high <= (std::uint64_t{1} << 31) &&
+                data_low <= data_high);
+  }
 
   // Allocates `sectors` sectors (leader included) and marks them used.
   // Tries one contiguous run first, then splits, never exceeding kMaxRuns

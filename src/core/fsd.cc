@@ -295,7 +295,7 @@ class Fsd::NtStore : public btree::PageStore {
   std::atomic<std::uint32_t> seq_clock_{0};
 };
 
-Fsd::Fsd(sim::SimDisk* disk, FsdConfig config)
+Fsd::Fsd(sim::BlockDevice* disk, FsdConfig config)
     : disk_(disk),
       config_(config),
       layout_(FsdLayout::Compute(disk->geometry(), config)),
@@ -1261,8 +1261,9 @@ Status Fsd::SaveRemapTable() {
   w.U32(kRemapMagic);
   w.U32(static_cast<std::uint32_t>(entries.size()));
   for (const auto& [from, to] : entries) {
-    w.U32(from);
-    w.U32(to);
+    // Wire stays 32-bit: volume LBAs are bounded to 2^31 by FsdLayout.
+    w.U32(static_cast<std::uint32_t>(from));
+    w.U32(static_cast<std::uint32_t>(to));
   }
   std::vector<std::uint8_t> dir = w.Take();
   const std::uint32_t crc = Crc32(dir);

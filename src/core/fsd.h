@@ -55,7 +55,7 @@
 #include "src/core/vam.h"
 #include "src/fsapi/file_system.h"
 #include "src/obs/metrics.h"
-#include "src/sim/disk.h"
+#include "src/sim/device.h"
 #include "src/sim/scheduler.h"
 #include "src/util/lockrank.h"
 
@@ -193,7 +193,7 @@ struct FsckReport {
 // force_mu_ and close the gate for their whole run.
 class Fsd : public fs::FileSystem {
  public:
-  explicit Fsd(sim::SimDisk* disk, FsdConfig config = {});
+  explicit Fsd(sim::BlockDevice* disk, FsdConfig config = {});
   ~Fsd() override;
 
   // Initializes an empty volume and leaves it mounted.
@@ -250,7 +250,7 @@ class Fsd : public fs::FileSystem {
   // Moves the highest version of `from` to `to` (becoming to's next
   // version); the uid is unchanged, so open handles keep working. Takes
   // both name shards in index order — the one cross-shard operation.
-  Status Rename(std::string_view from, std::string_view to);
+  Status Rename(std::string_view from, std::string_view to) override;
 
   // Drives the half-second group-commit timer; benchmarks and tests call
   // this after advancing virtual time (every public op also checks).
@@ -504,7 +504,7 @@ class Fsd : public fs::FileSystem {
   // replay the batch per-write through the repair/remap path instead of
   // failing the whole operation. Queued spans are borrowed until Flush.
   struct HomeBatch {
-    HomeBatch(sim::SimDisk* disk, bool reorder) : sched(disk, reorder) {}
+    HomeBatch(sim::BlockDevice* disk, bool reorder) : sched(disk, reorder) {}
     void QueueWrite(sim::Lba lba, std::span<const std::uint8_t> image) {
       sched.QueueWrite(lba, image);
       writes.emplace_back(lba, image);
@@ -624,7 +624,7 @@ class Fsd : public fs::FileSystem {
   // Records a successful piggyback leader verification on the open handle.
   void MarkLeaderVerified(fs::FileUid uid);
 
-  sim::SimDisk* disk_;
+  sim::BlockDevice* disk_;
   FsdConfig config_;
   FsdLayout layout_;
 

@@ -166,13 +166,17 @@ struct FsdLayout {
   static FsdLayout Compute(const sim::DiskGeometry& geometry,
                            const FsdConfig& config) {
     FsdLayout layout;
+    // Leader cache keys reserve bit 31 (Fsd::kLeaderKeyBit), so one FSD
+    // volume is bounded to 2^31 sectors (1 TiB). Larger devices are sharded
+    // across volumes by the router in src/volume.
+    CEDAR_CHECK(geometry.TotalSectors() <= (std::uint64_t{1} << 31));
     layout.root_lba = 0;
     layout.vam_base = 4;
     // Header sector + free bitmap + name-table page bitmap.
-    const std::uint32_t vam_bits = geometry.TotalSectors();
-    const std::uint32_t nt_bits = config.nt_pages;
-    layout.vam_sectors =
-        1 + (vam_bits + 4095) / 4096 + (nt_bits + 4095) / 4096;
+    const std::uint64_t vam_bits = geometry.TotalSectors();
+    const std::uint64_t nt_bits = config.nt_pages;
+    layout.vam_sectors = static_cast<std::uint32_t>(
+        1 + (vam_bits + 4095) / 4096 + (nt_bits + 4095) / 4096);
 
     const std::uint32_t central_span =
         2 * config.nt_pages + config.log_sectors;

@@ -169,7 +169,7 @@ Status FsdConfig::Validate() const {
   return OkStatus();
 }
 
-FsdLog::FsdLog(sim::SimDisk* disk, sim::Lba base, std::uint32_t size_sectors)
+FsdLog::FsdLog(sim::BlockDevice* disk, sim::Lba base, std::uint32_t size_sectors)
     : disk_(disk), base_(base), size_sectors_(size_sectors) {
   CEDAR_CHECK(disk != nullptr);
   // Room for pointer pages plus a third that fits a maximal record.

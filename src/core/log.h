@@ -37,7 +37,7 @@
 #include <mutex>
 #include <vector>
 
-#include "src/sim/disk.h"
+#include "src/sim/device.h"
 #include "src/util/status.h"
 
 namespace cedar::core {
@@ -224,7 +224,7 @@ class FsdLog {
 
   static constexpr std::uint32_t kMaxPagesPerRecord = 52;
 
-  FsdLog(sim::SimDisk* disk, sim::Lba base, std::uint32_t size_sectors);
+  FsdLog(sim::BlockDevice* disk, sim::Lba base, std::uint32_t size_sectors);
 
   // Initializes an empty log (pointer at offset 0).
   Status Format(std::uint32_t boot_count);
@@ -356,7 +356,7 @@ class FsdLog {
   std::vector<std::uint8_t> BuildEndSector() const;
   std::vector<std::uint8_t> BuildMarkerSector() const;
 
-  sim::SimDisk* disk_;
+  sim::BlockDevice* disk_;
   sim::Lba base_;
   std::uint32_t size_sectors_;
 

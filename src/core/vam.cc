@@ -86,7 +86,7 @@ void Vam::Apply(const VamDelta& delta) {
   }
 }
 
-Status Vam::Save(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+Status Vam::Save(sim::BlockDevice* disk, sim::Lba base, std::uint32_t sectors,
                  std::uint32_t boot_count, std::uint64_t lsn) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint8_t> payload;
@@ -114,7 +114,7 @@ Status Vam::Save(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
   return disk->Write(base, buf);
 }
 
-Status Vam::Load(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+Status Vam::Load(sim::BlockDevice* disk, sim::Lba base, std::uint32_t sectors,
                  std::uint32_t expected_boot, std::uint64_t* lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint8_t> buf(static_cast<std::size_t>(sectors) * 512);

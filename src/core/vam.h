@@ -22,7 +22,7 @@
 #include <mutex>
 
 #include "src/fsapi/extent.h"
-#include "src/sim/disk.h"
+#include "src/sim/device.h"
 #include "src/util/bitmap.h"
 #include "src/util/status.h"
 
@@ -137,14 +137,14 @@ class Vam {
 
   // Writes the map (free bits + name-table bits) stamped with `boot_count`
   // and the log position `lsn` to `base`, as one request.
-  Status Save(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+  Status Save(sim::BlockDevice* disk, sim::Lba base, std::uint32_t sectors,
               std::uint32_t boot_count, std::uint64_t lsn = 0) const;
 
   // Loads a saved map. `expected_boot` of kAnyBoot accepts any stamp (the
   // VAM-logging recovery path, which trusts the lsn instead); otherwise a
   // stale stamp fails with kFailedPrecondition (caller reconstructs). The
   // save's lsn is returned through `lsn` when non-null.
-  Status Load(sim::SimDisk* disk, sim::Lba base, std::uint32_t sectors,
+  Status Load(sim::BlockDevice* disk, sim::Lba base, std::uint32_t sectors,
               std::uint32_t expected_boot, std::uint64_t* lsn = nullptr);
 
   // Applies one delta (used by recovery).

@@ -68,9 +68,20 @@ CrashHarness::~CrashHarness() = default;
 
 Result<HarnessReport> CrashHarness::Run() {
   clock_ = std::make_unique<sim::VirtualClock>();
-  disk_ = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
-                                         sim::DiskTimingParams{},
-                                         clock_.get());
+  if (options_.topology == Topology::kSingle) {
+    disk_ = std::make_unique<sim::SimDisk>(sim::TestGeometry(),
+                                           sim::DiskTimingParams{},
+                                           clock_.get());
+  } else {
+    sim::ArrayConfig array;
+    array.mode = options_.topology == Topology::kStriped
+                     ? sim::ArrayMode::kStriped
+                     : sim::ArrayMode::kMirrored;
+    array.spindles = options_.spindles;
+    array.chunk_sectors = options_.chunk_sectors;
+    array.member_geometry = sim::TestGeometry();
+    disk_ = std::make_unique<sim::DiskArray>(array, clock_.get());
+  }
 
   // Phase A: a pristine, cleanly-shut-down volume with one baseline file.
   // Every case replays from this exact image.
@@ -82,8 +93,8 @@ Result<HarnessReport> CrashHarness::Run() {
             .status());
     CEDAR_RETURN_IF_ERROR(fsd.Shutdown());
   }
-  base_ = disk_->Snapshot();
-  if (!disk_->StateEquals(base_)) {
+  base_ = disk_->SnapshotDevice();
+  if (!disk_->DeviceStateEquals(base_)) {
     return MakeError(ErrorCode::kInternal,
                      "disk snapshot round-trip mismatch on the base image");
   }
@@ -126,7 +137,7 @@ Result<RecordedRun> CrashHarness::Record() {
   RecordedRun run;
   run.steps = StandardWorkload();
 
-  disk_->Restore(base_);
+  disk_->RestoreDevice(base_);
   auto fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
   CEDAR_RETURN_IF_ERROR(fsd->Mount());
 
@@ -302,7 +313,7 @@ void CrashHarness::RunCase(const RecordedRun& run, const CrashCase& c,
                                          .recovery_writes = recovery_writes});
   };
 
-  disk_->Restore(base_);
+  disk_->RestoreDevice(base_);
   auto fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
   if (Status status = fsd->Mount(); !status.ok()) {
     fail("pre-crash mount failed: " + std::string(status.message()));
@@ -321,8 +332,8 @@ void CrashHarness::RunCase(const RecordedRun& run, const CrashCase& c,
 
   // Satellite check: cloning a crashed disk must round-trip exactly
   // (damage map + armed-crash state included).
-  const sim::DiskSnapshot crashed = disk_->Snapshot();
-  if (!disk_->StateEquals(crashed)) {
+  const sim::DeviceSnapshot crashed = disk_->SnapshotDevice();
+  if (!disk_->DeviceStateEquals(crashed)) {
     fail("crashed-disk snapshot round-trip mismatch");
     return;
   }
@@ -370,7 +381,7 @@ void CrashHarness::RunCase(const RecordedRun& run, const CrashCase& c,
   for (std::uint64_t r : points) {
     CrashCase second = c;
     second.variant = "clean +recrash@" + std::to_string(r);
-    disk_->Restore(crashed);
+    disk_->RestoreDevice(crashed);
     disk_->Reopen();
     sim::CrashPlan recrash;
     recrash.at_write_index = r;
@@ -381,7 +392,7 @@ void CrashHarness::RunCase(const RecordedRun& run, const CrashCase& c,
     if (first_mount.ok() && !disk_->crashed()) {
       why = "recovery crash never fired — recovery nondeterminism";
     } else {
-      const sim::DiskSnapshot twice = disk_->Snapshot();
+      const sim::DeviceSnapshot twice = disk_->SnapshotDevice();
       disk_->Reopen();
       fsd = std::make_unique<core::Fsd>(disk_.get(), config_);
       if (Status status = fsd->Mount(); !status.ok()) {
@@ -552,7 +563,7 @@ std::string CrashHarness::VerifyRecovered(core::Fsd& fsd,
   return check_required("post-probe");
 }
 
-void CrashHarness::DumpFailure(const sim::DiskSnapshot& crashed,
+void CrashHarness::DumpFailure(const sim::DeviceSnapshot& crashed,
                                const RecordedRun& run,
                                const CaseResult& result) {
   if (options_.dump_dir.empty()) {
@@ -560,7 +571,7 @@ void CrashHarness::DumpFailure(const sim::DiskSnapshot& crashed,
   }
   const std::string stem =
       options_.dump_dir + "/case" + std::to_string(dump_counter_++);
-  disk_->Restore(crashed);
+  disk_->RestoreDevice(crashed);
   (void)disk_->SaveImage(stem + ".img");
 
   std::ofstream txt(stem + ".txt");

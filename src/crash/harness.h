@@ -7,7 +7,8 @@
 // anecdotally:
 //
 //   1. RECORD — run a scripted create/write/rename/delete workload once
-//      against a SimDisk with the PR-2 DiskTracer attached, capturing the
+//      against the device (a SimDisk, or a striped/mirrored DiskArray per
+//      HarnessOptions::topology) with the PR-2 DiskTracer attached, capturing the
 //      complete write schedule: every write request's LBA, length, issuing
 //      FS op, and IoScheduler batch, plus per-step write-count boundaries
 //      and a durability oracle snapshot at every completed Force().
@@ -41,13 +42,29 @@
 
 #include "src/core/fsd.h"
 #include "src/crash/workload.h"
+#include "src/sim/array.h"
 #include "src/sim/clock.h"
+#include "src/sim/device.h"
 #include "src/sim/disk.h"
 #include "src/util/status.h"
 
 namespace cedar::crash {
 
+// What the volume sits on. Arrays extend the crash surface: member-level
+// write indices let cuts land between the chunks of one striped logical
+// write (torn stripe) or between the replica writes of one mirrored logical
+// write (diverged replicas) — cuts a single spindle cannot produce.
+enum class Topology : std::uint8_t {
+  kSingle = 0,
+  kStriped = 1,
+  kMirrored = 2,
+};
+
 struct HarnessOptions {
+  Topology topology = Topology::kSingle;
+  // Array member count (ignored for kSingle).
+  std::uint32_t spindles = 2;
+  std::uint32_t chunk_sectors = 8;
   // Run FSD with the VAM-logging extension on (the fast-recovery path has
   // its own crash windows, so the harness covers both modes).
   bool vam_logging = false;
@@ -154,14 +171,14 @@ class CrashHarness {
   // "" on pass, else the first failed check. `w` is the crash write index.
   std::string VerifyRecovered(core::Fsd& fsd, const RecordedRun& run,
                               std::uint64_t w);
-  void DumpFailure(const sim::DiskSnapshot& crashed, const RecordedRun& run,
+  void DumpFailure(const sim::DeviceSnapshot& crashed, const RecordedRun& run,
                    const CaseResult& result);
 
   HarnessOptions options_;
   core::FsdConfig config_;
   std::unique_ptr<sim::VirtualClock> clock_;
-  std::unique_ptr<sim::SimDisk> disk_;
-  sim::DiskSnapshot base_;
+  std::unique_ptr<sim::BlockDevice> disk_;
+  sim::DeviceSnapshot base_;
   std::uint64_t dump_counter_ = 0;
 };
 

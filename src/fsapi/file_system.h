@@ -113,6 +113,17 @@ class FileSystem {
   // hot-spot operation).
   virtual Status Touch(std::string_view name) = 0;
 
+  // Renames the highest version of `from` to a new highest version of `to`
+  // (properties travel with the file). Optional: systems that predate the
+  // operation report kUnimplemented, and portable workloads fall back to
+  // copy+delete. The sharded volume router implements cross-volume renames
+  // on top of this via a logged two-step (see src/volume).
+  virtual Status Rename(std::string_view from, std::string_view to) {
+    (void)from;
+    (void)to;
+    return MakeError(ErrorCode::kUnimplemented, "rename not supported");
+  }
+
   // Sets the version-retention count ("keep" in the Cedar name table):
   // after each create, only the newest `keep` versions survive. 0 means
   // unlimited. Applies to the highest version and is inherited by new

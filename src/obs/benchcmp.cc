@@ -72,9 +72,16 @@ Result<BenchComparison> CompareBenchReports(const JsonValue& baseline,
 
     const JsonValue* base_metric = base_metrics->Find(name);
     if (base_metric == nullptr || !base_metric->is_object()) {
+      if (delta.gated) {
+        // A candidate-only GATED metric means the two reports measure
+        // different gate sets — comparing them proves nothing. Refuse
+        // (exit 2: regenerate the baseline), don't silently skip.
+        return Refuse("gated metric '" + name +
+                      "' is missing from the baseline: gate-set mismatch — "
+                      "regenerate the baseline");
+      }
       cmp.notes.push_back("metric '" + name +
                           "' is new (not in baseline); not gated");
-      delta.gated = false;
       cmp.deltas.push_back(std::move(delta));
       continue;
     }

@@ -11,7 +11,8 @@
 namespace cedar::obs {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '3'};
+constexpr char kMagic[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '4'};
+constexpr char kMagicV3[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '3'};
 constexpr char kMagicV2[8] = {'C', 'E', 'D', 'T', 'R', 'C', '0', '2'};
 constexpr std::string_view kNoContext = "(none)";
 
@@ -63,6 +64,7 @@ DiskTracer::DiskTracer(DiskTracer&& other) noexcept {
   op_ids_ = std::move(other.op_ids_);
   aggregates_ = std::move(other.aggregates_);
   root_aggregates_ = std::move(other.root_aggregates_);
+  spindle_aggregates_ = std::move(other.spindle_aggregates_);
 }
 
 DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
@@ -78,6 +80,7 @@ DiskTracer& DiskTracer::operator=(DiskTracer&& other) noexcept {
   op_ids_ = std::move(other.op_ids_);
   aggregates_ = std::move(other.aggregates_);
   root_aggregates_ = std::move(other.root_aggregates_);
+  spindle_aggregates_ = std::move(other.spindle_aggregates_);
   return *this;
 }
 
@@ -120,11 +123,11 @@ std::string_view DiskTracer::CurrentOp() const {
   return id < op_names_.size() ? std::string_view(op_names_[id]) : kNoContext;
 }
 
-void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
+void DiskTracer::Record(std::uint64_t lba, std::uint32_t sectors,
                         DiskOpKind kind, std::uint64_t start_us,
                         std::uint64_t seek_us, std::uint64_t rotational_us,
                         std::uint64_t transfer_us, std::uint64_t controller_us,
-                        std::uint32_t batch) {
+                        std::uint32_t batch, std::uint32_t spindle) {
   // Read the caller's context from TLS before taking the tracer mutex.
   std::uint32_t op_id = 0;
   std::uint32_t root_id = 0;
@@ -143,6 +146,7 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   ev.start_us = start_us;
   ev.lba = lba;
   ev.sectors = sectors;
+  ev.spindle = spindle;
   ev.kind = kind;
   ev.seek_us = seek_us;
   ev.rotational_us = rotational_us;
@@ -161,7 +165,8 @@ void DiskTracer::Record(std::uint32_t lba, std::uint32_t sectors,
   }
 
   for (OpClassAggregate* agg : {&aggregates_[op_names_[ev.op_id]],
-                                &root_aggregates_[op_names_[ev.root_id]]}) {
+                                &root_aggregates_[op_names_[ev.root_id]],
+                                &spindle_aggregates_[ev.spindle]}) {
     ++agg->requests;
     agg->sectors += sectors;
     agg->seek_us += seek_us;
@@ -234,6 +239,23 @@ DiskTracer::RootAggregates() const {
   return out;
 }
 
+OpClassAggregate DiskTracer::SpindleAggregateFor(std::uint32_t spindle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spindle_aggregates_.find(spindle);
+  return it == spindle_aggregates_.end() ? OpClassAggregate{} : it->second;
+}
+
+std::vector<std::pair<std::uint32_t, OpClassAggregate>>
+DiskTracer::SpindleAggregates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint32_t, OpClassAggregate>> out;
+  out.reserve(spindle_aggregates_.size());
+  for (const auto& [spindle, agg] : spindle_aggregates_) {
+    out.emplace_back(spindle, agg);
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
   std::lock_guard<std::mutex> lock(mu_);
   ByteWriter w;
@@ -249,8 +271,9 @@ std::vector<std::uint8_t> DiskTracer::SerializeBinary() const {
   for (const TraceEvent& ev : events) {
     w.U64(ev.seq);
     w.U64(ev.start_us);
-    w.U32(ev.lba);
+    w.U64(ev.lba);
     w.U32(ev.sectors);
+    w.U32(ev.spindle);
     w.U8(static_cast<std::uint8_t>(ev.kind));
     w.U64(ev.seek_us);
     w.U64(ev.rotational_us);
@@ -267,14 +290,14 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   const std::vector<std::uint8_t> magic = r.Bytes(sizeof(kMagic));
-  const bool is_v3 =
-      r.ok() && std::equal(magic.begin(), magic.end(),
-                           reinterpret_cast<const std::uint8_t*>(kMagic));
-  const bool is_v2 =
-      r.ok() && !is_v3 &&
-      std::equal(magic.begin(), magic.end(),
-                 reinterpret_cast<const std::uint8_t*>(kMagicV2));
-  if (!is_v3 && !is_v2) {
+  auto magic_is = [&](const char* m) {
+    return r.ok() && std::equal(magic.begin(), magic.end(),
+                                reinterpret_cast<const std::uint8_t*>(m));
+  };
+  const bool is_v4 = magic_is(kMagic);
+  const bool is_v3 = !is_v4 && magic_is(kMagicV3);
+  const bool is_v2 = !is_v4 && !is_v3 && magic_is(kMagicV2);
+  if (!is_v4 && !is_v3 && !is_v2) {
     return MakeError(ErrorCode::kCorruptMetadata, "bad trace magic");
   }
 
@@ -300,17 +323,20 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     TraceEvent ev;
     ev.seq = r.U64();
     ev.start_us = r.U64();
-    ev.lba = r.U32();
+    // V2/V3 dumps predate 64-bit LBAs and the spindle column: their single
+    // spindle is index 0.
+    ev.lba = is_v4 ? r.U64() : r.U32();
     ev.sectors = r.U32();
+    ev.spindle = is_v4 ? r.U32() : 0;
     ev.kind = static_cast<DiskOpKind>(r.U8());
     ev.seek_us = r.U64();
     ev.rotational_us = r.U64();
     ev.transfer_us = r.U64();
     ev.controller_us = r.U64();
     ev.op_id = r.U32();
-    // V2 dumps predate the root-context column; the innermost context is
-    // the best available root for them.
-    ev.root_id = is_v3 ? r.U32() : ev.op_id;
+    // V2 dumps also predate the root-context column; the innermost context
+    // is the best available root for them.
+    ev.root_id = is_v2 ? ev.op_id : r.U32();
     ev.batch = r.U32();
     if (!r.ok()) {
       return MakeError(ErrorCode::kCorruptMetadata, "truncated trace event");
@@ -320,7 +346,8 @@ Result<DiskTracer> DiskTracer::ParseBinary(
     tracer.ring_.push_back(ev);
     for (OpClassAggregate* agg :
          {&tracer.aggregates_[tracer.op_names_[ev.op_id]],
-          &tracer.root_aggregates_[tracer.op_names_[ev.root_id]]}) {
+          &tracer.root_aggregates_[tracer.op_names_[ev.root_id]],
+          &tracer.spindle_aggregates_[ev.spindle]}) {
       ++agg->requests;
       agg->sectors += ev.sectors;
       agg->seek_us += ev.seek_us;
@@ -378,15 +405,15 @@ Status DiskTracer::DumpJsonl(const std::string& path) const {
     std::snprintf(
         line, sizeof(line),
         "{\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64
-        ",\"op\":\"%s\",\"root\":\"%s\",\"kind\":\"%s\",\"lba\":%u,"
-        "\"sectors\":%u,"
+        ",\"op\":\"%s\",\"root\":\"%s\",\"kind\":\"%s\",\"lba\":%" PRIu64
+        ",\"sectors\":%u,\"spindle\":%u,"
         "\"seek_us\":%" PRIu64 ",\"rot_us\":%" PRIu64 ",\"xfer_us\":%" PRIu64
         ",\"ctl_us\":%" PRIu64 ",\"batch\":%u}\n",
         ev.seq, ev.start_us, std::string(op).c_str(),
         std::string(root).c_str(),
         std::string(DiskOpKindName(ev.kind)).c_str(), ev.lba, ev.sectors,
-        ev.seek_us, ev.rotational_us, ev.transfer_us, ev.controller_us,
-        ev.batch);
+        ev.spindle, ev.seek_us, ev.rotational_us, ev.transfer_us,
+        ev.controller_us, ev.batch);
     out << line;
   }
   out.flush();
@@ -409,6 +436,7 @@ void DiskTracer::Reset() {
   tls_key_.store(NextTracerKey(), std::memory_order_relaxed);
   aggregates_.clear();
   root_aggregates_.clear();
+  spindle_aggregates_.clear();
 }
 
 }  // namespace cedar::obs

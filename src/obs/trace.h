@@ -58,8 +58,13 @@ std::string_view DiskOpKindName(DiskOpKind kind);
 struct TraceEvent {
   std::uint64_t seq = 0;       // monotonically increasing event number
   std::uint64_t start_us = 0;  // virtual time when the request was issued
-  std::uint32_t lba = 0;
+  std::uint64_t lba = 0;       // 64-bit: striped arrays exceed 4 G sectors
   std::uint32_t sectors = 0;
+  // Which spindle serviced the request: member index within a DiskArray,
+  // 0 for a plain single-spindle SimDisk. Multi-spindle rigs share one
+  // tracer across members, and per-spindle disk-time attribution (the
+  // utilization split bench_scaleout reports) is keyed by this column.
+  std::uint32_t spindle = 0;
   DiskOpKind kind = DiskOpKind::kRead;
   // Service-time breakdown from the disk timing model.
   std::uint64_t seek_us = 0;
@@ -131,11 +136,13 @@ class DiskTracer {
   std::string_view CurrentOp() const;
 
   // Records one serviced disk request under the current op context. `batch`
-  // is the scheduler-batch id (0 = issued outside any batch).
-  void Record(std::uint32_t lba, std::uint32_t sectors, DiskOpKind kind,
+  // is the scheduler-batch id (0 = issued outside any batch); `spindle` is
+  // the servicing spindle (array member index, 0 for a single disk).
+  void Record(std::uint64_t lba, std::uint32_t sectors, DiskOpKind kind,
               std::uint64_t start_us, std::uint64_t seek_us,
               std::uint64_t rotational_us, std::uint64_t transfer_us,
-              std::uint64_t controller_us, std::uint32_t batch = 0);
+              std::uint64_t controller_us, std::uint32_t batch = 0,
+              std::uint32_t spindle = 0);
 
   // Events still in the ring, oldest first.
   std::vector<TraceEvent> Events() const;
@@ -155,11 +162,18 @@ class DiskTracer {
   // threads (group commit, checkpoint) have their own roots.
   OpClassAggregate RootAggregateFor(std::string_view op_class) const;
   std::vector<std::pair<std::string, OpClassAggregate>> RootAggregates() const;
+  // Per-spindle totals (array member index -> aggregate, sorted by index).
+  // This is the per-spindle disk-time attribution: busy time divided by the
+  // rig's elapsed virtual time is that spindle's utilization.
+  OpClassAggregate SpindleAggregateFor(std::uint32_t spindle) const;
+  std::vector<std::pair<std::uint32_t, OpClassAggregate>> SpindleAggregates()
+      const;
 
-  // Serialization. The binary format is versioned ("CEDTRC03", carrying the
-  // root-context column; "CEDTRC02" dumps still load, with root = innermost)
-  // and holds the op-name table plus the ring contents; LoadBinary
-  // reconstructs a tracer whose Events()/Aggregates() reflect the dump.
+  // Serialization. The binary format is versioned ("CEDTRC04": 64-bit LBA +
+  // spindle column; "CEDTRC03"/"CEDTRC02" dumps still load, with spindle 0
+  // and — for v2 — root = innermost) and holds the op-name table plus the
+  // ring contents; LoadBinary reconstructs a tracer whose
+  // Events()/Aggregates() reflect the dump.
   Status DumpBinary(const std::string& path) const;
   static Result<DiskTracer> LoadBinary(const std::string& path);
   Status DumpJsonl(const std::string& path) const;
@@ -192,6 +206,7 @@ class DiskTracer {
   std::map<std::string, std::uint32_t, std::less<>> op_ids_;
   std::map<std::string, OpClassAggregate, std::less<>> aggregates_;
   std::map<std::string, OpClassAggregate, std::less<>> root_aggregates_;
+  std::map<std::uint32_t, OpClassAggregate> spindle_aggregates_;
 };
 
 // RAII op context. A null tracer makes it a no-op, so instrumented code

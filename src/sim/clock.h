@@ -32,6 +32,17 @@ class VirtualClock {
     now_us_.fetch_add(us, std::memory_order_relaxed);
   }
 
+  // Moves the clock forward to `t` if it is behind; never moves it back.
+  // DiskArray uses this to model member spindles idling between requests:
+  // before a member services its chunk, its private clock catches up to the
+  // rig's logical time, so rotational positions stay physical.
+  void AdvanceTo(Micros t) {
+    Micros cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < t && !now_us_.compare_exchange_weak(
+                          cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
   // CPU time is tracked separately from disk time so benchmarks can report
   // the CPU/bandwidth split of Table 5, but it advances the same timeline
   // (no CPU/IO overlap; the Dorado discussion in section 6 notes the CPU was

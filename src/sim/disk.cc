@@ -79,7 +79,7 @@ void SimDisk::AccountRequest(Lba start, std::uint32_t count, bool is_write,
                                : obs::DiskOpKind::kRead);
     tracer_->Record(start, count, kind, issued_at, service.seek_us,
                     service.rotational_us, service.transfer_us,
-                    service.controller_us, current_batch_);
+                    service.controller_us, current_batch_, spindle_);
   }
   if (metrics_.busy_us != nullptr) {
     if (label_only) {
@@ -573,7 +573,7 @@ Status SimDisk::SaveImage(const std::string& path) const {
     const auto type = static_cast<std::uint8_t>(label.type);
     out.write(reinterpret_cast<const char*>(&type), 1);
   }
-  for (std::uint32_t lba = 0; lba < geometry_.TotalSectors(); ++lba) {
+  for (Lba lba = 0; lba < geometry_.TotalSectors(); ++lba) {
     const std::uint8_t bad = damaged_[lba] ? 1 : 0;
     out.write(reinterpret_cast<const char*>(&bad), 1);
   }
@@ -593,17 +593,17 @@ Status SimDisk::SaveImage(const std::string& path) const {
   PutU64(out, crash_writes_seen_);
   PutU32(out, static_cast<std::uint32_t>(transient_read_faults_.size()));
   for (const auto& [lba, failures] : transient_read_faults_) {
-    PutU32(out, lba);
+    PutU32(out, static_cast<std::uint32_t>(lba));
     PutU32(out, failures);
   }
   PutU32(out, static_cast<std::uint32_t>(persistent_faults_.size()));
   for (const auto& [lba, mode] : persistent_faults_) {
-    PutU32(out, lba);
+    PutU32(out, static_cast<std::uint32_t>(lba));
     PutU8(out, static_cast<std::uint8_t>(mode));
   }
   PutU32(out, static_cast<std::uint32_t>(pending_write_faults_.size()));
   for (const auto& [lba, kind] : pending_write_faults_) {
-    PutU32(out, lba);
+    PutU32(out, static_cast<std::uint32_t>(lba));
     PutU8(out, static_cast<std::uint8_t>(kind));
   }
   PutU64(out, fault_schedule_.seed);
@@ -652,7 +652,7 @@ Status SimDisk::LoadImage(const std::string& path) {
     in.read(reinterpret_cast<char*>(&type), 1);
     label.type = static_cast<PageType>(type);
   }
-  for (std::uint32_t lba = 0; lba < geometry_.TotalSectors(); ++lba) {
+  for (Lba lba = 0; lba < geometry_.TotalSectors(); ++lba) {
     std::uint8_t bad = 0;
     in.read(reinterpret_cast<char*>(&bad), 1);
     damaged_[lba] = bad != 0;

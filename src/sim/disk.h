@@ -35,6 +35,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/clock.h"
+#include "src/sim/device.h"
 #include "src/sim/geometry.h"
 #include "src/sim/label.h"
 #include "src/sim/timing.h"
@@ -42,114 +43,40 @@
 
 namespace cedar::sim {
 
-// Cumulative device statistics. "I/O count" counts *requests*, matching the
-// paper's Tables 3 and 4 ("Performance Measured in Disk I/O's").
-struct DiskStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t label_ops = 0;  // label-only requests (CFS verify/write label)
-  std::uint64_t sectors_read = 0;
-  std::uint64_t sectors_written = 0;
-  std::uint64_t seek_us = 0;
-  std::uint64_t rotational_us = 0;
-  std::uint64_t transfer_us = 0;
-  std::uint64_t busy_us = 0;
+// DiskStats, CrashPlan, FaultMode, WriteFaultKind, FaultSchedule, and
+// DiskSnapshot are shared with DiskArray and live in src/sim/device.h.
 
-  std::uint64_t TotalIos() const { return reads + writes + label_ops; }
-};
-
-// How a planned crash tears the in-flight write.
-struct CrashPlan {
-  std::uint64_t at_write_index = 0;  // crash during the Nth write from now
-  std::uint32_t sectors_completed = 0;  // sectors fully transferred first
-  std::uint32_t sectors_damaged = 0;    // 0, 1 or 2 sectors damaged at cut
-  // Write indices (same numbering as at_write_index: 0-based, counted from
-  // ArmCrash) that are ACKNOWLEDGED to the host but never reach the medium.
-  // This models a device that reorders writes internally — a dropped write
-  // was scheduled after the cut, so the power failure discards it even
-  // though the host saw it complete. Every index must be < at_write_index.
-  std::vector<std::uint64_t> drop_writes;
-};
-
-// Persistent (grown) media defects — the sector stays broken across any
-// number of requests, unlike the self-healing `damaged_` map a crash leaves
-// behind. kReadFail models a grown read defect that the drive re-allocates
-// on the next successful write (so a rewrite heals it); kWriteFail and
-// kDead model defects the drive cannot hide — only a file-system-level
-// remap to a spare sector avoids the LBA.
-enum class FaultMode : std::uint8_t {
-  kReadFail = 1,   // reads fail; a successful rewrite heals the sector
-  kWriteFail = 2,  // writes fail loudly; reads still serve the old data
-  kDead = 3,       // both fail forever; only remapping avoids the LBA
-};
-
-// One-shot lying writes: the request is acknowledged as successful but the
-// medium keeps the old data (kDropped) or lands a garbled tail (kTorn,
-// label intact — the damage is silent and only a later read can notice).
-enum class WriteFaultKind : std::uint8_t {
-  kDropped = 1,
-  kTorn = 2,
-};
-
-// A seeded background fault schedule: every write request draws from an RNG
-// keyed by (seed, request sequence number) and with the given
-// parts-per-million probabilities grows a persistent defect in the written
-// range, turns the request itself into a dropped/torn lying write, or
-// silently corrupts a pseudo-random sector anywhere on the medium (bit
-// rot). Deterministic for a fixed seed and request sequence; the snapshot
-// carries only the schedule and its counters, so clones replay identically.
-struct FaultSchedule {
-  std::uint64_t seed = 0;
-  std::uint32_t persistent_ppm = 0;   // grow a defect in the written range
-  std::uint32_t write_fault_ppm = 0;  // ack this write but drop/tear it
-  std::uint32_t corrupt_ppm = 0;      // flip bits in a random sector
-  std::uint32_t max_events = 0;       // total event cap; 0 = unlimited
-
-  bool Active() const {
-    return persistent_ppm != 0 || write_fault_ppm != 0 || corrupt_ppm != 0;
-  }
-  bool operator==(const FaultSchedule&) const = default;
-};
-
-// Complete device state for in-memory cloning: media contents, labels, the
-// damage map, and armed-crash/fault-injection state. The crash harness
-// snapshots a disk once and restores it before every enumerated crash
-// variant, so replays are bit-identical without touching the host FS.
-struct DiskSnapshot {
-  std::vector<std::uint8_t> data;
-  std::vector<Label> labels;
-  std::vector<bool> damaged;
-  bool crashed = false;
-  std::optional<CrashPlan> crash_plan;
-  std::uint64_t crash_writes_seen = 0;
-  std::map<Lba, std::uint32_t> transient_read_faults;
-  std::map<Lba, FaultMode> persistent_faults;
-  std::map<Lba, WriteFaultKind> pending_write_faults;
-  FaultSchedule fault_schedule;
-  std::uint64_t fault_events = 0;
-  std::uint64_t write_seq = 0;
-};
-
-class SimDisk {
+class SimDisk : public BlockDevice {
  public:
   SimDisk(const DiskGeometry& geometry, const DiskTimingParams& timing,
           VirtualClock* clock);
 
-  const DiskGeometry& geometry() const { return geometry_; }
+  const DiskGeometry& geometry() const override { return geometry_; }
   // Copy of the cumulative stats taken under the device lock. Callers that
   // compare before/after counts must quiesce their own I/O sources around
   // the two reads; the copy itself is always internally consistent.
-  DiskStats stats() const {
+  DiskStats stats() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
   // Timing-model access is mutation-free during operation; tests that tweak
   // parameters do so before issuing concurrent I/O.
   DiskTimingModel& timing() { return timing_; }
-  VirtualClock& clock() { return *clock_; }
-  void ResetStats() {
+  VirtualClock& clock() override { return *clock_; }
+  void ResetStats() override {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = DiskStats{};
+  }
+  std::uint32_t HeadCylinder() const override {
+    return timing_.current_cylinder();
+  }
+
+  // ---- Spindle identity. A standalone disk is spindle 0; DiskArray tags
+  // each member at construction so shared tracers attribute per spindle.
+  void set_spindle(std::uint32_t spindle) { spindle_ = spindle; }
+  std::uint32_t spindle_count() const override { return 1; }
+  DiskStats SpindleStats(std::uint32_t spindle) const override {
+    return spindle == 0 ? stats() : DiskStats{};
   }
 
   // ---- Observability.
@@ -157,11 +84,11 @@ class SimDisk {
   // Attaches a tracer that records every serviced request (with its
   // service-time breakdown and the innermost FS op context). Pass nullptr
   // to detach. The tracer must outlive the disk or be detached first.
-  void set_tracer(obs::DiskTracer* tracer) {
+  void set_tracer(obs::DiskTracer* tracer) override {
     std::lock_guard<std::mutex> lock(mu_);
     tracer_ = tracer;
   }
-  obs::DiskTracer* tracer() const {
+  obs::DiskTracer* tracer() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return tracer_;
   }
@@ -170,7 +97,7 @@ class SimDisk {
   // updates them on every request. Each file system attaches its own
   // registry at construction; the most recent attach wins (relevant only
   // when several file systems share one disk, e.g. crash-comparison tests).
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  void AttachMetrics(obs::MetricsRegistry* registry) override;
 
   // ---- Plain (unlabeled) data transfer; used by FSD and the BSD baseline.
 
@@ -179,8 +106,8 @@ class SimDisk {
   // zero-filled, their indices (relative to `start`) recorded in `bad`, and
   // the call succeeds — this is how recovery code inspects a suspect region.
   Status Read(Lba start, std::span<std::uint8_t> out,
-              std::vector<std::uint32_t>* bad = nullptr);
-  Status Write(Lba start, std::span<const std::uint8_t> data);
+              std::vector<std::uint32_t>* bad = nullptr) override;
+  Status Write(Lba start, std::span<const std::uint8_t> data) override;
 
   // ---- Label-checked transfer; used by CFS (checks run in "microcode",
   // i.e. before the data moves, at no extra I/O cost).
@@ -210,7 +137,7 @@ class SimDisk {
 
   // Marks `count` (1 or 2) consecutive sectors as damaged; reads fail until
   // the sector is rewritten.
-  void DamageSectors(Lba start, std::uint32_t count);
+  void DamageSectors(Lba start, std::uint32_t count) override;
 
   // Destroys a whole track (the paper's "more stringent requirement"
   // example). Outside the 1-2 sector failure model; used to probe which
@@ -265,26 +192,26 @@ class SimDisk {
 
   // Arms a crash: the `index`-th write request from now is torn per `plan`,
   // and every request after it fails with kDeviceCrashed until Reopen().
-  void ArmCrash(const CrashPlan& plan);
+  void ArmCrash(const CrashPlan& plan) override;
   // Crash immediately (between requests).
-  void CrashNow() {
+  void CrashNow() override {
     std::lock_guard<std::mutex> lock(mu_);
     crashed_ = true;
   }
-  bool crashed() const {
+  bool crashed() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return crashed_;
   }
   // Clears the crashed flag; the on-disk image survives as-is. Volatile file
   // system state must be rebuilt by the caller (that is the experiment).
-  void Reopen() {
+  void Reopen() override {
     std::lock_guard<std::mutex> lock(mu_);
     crashed_ = false;
     crash_plan_.reset();
     crash_writes_seen_ = 0;
   }
 
-  bool IsDamaged(Lba lba) const {
+  bool IsDamaged(Lba lba) const override {
     std::lock_guard<std::mutex> lock(mu_);
     return damaged_[lba];
   }
@@ -293,11 +220,11 @@ class SimDisk {
   // while a batch is open are tagged with its id in the trace; the id is
   // unique per disk and 0 means "outside any batch". The flush itself runs
   // under an FS core lock, so no two batches are ever open concurrently.
-  void BeginBatch() {
+  void BeginBatch() override {
     std::lock_guard<std::mutex> lock(mu_);
     current_batch_ = ++batch_counter_;
   }
-  void EndBatch() {
+  void EndBatch() override {
     std::lock_guard<std::mutex> lock(mu_);
     current_batch_ = 0;
   }
@@ -315,12 +242,27 @@ class SimDisk {
   void Restore(const DiskSnapshot& snapshot);
   bool StateEquals(const DiskSnapshot& snapshot) const;
 
+  // BlockDevice cloning: a single-spindle device snapshot wraps the one
+  // DiskSnapshot (the array-level extras stay default).
+  DeviceSnapshot SnapshotDevice() const override {
+    DeviceSnapshot snapshot;
+    snapshot.disks.push_back(Snapshot());
+    return snapshot;
+  }
+  void RestoreDevice(const DeviceSnapshot& snapshot) override {
+    CEDAR_CHECK(snapshot.disks.size() == 1);
+    Restore(snapshot.disks[0]);
+  }
+  bool DeviceStateEquals(const DeviceSnapshot& snapshot) const override {
+    return snapshot.disks.size() == 1 && StateEquals(snapshot.disks[0]);
+  }
+
   // ---- Image persistence: the full device state (data, labels, damage
   // map, and crash/fault-injection state) as a host file, so volumes —
   // including crashed ones dumped by the harness — survive across tool
   // invocations. Format "CEDIMG03" (adds persistent/lying-write/corruption
   // fault state); v01 (no crash state) and v02 images still load.
-  Status SaveImage(const std::string& path) const;
+  Status SaveImage(const std::string& path) const override;
   // Loads an image saved with SaveImage; the geometry must match.
   Status LoadImage(const std::string& path);
 
@@ -414,6 +356,8 @@ class SimDisk {
 
   std::uint32_t batch_counter_ = 0;  // last batch id handed out
   std::uint32_t current_batch_ = 0;  // open batch, 0 = none
+  // Set once at rig construction, before I/O; read on the request path.
+  std::uint32_t spindle_ = 0;
 };
 
 }  // namespace cedar::sim

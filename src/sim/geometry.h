@@ -5,6 +5,14 @@
 // paper's analytical model (section 6) reasons about cylinders, rotational
 // position, and transfer time, so geometry is explicit rather than a flat
 // sector array.
+//
+// LBAs and sector counts are 64-bit: a single 1987 spindle fits in 32 bits
+// with room to spare, but striped arrays multiply member capacities and the
+// address arithmetic (lba * kSectorSize, cylinder * sectors-per-cylinder)
+// must not silently wrap once a logical volume crosses 4 G sectors. Disk
+// *wire* formats (CEDIMG03 images, log record headers) still encode 32-bit
+// LBAs; the bound is enforced where those formats are written, not by the
+// arithmetic types.
 
 #ifndef CEDAR_SIM_GEOMETRY_H_
 #define CEDAR_SIM_GEOMETRY_H_
@@ -16,7 +24,7 @@
 namespace cedar::sim {
 
 // Logical block address, in units of one sector.
-using Lba = std::uint32_t;
+using Lba = std::uint64_t;
 
 inline constexpr std::uint32_t kSectorSize = 512;
 
@@ -35,26 +43,27 @@ struct DiskGeometry {
     return heads * sectors_per_track;
   }
 
-  constexpr std::uint32_t TotalSectors() const {
-    return cylinders * SectorsPerCylinder();
+  constexpr std::uint64_t TotalSectors() const {
+    return static_cast<std::uint64_t>(cylinders) * SectorsPerCylinder();
   }
 
   constexpr std::uint64_t TotalBytes() const {
-    return static_cast<std::uint64_t>(TotalSectors()) * kSectorSize;
+    return TotalSectors() * kSectorSize;
   }
 
   Chs ToChs(Lba lba) const {
     CEDAR_CHECK(lba < TotalSectors());
     Chs chs;
-    chs.cylinder = lba / SectorsPerCylinder();
-    const std::uint32_t within = lba % SectorsPerCylinder();
+    chs.cylinder = static_cast<std::uint32_t>(lba / SectorsPerCylinder());
+    const std::uint32_t within =
+        static_cast<std::uint32_t>(lba % SectorsPerCylinder());
     chs.head = within / sectors_per_track;
     chs.sector = within % sectors_per_track;
     return chs;
   }
 
   Lba ToLba(const Chs& chs) const {
-    return chs.cylinder * SectorsPerCylinder() +
+    return static_cast<Lba>(chs.cylinder) * SectorsPerCylinder() +
            chs.head * sectors_per_track + chs.sector;
   }
 
@@ -64,7 +73,7 @@ struct DiskGeometry {
 
   // First LBA of a cylinder.
   Lba CylinderStart(std::uint32_t cylinder) const {
-    return cylinder * SectorsPerCylinder();
+    return static_cast<Lba>(cylinder) * SectorsPerCylinder();
   }
 };
 

@@ -6,7 +6,7 @@
 
 namespace cedar::sim {
 
-IoScheduler::IoScheduler(SimDisk* disk, bool reorder,
+IoScheduler::IoScheduler(BlockDevice* disk, bool reorder,
                          std::uint32_t max_transfer_sectors)
     : disk_(disk),
       reorder_(reorder),
@@ -55,7 +55,7 @@ std::vector<std::size_t> IoScheduler::ServiceOrder() const {
   // C-SCAN: one ascending sweep starting at the head's current cylinder,
   // wrapping once to pick up the requests it already passed.
   const Lba head_lba =
-      disk_->geometry().CylinderStart(disk_->timing().current_cylinder());
+      disk_->geometry().CylinderStart(disk_->HeadCylinder());
   const auto pivot = std::find_if(
       order.begin(), order.end(),
       [&](std::size_t i) { return requests_[i].lba >= head_lba; });

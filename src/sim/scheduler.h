@@ -30,7 +30,7 @@
 #include <span>
 #include <vector>
 
-#include "src/sim/disk.h"
+#include "src/sim/device.h"
 #include "src/sim/geometry.h"
 #include "src/util/status.h"
 
@@ -64,7 +64,7 @@ class IoScheduler {
   // With `reorder` false the scheduler degenerates to issuing one device
   // request per queued request in submission order — the unbatched
   // baseline the benchmarks compare against.
-  explicit IoScheduler(SimDisk* disk, bool reorder = true,
+  explicit IoScheduler(BlockDevice* disk, bool reorder = true,
                        std::uint32_t max_transfer_sectors = 1024);
 
   // Queues a write of data.size()/kSectorSize sectors at `lba`.
@@ -104,7 +104,7 @@ class IoScheduler {
   Status IssueRun(std::size_t first, std::size_t count,
                   const std::vector<std::size_t>& order, BatchStats* stats);
 
-  SimDisk* disk_;
+  BlockDevice* disk_;
   bool reorder_;
   std::uint32_t max_transfer_sectors_;
   std::vector<Request> requests_;

@@ -177,6 +177,30 @@ class Parser {
                          what);
   }
 
+  // Consumes exactly four hex digits into *code; false on truncation or a
+  // non-hex character (pos_ is left mid-escape, fine for error reporting).
+  bool ReadHex4(std::uint32_t* code) {
+    if (pos_ + 4 > text_.size()) {
+      return false;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<std::uint32_t>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *code = value;
+    return true;
+  }
+
   void SkipSpace() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
@@ -322,32 +346,45 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          // Decode \uXXXX to UTF-8 (no surrogate-pair support; the bench
-          // emitter never writes non-ASCII).
-          if (pos_ + 4 > text_.size()) {
-            return Fail("truncated \\u escape");
-          }
+          // Decode \uXXXX to UTF-8. A high surrogate (D800-DBFF) must be
+          // followed by an escaped low surrogate (DC00-DFFF); the pair
+          // combines into one supplementary-plane code point. Unpaired
+          // surrogates in either order are malformed JSON text and are
+          // rejected rather than smuggled through as WTF-8.
           std::uint32_t code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<std::uint32_t>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<std::uint32_t>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<std::uint32_t>(h - 'A' + 10);
-            } else {
-              return Fail("bad \\u escape digit");
+          if (!ReadHex4(&code)) {
+            return Fail("bad \\u escape");
+          }
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired high surrogate in \\u escape");
             }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!ReadHex4(&low)) {
+              return Fail("bad \\u escape");
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("unpaired high surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

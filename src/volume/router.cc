@@ -1,0 +1,316 @@
+#include "src/volume/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace cedar::vol {
+
+VolumeRouter::VolumeRouter(std::vector<fs::FileSystem*> volumes,
+                           RouterConfig config)
+    : volumes_(std::move(volumes)), config_(config) {
+  CEDAR_CHECK(!volumes_.empty() && volumes_.size() <= kMaxVolumes);
+  for (fs::FileSystem* volume : volumes_) {
+    CEDAR_CHECK(volume != nullptr);
+  }
+  c_local_renames_ = metrics_.GetCounter("router.local_renames");
+  c_cross_renames_ = metrics_.GetCounter("router.cross_renames");
+  c_async_renames_ = metrics_.GetCounter("router.async_renames");
+  if (config_.async_rename) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+VolumeRouter::~VolumeRouter() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(rename_mu_);
+      stopping_ = true;
+    }
+    rename_cv_.notify_all();
+    worker_.join();
+  }
+}
+
+fs::FileSystem& VolumeRouter::Unwrap(const fs::FileHandle& file,
+                                     fs::FileHandle* local) const {
+  const std::size_t index =
+      static_cast<std::size_t>(file.uid & (kMaxVolumes - 1));
+  CEDAR_CHECK(index < volumes_.size());
+  *local = file;
+  local->uid = file.uid >> 4;
+  return *volumes_[index];
+}
+
+Result<fs::FileUid> VolumeRouter::CreateFile(
+    std::string_view name, std::span<const std::uint8_t> contents) {
+  WaitForName(name);
+  return Route(name).CreateFile(name, contents);
+}
+
+Result<fs::FileHandle> VolumeRouter::Open(std::string_view name) {
+  WaitForName(name);
+  const std::size_t index = VolumeOf(name, volumes_.size());
+  Result<fs::FileHandle> opened = volumes_[index]->Open(name);
+  if (!opened.ok()) {
+    return opened;
+  }
+  fs::FileHandle handle = *opened;
+  // Tag the handle with its volume; FSD uids are small counters, so the
+  // four-bit shift cannot reach the top of the 64-bit uid space.
+  CEDAR_CHECK(handle.uid < (std::uint64_t{1} << 60));
+  handle.uid = (handle.uid << 4) | static_cast<fs::FileUid>(index);
+  return handle;
+}
+
+Status VolumeRouter::Read(const fs::FileHandle& file, std::uint64_t offset,
+                          std::span<std::uint8_t> out) {
+  fs::FileHandle local;
+  return Unwrap(file, &local).Read(local, offset, out);
+}
+
+Status VolumeRouter::Write(const fs::FileHandle& file, std::uint64_t offset,
+                           std::span<const std::uint8_t> data) {
+  fs::FileHandle local;
+  return Unwrap(file, &local).Write(local, offset, data);
+}
+
+Status VolumeRouter::Extend(const fs::FileHandle& file, std::uint64_t bytes) {
+  fs::FileHandle local;
+  return Unwrap(file, &local).Extend(local, bytes);
+}
+
+Status VolumeRouter::DeleteFile(std::string_view name) {
+  WaitForName(name);
+  return Route(name).DeleteFile(name);
+}
+
+Result<std::vector<fs::FileInfo>> VolumeRouter::List(std::string_view prefix) {
+  // A prefix can match names on any volume, including ones still moving;
+  // drain the whole rename queue rather than guessing which jobs matter.
+  CEDAR_RETURN_IF_ERROR(DrainRenames());
+  std::vector<fs::FileInfo> merged;
+  for (fs::FileSystem* volume : volumes_) {
+    Result<std::vector<fs::FileInfo>> part = volume->List(prefix);
+    if (!part.ok()) {
+      return part;
+    }
+    merged.insert(merged.end(), part->begin(), part->end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const fs::FileInfo& a, const fs::FileInfo& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : a.version < b.version;
+            });
+  return merged;
+}
+
+Status VolumeRouter::Touch(std::string_view name) {
+  WaitForName(name);
+  return Route(name).Touch(name);
+}
+
+Status VolumeRouter::SetKeep(std::string_view name, std::uint16_t keep) {
+  WaitForName(name);
+  return Route(name).SetKeep(name, keep);
+}
+
+Status VolumeRouter::Close(const fs::FileHandle& file) {
+  fs::FileHandle local;
+  return Unwrap(file, &local).Close(local);
+}
+
+Status VolumeRouter::Rename(std::string_view from, std::string_view to) {
+  WaitForName(from);
+  WaitForName(to);
+  const std::size_t src = VolumeOf(from, volumes_.size());
+  const std::size_t dst = VolumeOf(to, volumes_.size());
+  if (src == dst) {
+    c_local_renames_->Increment();
+    return volumes_[src]->Rename(from, to);
+  }
+  c_cross_renames_->Increment();
+  RenameJob job{.from = std::string(from), .to = std::string(to),
+                .src = src, .dst = dst};
+  if (!config_.async_rename) {
+    return ExecuteRename(job);
+  }
+  c_async_renames_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(rename_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  rename_cv_.notify_all();
+  return OkStatus();
+}
+
+Status VolumeRouter::ExecuteRename(const RenameJob& job) {
+  fs::FileSystem& src = *volumes_[job.src];
+  fs::FileSystem& dst = *volumes_[job.dst];
+
+  // Step 1: copy to the destination and force its log. Properties (keep)
+  // travel with the file; create/setkeep are one committed group from the
+  // destination volume's point of view once the force returns.
+  Result<fs::FileHandle> opened = src.Open(job.from);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  std::vector<std::uint8_t> contents(opened->byte_size);
+  if (!contents.empty()) {
+    Status read = src.Read(*opened, 0, contents);
+    if (!read.ok()) {
+      (void)src.Close(*opened);
+      return read;
+    }
+  }
+  std::uint16_t keep = 0;
+  if (Result<std::vector<fs::FileInfo>> infos = src.List(job.from);
+      infos.ok()) {
+    for (const fs::FileInfo& info : *infos) {
+      if (info.name == job.from) {
+        keep = info.keep;
+      }
+    }
+  }
+  (void)src.Close(*opened);
+  Result<fs::FileUid> created = dst.CreateFile(job.to, contents);
+  if (!created.ok()) {
+    return created.status();
+  }
+  if (keep != 0) {
+    CEDAR_RETURN_IF_ERROR(dst.SetKeep(job.to, keep));
+  }
+  CEDAR_RETURN_IF_ERROR(dst.Force());
+
+  // Step 2: delete the source name and force. A crash before this point
+  // leaves the file under both names — duplicated, never lost; recovery on
+  // each volume is local and ordinary.
+  CEDAR_RETURN_IF_ERROR(src.DeleteFile(job.from));
+  return src.Force();
+}
+
+void VolumeRouter::WaitForName(std::string_view name) {
+  if (!config_.async_rename) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(rename_mu_);
+  rename_cv_.wait(lock, [&] {
+    for (const RenameJob& job : jobs_) {
+      if (job.from == name || job.to == name) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+Status VolumeRouter::DrainRenames() {
+  if (!config_.async_rename) {
+    return OkStatus();
+  }
+  std::unique_lock<std::mutex> lock(rename_mu_);
+  rename_cv_.wait(lock, [&] { return jobs_.empty(); });
+  Status deferred = deferred_error_;
+  deferred_error_ = OkStatus();
+  return deferred;
+}
+
+void VolumeRouter::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(rename_mu_);
+  while (true) {
+    rename_cv_.wait(lock, [&] { return !jobs_.empty() || stopping_; });
+    if (jobs_.empty()) {
+      break;  // stopping, queue drained
+    }
+    // The job stays at the front of the queue while it runs, so per-name
+    // waiters keep blocking until it has fully completed (FIFO = the
+    // dependency order renames were issued in).
+    const RenameJob job = jobs_.front();
+    lock.unlock();
+    const Status status = ExecuteRename(job);
+    lock.lock();
+    jobs_.pop_front();
+    if (!status.ok() && deferred_error_.ok()) {
+      deferred_error_ = status;
+    }
+    rename_cv_.notify_all();
+  }
+}
+
+Status VolumeRouter::Force() {
+  Status deferred = DrainRenames();
+  for (fs::FileSystem* volume : volumes_) {
+    const Status status = volume->Force();
+    if (!status.ok() && deferred.ok()) {
+      deferred = status;
+    }
+  }
+  return deferred;
+}
+
+Status VolumeRouter::Shutdown() {
+  Status result = DrainRenames();
+  for (fs::FileSystem* volume : volumes_) {
+    const Status status = volume->Shutdown();
+    if (!status.ok() && result.ok()) {
+      result = status;
+    }
+  }
+  return result;
+}
+
+Status VolumeRouter::Checkpoint() {
+  for (fs::FileSystem* volume : volumes_) {
+    CEDAR_RETURN_IF_ERROR(volume->Checkpoint());
+  }
+  return OkStatus();
+}
+
+Result<std::uint64_t> VolumeRouter::RecoveryWindow() {
+  std::uint64_t total = 0;
+  for (fs::FileSystem* volume : volumes_) {
+    Result<std::uint64_t> window = volume->RecoveryWindow();
+    if (!window.ok()) {
+      return window;
+    }
+    total += *window;
+  }
+  return total;
+}
+
+fs::MaintenanceStats VolumeRouter::Maintenance() {
+  fs::MaintenanceStats total;
+  for (fs::FileSystem* volume : volumes_) {
+    const fs::MaintenanceStats m = volume->Maintenance();
+    total.log_live_bytes += m.log_live_bytes;
+    total.log_capacity_bytes += m.log_capacity_bytes;
+    total.recovery_window_bytes += m.recovery_window_bytes;
+    total.checkpoint_batches += m.checkpoint_batches;
+    total.checkpoint_pages += m.checkpoint_pages;
+    total.checkpoint_advances += m.checkpoint_advances;
+    total.third_flush_fallbacks += m.third_flush_fallbacks;
+  }
+  return total;
+}
+
+fs::HealthStats VolumeRouter::Health() {
+  fs::HealthStats total;
+  for (std::size_t i = 0; i < volumes_.size(); ++i) {
+    fs::HealthStats h = volumes_[i]->Health();
+    total.degraded = total.degraded || h.degraded;
+    total.repairs += h.repairs;
+    total.remaps += h.remaps;
+    total.corruption_detected += h.corruption_detected;
+    total.read_retry_exhausted += h.read_retry_exhausted;
+    total.nt_pages_lost += h.nt_pages_lost;
+    total.unrepairable += h.unrepairable;
+    for (std::string& note : h.notes) {
+      total.notes.push_back("vol" + std::to_string(i) + ": " +
+                            std::move(note));
+    }
+  }
+  return total;
+}
+
+}  // namespace cedar::vol

@@ -546,17 +546,31 @@ TEST(BenchCmpTest, MissingGatedMetricIsARegression) {
   ASSERT_TRUE(cmp.ok());
   EXPECT_TRUE(cmp.value().regression);
 
-  // A brand-new candidate metric is noted, never gated.
+  // A brand-new candidate INFO metric is noted, never gated.
   util::JsonValue extra = benchcmp::Report(100, 50);
   auto added = util::JsonValue::Object();
   added.Set("value", util::JsonValue::Number(7));
-  added.Set("direction", util::JsonValue::String("higher"));
+  added.Set("direction", util::JsonValue::String("info"));
   const_cast<util::JsonValue*>(extra.Find("metrics"))
       ->Set("brand_new", std::move(added));
   auto cmp2 = obs::CompareBenchReports(base, extra);
   ASSERT_TRUE(cmp2.ok());
   EXPECT_FALSE(cmp2.value().regression);
   EXPECT_FALSE(cmp2.value().notes.empty());
+
+  // A brand-new candidate GATED metric is a gate-set mismatch: the two
+  // reports measure different things, so the comparison is refused (the
+  // baseline must be regenerated) rather than silently passed.
+  util::JsonValue extra_gated = benchcmp::Report(100, 50);
+  auto added_gated = util::JsonValue::Object();
+  added_gated.Set("value", util::JsonValue::Number(7));
+  added_gated.Set("direction", util::JsonValue::String("higher"));
+  const_cast<util::JsonValue*>(extra_gated.Find("metrics"))
+      ->Set("brand_new", std::move(added_gated));
+  auto refused = obs::CompareBenchReports(base, extra_gated);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("gate-set mismatch"),
+            std::string::npos);
 }
 
 TEST(BenchCmpTest, DeltaTableNamesRegressedMetrics) {

@@ -32,9 +32,25 @@ class SimDiskTest : public ::testing::Test {
 
 TEST(GeometryTest, LbaChsRoundTrip) {
   DiskGeometry g = TestGeometry();
-  for (Lba lba : {0u, 1u, 27u, 28u, 223u, 224u, g.TotalSectors() - 1}) {
+  for (Lba lba : {Lba{0}, Lba{1}, Lba{27}, Lba{28}, Lba{223}, Lba{224},
+                  g.TotalSectors() - 1}) {
     EXPECT_EQ(g.ToLba(g.ToChs(lba)), lba);
   }
+}
+
+TEST(GeometryTest, LbaMathSurvivesBeyondFourGigaSectors) {
+  // 3 M cylinders x 64 heads x 32 spt = 6.144 G sectors — past 2^32, the
+  // shape a wide striped DiskArray presents. Every derived quantity must be
+  // computed in 64 bits; before the Lba promotion the products below
+  // silently wrapped.
+  DiskGeometry g{.cylinders = 3'000'000, .heads = 64,
+                 .sectors_per_track = 32};
+  EXPECT_EQ(g.TotalSectors(), 6'144'000'000ull);
+  EXPECT_EQ(g.TotalBytes(), 6'144'000'000ull * 512);
+  for (Lba lba : {Lba{1} << 32, (Lba{1} << 32) + 1, g.TotalSectors() - 1}) {
+    EXPECT_EQ(g.ToLba(g.ToChs(lba)), lba);
+  }
+  EXPECT_EQ(g.CylinderStart(g.cylinders - 1), 6'144'000'000ull - 2048);
 }
 
 TEST(GeometryTest, ChsFieldsInRange) {

@@ -216,6 +216,38 @@ TEST(JsonTest, RejectsMalformedInputWithOffset) {
   EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
 }
 
+TEST(JsonTest, DecodesUnicodeEscapes) {
+  // BMP escapes: ASCII, 2-byte (U+00E9), 3-byte (U+20AC), mixed hex case.
+  auto parsed = util::ParseJson("{\"s\": \"\\u0041\\u00e9\\u20AC\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().StringOr("s", ""), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, DecodesSurrogatePairs) {
+  // 𝄞 = U+1D11E (musical G clef) = F0 9D 84 9E in UTF-8.
+  auto parsed = util::ParseJson("{\"s\": \"x\\uD834\\udd1ey\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().StringOr("s", ""), "x\xF0\x9D\x84\x9Ey");
+  // 􏿿 = U+10FFFF, the top of the supplementary planes.
+  auto top = util::ParseJson("[\"\\uDBFF\\uDFFF\"]");
+  ASSERT_TRUE(top.ok()) << top.status().message();
+  EXPECT_EQ(top.value().items()[0].AsString(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonTest, RejectsUnpairedSurrogates) {
+  for (const char* bad : {
+           R"(["\uD834"])",         // high surrogate at end of string
+           R"(["\uD834x"])",        // high surrogate, no following escape
+           R"(["\uD834\n"])",       // high surrogate, wrong escape
+           R"(["\uD834\uD834"])",   // high followed by another high
+           R"(["\uDD1E"])",         // lone low surrogate
+           R"(["\uD834\uZZZZ"])",   // bad hex in the pair's second half
+       }) {
+    auto parsed = util::ParseJson(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+}
+
 TEST(JsonTest, DumpParseRoundTrips) {
   auto obj = util::JsonValue::Object();
   obj.Set("name", util::JsonValue::String("bench"));

@@ -27,12 +27,21 @@ using cedar::obs::CompareBenchReports;
 using cedar::obs::FormatDeltaTable;
 using cedar::util::JsonValue;
 
-JsonValue MakeReport(double throughput) {
+// Builds a selftest report; `extra_name`/`extra_direction` add a second
+// metric so the gate-set-mismatch cases can widen the candidate.
+JsonValue MakeReport(double throughput, const char* extra_name = nullptr,
+                     const char* extra_direction = nullptr) {
   auto metric = JsonValue::Object();
   metric.Set("value", JsonValue::Number(throughput));
   metric.Set("direction", JsonValue::String("higher"));
   auto metrics = JsonValue::Object();
   metrics.Set("ops_per_vsec", std::move(metric));
+  if (extra_name != nullptr) {
+    auto extra = JsonValue::Object();
+    extra.Set("value", JsonValue::Number(7));
+    extra.Set("direction", JsonValue::String(extra_direction));
+    metrics.Set(extra_name, std::move(extra));
+  }
   auto report = JsonValue::Object();
   report.Set("schema_version",
              JsonValue::Number(cedar::obs::kBenchSchemaVersion));
@@ -57,6 +66,16 @@ int Selftest() {
   tampered.Set("config_digest", JsonValue::String("deadbeef"));
   expect(!CompareBenchReports(base, tampered).ok(),
          "digest mismatch refused");
+  // A gated metric only the candidate reports is a gate-set mismatch, not
+  // a benign "new metric" note: the comparison must refuse (exit 2).
+  expect(!CompareBenchReports(base, MakeReport(100, "forces_per_update",
+                                               "lower"))
+              .ok(),
+         "candidate-only gated metric refused");
+  auto widened_info =
+      CompareBenchReports(base, MakeReport(100, "spindle_util", "info"));
+  expect(widened_info.ok() && !widened_info.value().regression,
+         "candidate-only info metric noted");
   return failures == 0 ? 0 : 1;
 }
 

@@ -53,7 +53,7 @@ void PrintTable(const HarnessReport& report) {
               "len", "batch", "op", "cases", "fail", "verdict");
   for (const auto& [w, row] : rows) {
     const ScheduleEntry& e = report.run.writes[w];
-    std::printf("  %-5" PRIu64 " %-8u %-4u %-6u %-26s %6" PRIu64
+    std::printf("  %-5" PRIu64 " %-8" PRIu64 " %-4u %-6u %-26s %6" PRIu64
                 " %6" PRIu64 "  %s\n",
                 w, e.lba, e.sectors, e.batch, e.op.c_str(), row.cases,
                 row.failed, row.failed == 0 ? "PASS" : "FAIL");
